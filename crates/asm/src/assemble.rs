@@ -1,0 +1,885 @@
+//! The two-pass assembler.
+//!
+//! Pass 1 scans the source, sizing every item (pseudo-instructions expand to
+//! a value-dependent but deterministic number of words) and collecting
+//! labels. Pass 2 expands instructions with all symbols resolved.
+
+use std::collections::BTreeMap;
+
+use vp_isa::{AluOp, BranchCond, FpOp, Instruction, MemWidth, Reg, Syscall};
+
+use crate::error::AsmError;
+use crate::program::{Procedure, Program, Section, Symbol, DATA_BASE};
+
+/// Assembles VP64 assembly source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based source line for syntax
+/// errors, unknown mnemonics, duplicate or undefined labels, operands out of
+/// range, and unterminated `.proc` regions.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), vp_asm::AsmError> {
+/// let program = vp_asm::assemble(
+///     r#"
+///     .text
+///     .proc main
+///     main:
+///         li   r1, 42
+///         sys  exit
+///     .endp
+///     "#,
+/// )?;
+/// assert_eq!(program.procedures()[0].name, "main");
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().run(source)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Text,
+    Data,
+}
+
+struct PendingInstr {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<String>,
+    index: u32,
+}
+
+struct DataFixup {
+    line: usize,
+    offset: usize,
+    label: String,
+}
+
+struct Assembler {
+    symbols: BTreeMap<String, Symbol>,
+    data: Vec<u8>,
+    pending: Vec<PendingInstr>,
+    fixups: Vec<DataFixup>,
+    procedures: Vec<Procedure>,
+    open_proc: Option<(usize, String, u32)>,
+    seg: Seg,
+    text_len: u32,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            symbols: BTreeMap::new(),
+            data: Vec::new(),
+            pending: Vec::new(),
+            fixups: Vec::new(),
+            procedures: Vec::new(),
+            open_proc: None,
+            seg: Seg::Text,
+            text_len: 0,
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<Program, AsmError> {
+        // Pass 1: labels, sizes, raw data bytes.
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let stripped = strip_comment(raw).trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            self.statement(line, stripped)?;
+        }
+        if let Some((line, name, _)) = &self.open_proc {
+            return Err(AsmError::new(*line, format!("procedure `{name}` has no .endp")));
+        }
+
+        // Data fixups that reference labels (e.g. jump tables).
+        for fix in std::mem::take(&mut self.fixups) {
+            let sym = self
+                .symbols
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::new(fix.line, format!("undefined label `{}`", fix.label)))?;
+            self.data[fix.offset..fix.offset + 8].copy_from_slice(&sym.address.to_le_bytes());
+        }
+
+        // Pass 2: expand instructions.
+        let mut code = Vec::with_capacity(self.text_len as usize);
+        for item in std::mem::take(&mut self.pending) {
+            let before = code.len() as u32;
+            self.expand(&item, &mut code)?;
+            let emitted = code.len() as u32 - before;
+            debug_assert_eq!(
+                emitted,
+                instr_size(&item.mnemonic, &item.operands),
+                "pass-1 size disagrees with pass-2 emission for `{}` (line {})",
+                item.mnemonic,
+                item.line
+            );
+        }
+
+        let entry = match self.symbols.get("main") {
+            Some(Symbol { section: Section::Text, address }) => (address / 4) as u32,
+            Some(_) => return Err(AsmError::new(0, "label `main` is not in .text".to_string())),
+            None => 0,
+        };
+
+        Ok(Program::from_parts(code, self.data, self.symbols, self.procedures, entry))
+    }
+
+    fn statement(&mut self, line: usize, stmt: &str) -> Result<(), AsmError> {
+        // A statement may begin with one or more labels.
+        let mut rest = stmt;
+        while let Some(colon) = find_label(rest) {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            self.define_label(line, label)?;
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            return self.directive(line, directive);
+        }
+        self.instruction(line, rest)
+    }
+
+    fn define_label(&mut self, line: usize, label: &str) -> Result<(), AsmError> {
+        if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(AsmError::new(line, format!("invalid label `{label}`")));
+        }
+        let sym = match self.seg {
+            Seg::Text => Symbol { section: Section::Text, address: u64::from(self.text_len) * 4 },
+            Seg::Data => Symbol { section: Section::Data, address: DATA_BASE + self.data.len() as u64 },
+        };
+        match self.symbols.insert(label.to_owned(), sym) {
+            // `.proc f` followed by `f:` at the same address is idiomatic;
+            // only reject labels that would resolve differently.
+            Some(prev) if prev != sym => {
+                Err(AsmError::new(line, format!("duplicate label `{label}`")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn directive(&mut self, line: usize, directive: &str) -> Result<(), AsmError> {
+        let (name, args) = match directive.find(char::is_whitespace) {
+            Some(i) => (&directive[..i], directive[i..].trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => self.seg = Seg::Text,
+            "data" => self.seg = Seg::Data,
+            "global" => {} // accepted for familiarity; every label is visible
+            "proc" => {
+                if self.open_proc.is_some() {
+                    return Err(AsmError::new(line, "nested .proc".to_string()));
+                }
+                if args.is_empty() {
+                    return Err(AsmError::new(line, ".proc needs a name".to_string()));
+                }
+                if self.seg != Seg::Text {
+                    return Err(AsmError::new(line, ".proc outside .text".to_string()));
+                }
+                self.define_label(line, args)?;
+                self.open_proc = Some((line, args.to_owned(), self.text_len));
+            }
+            "endp" => {
+                let (_, name, start) = self
+                    .open_proc
+                    .take()
+                    .ok_or_else(|| AsmError::new(line, ".endp without .proc".to_string()))?;
+                self.procedures.push(Procedure { name, range: start..self.text_len });
+            }
+            "byte" | "half" | "word" | "quad" => {
+                self.require_data(line, name)?;
+                let width = match name {
+                    "byte" => 1,
+                    "half" => 2,
+                    "word" => 4,
+                    _ => 8,
+                };
+                for arg in split_operands(args) {
+                    if let Ok(v) = parse_int(&arg) {
+                        let bytes = (v as u64).to_le_bytes();
+                        self.data.extend_from_slice(&bytes[..width]);
+                    } else if width == 8 && is_label_name(&arg) {
+                        self.fixups.push(DataFixup { line, offset: self.data.len(), label: arg });
+                        self.data.extend_from_slice(&[0u8; 8]);
+                    } else {
+                        return Err(AsmError::new(line, format!("bad .{name} operand `{arg}`")));
+                    }
+                }
+            }
+            "space" => {
+                self.require_data(line, name)?;
+                let n = parse_int(args)
+                    .map_err(|_| AsmError::new(line, format!("bad .space size `{args}`")))?;
+                if n < 0 {
+                    return Err(AsmError::new(line, "negative .space size".to_string()));
+                }
+                self.data.extend(std::iter::repeat(0u8).take(n as usize));
+            }
+            "align" => {
+                self.require_data(line, name)?;
+                let n = parse_int(args)
+                    .map_err(|_| AsmError::new(line, format!("bad .align operand `{args}`")))?;
+                if n <= 0 || (n & (n - 1)) != 0 {
+                    return Err(AsmError::new(line, ".align needs a power of two".to_string()));
+                }
+                while self.data.len() % n as usize != 0 {
+                    self.data.push(0);
+                }
+            }
+            "ascii" | "asciiz" => {
+                self.require_data(line, name)?;
+                let text = parse_string(args)
+                    .ok_or_else(|| AsmError::new(line, format!("bad string literal `{args}`")))?;
+                self.data.extend_from_slice(text.as_bytes());
+                if name == "asciiz" {
+                    self.data.push(0);
+                }
+            }
+            other => return Err(AsmError::new(line, format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn require_data(&self, line: usize, directive: &str) -> Result<(), AsmError> {
+        if self.seg != Seg::Data {
+            return Err(AsmError::new(line, format!(".{directive} outside .data")));
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, line: usize, text: &str) -> Result<(), AsmError> {
+        if self.seg != Seg::Text {
+            return Err(AsmError::new(line, "instruction outside .text".to_string()));
+        }
+        let (mnemonic, args) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let operands = split_operands(args);
+        let size = instr_size(mnemonic, &operands);
+        if size == 0 {
+            return Err(AsmError::new(line, format!("unknown mnemonic `{mnemonic}`")));
+        }
+        self.pending.push(PendingInstr {
+            line,
+            mnemonic: mnemonic.to_owned(),
+            operands,
+            index: self.text_len,
+        });
+        self.text_len += size;
+        Ok(())
+    }
+
+    fn expand(&self, item: &PendingInstr, out: &mut Vec<Instruction>) -> Result<(), AsmError> {
+        let line = item.line;
+        let ops = &item.operands;
+        let m = item.mnemonic.as_str();
+        let nargs = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::new(line, format!("`{m}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+        let reg = |i: usize| parse_reg(&ops[i]).map_err(|e| AsmError::new(line, e));
+
+        if let Some(op) = alu_mnemonic(m) {
+            nargs(3)?;
+            out.push(Instruction::Alu { op, rd: reg(0)?, rs: reg(1)?, rt: reg(2)? });
+            return Ok(());
+        }
+        if let Some(op) = alu_imm_mnemonic(m) {
+            nargs(3)?;
+            let imm = parse_i16(&ops[2]).map_err(|e| AsmError::new(line, e))?;
+            out.push(Instruction::AluImm { op, rd: reg(0)?, rs: reg(1)?, imm });
+            return Ok(());
+        }
+        if let Some(op) = fp_mnemonic(m) {
+            if op.uses_rt() {
+                nargs(3)?;
+                out.push(Instruction::Fp { op, rd: reg(0)?, rs: reg(1)?, rt: reg(2)? });
+            } else {
+                nargs(2)?;
+                out.push(Instruction::Fp { op, rd: reg(0)?, rs: reg(1)?, rt: Reg::R0 });
+            }
+            return Ok(());
+        }
+        if let Some((width, signed)) = load_mnemonic(m) {
+            nargs(2)?;
+            let (offset, base) = parse_mem(&ops[1]).map_err(|e| AsmError::new(line, e))?;
+            let rd = reg(0)?;
+            out.push(if signed {
+                Instruction::LoadSigned { rd, base, offset, width }
+            } else {
+                Instruction::Load { rd, base, offset, width }
+            });
+            return Ok(());
+        }
+        if let Some(width) = store_mnemonic(m) {
+            nargs(2)?;
+            let (offset, base) = parse_mem(&ops[1]).map_err(|e| AsmError::new(line, e))?;
+            out.push(Instruction::Store { rs: reg(0)?, base, offset, width });
+            return Ok(());
+        }
+        if let Some(cond) = branch_mnemonic(m) {
+            nargs(3)?;
+            let disp = self.branch_disp(line, &ops[2], item.index)?;
+            out.push(Instruction::Branch { cond, rs: reg(0)?, rt: reg(1)?, disp });
+            return Ok(());
+        }
+
+        match m {
+            "nop" => {
+                nargs(0)?;
+                out.push(Instruction::Nop);
+            }
+            "lui" => {
+                nargs(2)?;
+                let imm = parse_int(&ops[1]).map_err(|e| AsmError::new(line, e))?;
+                if !(0..=0xffff).contains(&imm) {
+                    return Err(AsmError::new(line, format!("lui immediate {imm} out of range")));
+                }
+                out.push(Instruction::Lui { rd: reg(0)?, imm: imm as u16 });
+            }
+            "j" | "b" => {
+                nargs(1)?;
+                out.push(Instruction::Jump { target: self.jump_target(line, &ops[0])? });
+            }
+            "jal" | "call" => {
+                nargs(1)?;
+                out.push(Instruction::Jal { target: self.jump_target(line, &ops[0])? });
+            }
+            "jr" => {
+                nargs(1)?;
+                out.push(Instruction::Jr { rs: reg(0)? });
+            }
+            "ret" => {
+                nargs(0)?;
+                out.push(Instruction::Jr { rs: Reg::RA });
+            }
+            "jalr" => {
+                nargs(2)?;
+                out.push(Instruction::Jalr { rd: reg(0)?, rs: reg(1)? });
+            }
+            "sys" => {
+                nargs(1)?;
+                let call = syscall_mnemonic(&ops[0])
+                    .ok_or_else(|| AsmError::new(line, format!("unknown syscall `{}`", ops[0])))?;
+                out.push(Instruction::Sys { call });
+            }
+            "mov" => {
+                nargs(2)?;
+                out.push(Instruction::AluImm { op: AluOp::Add, rd: reg(0)?, rs: reg(1)?, imm: 0 });
+            }
+            "li" => {
+                nargs(2)?;
+                let value = parse_int(&ops[1]).map_err(|e| AsmError::new(line, e))?;
+                emit_li(reg(0)?, value, out);
+            }
+            "la" => {
+                nargs(2)?;
+                let sym = self
+                    .symbols
+                    .get(ops[1].as_str())
+                    .ok_or_else(|| AsmError::new(line, format!("undefined label `{}`", ops[1])))?;
+                emit_load_u32(reg(0)?, sym.address as u32, out);
+            }
+            "bz" | "bnz" => {
+                nargs(2)?;
+                let disp = self.branch_disp(line, &ops[1], item.index)?;
+                let cond = if m == "bz" { BranchCond::Eq } else { BranchCond::Ne };
+                out.push(Instruction::Branch { cond, rs: reg(0)?, rt: Reg::R0, disp });
+            }
+            other => return Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn jump_target(&self, line: usize, op: &str) -> Result<u32, AsmError> {
+        let idx = if let Ok(v) = parse_int(op) {
+            v
+        } else {
+            let sym = self
+                .symbols
+                .get(op)
+                .ok_or_else(|| AsmError::new(line, format!("undefined label `{op}`")))?;
+            if sym.section != Section::Text {
+                return Err(AsmError::new(line, format!("jump target `{op}` is not code")));
+            }
+            (sym.address / 4) as i64
+        };
+        if !(0..(1 << 26)).contains(&idx) {
+            return Err(AsmError::new(line, format!("jump target {idx} out of range")));
+        }
+        Ok(idx as u32)
+    }
+
+    fn branch_disp(&self, line: usize, op: &str, index: u32) -> Result<i16, AsmError> {
+        let disp = if let Ok(v) = parse_int(op) {
+            v
+        } else {
+            let sym = self
+                .symbols
+                .get(op)
+                .ok_or_else(|| AsmError::new(line, format!("undefined label `{op}`")))?;
+            if sym.section != Section::Text {
+                return Err(AsmError::new(line, format!("branch target `{op}` is not code")));
+            }
+            (sym.address / 4) as i64 - i64::from(index) - 1
+        };
+        i16::try_from(disp)
+            .map_err(|_| AsmError::new(line, format!("branch displacement {disp} out of range")))
+    }
+}
+
+/// Number of instruction words a mnemonic expands to; 0 for unknown.
+fn instr_size(mnemonic: &str, operands: &[String]) -> u32 {
+    match mnemonic {
+        "li" => match operands.get(1).and_then(|s| parse_int(s).ok()) {
+            Some(v) => li_size(v),
+            None => 1, // operand error surfaces in pass 2
+        },
+        "la" => 2,
+        _ if alu_mnemonic(mnemonic).is_some()
+            || alu_imm_mnemonic(mnemonic).is_some()
+            || fp_mnemonic(mnemonic).is_some()
+            || load_mnemonic(mnemonic).is_some()
+            || store_mnemonic(mnemonic).is_some()
+            || branch_mnemonic(mnemonic).is_some() =>
+        {
+            1
+        }
+        "nop" | "lui" | "j" | "b" | "jal" | "call" | "jr" | "ret" | "jalr" | "sys" | "mov"
+        | "bz" | "bnz" => 1,
+        _ => 0,
+    }
+}
+
+fn li_size(v: i64) -> u32 {
+    if i16::try_from(v).is_ok() {
+        1
+    } else if u32::try_from(v as u64).is_ok() {
+        2
+    } else {
+        6
+    }
+}
+
+/// Emits the canonical `li` expansion. Logic-immediate operations
+/// zero-extend their immediate (see the emulator semantics), which the
+/// `lui`/`ori` pairs rely on.
+fn emit_li(rd: Reg, value: i64, out: &mut Vec<Instruction>) {
+    if let Ok(imm) = i16::try_from(value) {
+        out.push(Instruction::AluImm { op: AluOp::Add, rd, rs: Reg::R0, imm });
+    } else if let Ok(v) = u32::try_from(value as u64) {
+        emit_load_u32(rd, v, out);
+    } else {
+        let v = value as u64;
+        out.push(Instruction::Lui { rd, imm: (v >> 48) as u16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((v >> 32) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((v >> 16) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (v & 0xffff) as u16 as i16 });
+    }
+}
+
+fn emit_load_u32(rd: Reg, v: u32, out: &mut Vec<Instruction>) {
+    out.push(Instruction::Lui { rd, imm: (v >> 16) as u16 });
+    out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (v & 0xffff) as u16 as i16 });
+}
+
+fn alu_mnemonic(m: &str) -> Option<AluOp> {
+    AluOp::ALL.iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn alu_imm_mnemonic(m: &str) -> Option<AluOp> {
+    let base = m.strip_suffix('i')?;
+    // `sltui` etc. also end in `i` after stripping; match on the base name.
+    AluOp::ALL.iter().copied().find(|op| op.mnemonic() == base)
+}
+
+fn fp_mnemonic(m: &str) -> Option<FpOp> {
+    FpOp::ALL.iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn branch_mnemonic(m: &str) -> Option<BranchCond> {
+    BranchCond::ALL.iter().copied().find(|c| c.mnemonic() == m)
+}
+
+fn syscall_mnemonic(m: &str) -> Option<Syscall> {
+    Syscall::ALL.iter().copied().find(|c| c.mnemonic() == m)
+}
+
+fn load_mnemonic(m: &str) -> Option<(MemWidth, bool)> {
+    let rest = m.strip_prefix("ld")?;
+    let (width_str, signed) = match rest.strip_suffix('s') {
+        Some(w) if !w.is_empty() => (w, true),
+        _ => (rest, false),
+    };
+    let width = MemWidth::ALL.iter().copied().find(|w| w.suffix() == width_str)?;
+    if signed && width == MemWidth::D {
+        return None;
+    }
+    Some((width, signed))
+}
+
+fn store_mnemonic(m: &str) -> Option<MemWidth> {
+    let rest = m.strip_prefix("st")?;
+    MemWidth::ALL.iter().copied().find(|w| w.suffix() == rest)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals in .ascii directives.
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' | ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Finds the byte offset of a label-terminating `:` at the start of `s`.
+fn find_label(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if !head.is_empty() && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn split_operands(args: &str) -> Vec<String> {
+    if args.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth = depth.saturating_sub(1),
+            ',' if depth == 0 && !in_str => {
+                out.push(args[start..i].trim().to_owned());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(args[start..].trim().to_owned());
+    out
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    s.parse::<Reg>().map_err(|e| e.to_string())
+}
+
+fn parse_i16(s: &str) -> Result<i16, String> {
+    let v = parse_int(s)?;
+    // Allow the unsigned 16-bit spelling for logic immediates (0..=0xffff).
+    if let Ok(x) = i16::try_from(v) {
+        return Ok(x);
+    }
+    if (0..=0xffff).contains(&v) {
+        return Ok(v as u16 as i16);
+    }
+    Err(format!("immediate {v} out of 16-bit range"))
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(ch) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        let c = match ch {
+            "\\n" => '\n',
+            "\\t" => '\t',
+            "\\0" => '\0',
+            "\\\\" => '\\',
+            _ => {
+                let mut it = ch.chars();
+                let c = it.next().ok_or_else(|| format!("empty char literal `{s}`"))?;
+                if it.next().is_some() {
+                    return Err(format!("bad char literal `{s}`"));
+                }
+                c
+            }
+        };
+        return Ok(c as i64);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    // Values are 64-bit bit patterns: decimals up to u64::MAX are accepted
+    // and wrap into the signed representation (e.g. `.quad` of a large
+    // unsigned constant).
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad integer `{s}`"))? as i64
+    } else {
+        body.parse::<u64>().map_err(|_| format!("bad integer `{s}`"))? as i64
+    };
+    Ok(if neg { value.wrapping_neg() } else { value })
+}
+
+fn parse_mem(s: &str) -> Result<(i16, Reg), String> {
+    let open = s.find('(').ok_or_else(|| format!("expected `offset(base)`, got `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+    if close != s.len() - 1 || close <= open {
+        return Err(format!("malformed memory operand `{s}`"));
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() { 0 } else { parse_i16(off_str)? };
+    let base = parse_reg(s[open + 1..close].trim())?;
+    Ok((offset, base))
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.chars().next().unwrap().is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program() {
+        let p = assemble(
+            r#"
+            .text
+            .proc main
+            main:
+                addi r1, r0, 5      # r1 = 5
+                add  r2, r1, r1
+                sys  exit
+            .endp
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.procedures().len(), 1);
+        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 5 });
+    }
+
+    #[test]
+    fn branch_label_resolution() {
+        let p = assemble(
+            r#"
+            .text
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                sys exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.code()[1],
+            Instruction::Branch { cond: BranchCond::Ne, rs: Reg::R1, rt: Reg::R0, disp: -2 }
+        );
+    }
+
+    #[test]
+    fn forward_branch_and_jump() {
+        let p = assemble(
+            r#"
+            .text
+                beq r0, r0, done
+                nop
+            done:
+                j end
+            end:
+                sys exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.code()[0],
+            Instruction::Branch { cond: BranchCond::Eq, rs: Reg::R0, rt: Reg::R0, disp: 1 }
+        );
+        assert_eq!(p.code()[2], Instruction::Jump { target: 3 });
+    }
+
+    #[test]
+    fn li_expansions() {
+        let p = assemble(".text\nli r1, 7\n").unwrap();
+        assert_eq!(p.len(), 1);
+        let p = assemble(".text\nli r1, 0x12345\n").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.code()[0], Instruction::Lui { rd: Reg::R1, imm: 0x1 });
+        let p = assemble(".text\nli r1, 0x123456789abcdef0\n").unwrap();
+        assert_eq!(p.len(), 6);
+        let p = assemble(".text\nli r1, -70000\n").unwrap();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn data_directives_and_la() {
+        let p = assemble(
+            r#"
+            .data
+            table:
+                .quad 1, 2, 3
+            msg:
+                .asciiz "hi\n"
+            buf:
+                .space 16
+            .text
+            main:
+                la r1, table
+                ldd r2, 8(r1)
+                sys exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&p.data()[..24], {
+            let mut v = Vec::new();
+            for x in [1u64, 2, 3] {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+            v
+        }
+        .as_slice());
+        assert_eq!(&p.data()[24..28], b"hi\n\0");
+        assert_eq!(p.data().len(), 28 + 16);
+        let sym = p.symbol("table").unwrap();
+        assert_eq!(sym.address, DATA_BASE);
+        assert_eq!(p.code()[0], Instruction::Lui { rd: Reg::R1, imm: (DATA_BASE >> 16) as u16 });
+    }
+
+    #[test]
+    fn quad_label_fixup_jump_table() {
+        let p = assemble(
+            r#"
+            .data
+            jumptab:
+                .quad handler_a, handler_b
+            .text
+            main:
+                sys exit
+            handler_a:
+                nop
+            handler_b:
+                nop
+            "#,
+        )
+        .unwrap();
+        let a = u64::from_le_bytes(p.data()[0..8].try_into().unwrap());
+        let b = u64::from_le_bytes(p.data()[8..16].try_into().unwrap());
+        assert_eq!(a, 4); // handler_a at instruction 1 -> byte address 4
+        assert_eq!(b, 8);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(assemble(".text\nfrobnicate r1\n").is_err());
+        assert!(assemble(".text\nadd r1, r2\n").is_err()); // arity
+        assert!(assemble(".text\nbeq r1, r2, nowhere\n").is_err()); // undefined
+        assert!(assemble(".text\nx: nop\nx: nop\n").is_err()); // duplicate
+        assert!(assemble(".text\n.proc f\nnop\n").is_err()); // unterminated
+        assert!(assemble(".text\n.byte 1\n").is_err()); // data directive in text
+        assert!(assemble(".data\nnop\n").is_err()); // instr in data
+        assert!(assemble(".text\naddi r1, r0, 99999\n").is_err()); // imm range
+        let err = assemble(".text\nbad r1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn pseudos() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                mov r2, r1
+                bz  r2, out
+                bnz r2, out
+                call f
+                ret
+            out:
+                sys exit
+            f:
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1, imm: 0 });
+        assert_eq!(p.code()[4], Instruction::Jr { rs: Reg::RA });
+        assert!(matches!(p.code()[3], Instruction::Jal { .. }));
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let p = assemble(
+            ".data\nmsg: .ascii \"a#b;c\" # trailing\n.text\nnop ; c2\n",
+        )
+        .unwrap();
+        assert_eq!(p.data(), b"a#b;c");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let p = assemble(".text\nf: nop\nmain: sys exit\n").unwrap();
+        assert_eq!(p.entry(), 1);
+    }
+
+    #[test]
+    fn unsigned_logic_immediates() {
+        let p = assemble(".text\nori r1, r1, 0xffff\n").unwrap();
+        assert_eq!(
+            p.code()[0],
+            Instruction::AluImm { op: AluOp::Or, rd: Reg::R1, rs: Reg::R1, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn hex_and_char_literals() {
+        let p = assemble(".text\nli r1, 0xff\nli r2, 'A'\nli r3, '\\n'\n").unwrap();
+        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 255 });
+        assert_eq!(p.code()[1], Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R0, imm: 65 });
+        assert_eq!(p.code()[2], Instruction::AluImm { op: AluOp::Add, rd: Reg::R3, rs: Reg::R0, imm: 10 });
+    }
+}

@@ -1,0 +1,55 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// An assembly error, carrying the 1-based source line it occurred on
+/// (line 0 is used for whole-program errors with no single location).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line` (1-based; 0 for program-level errors).
+    pub fn new(line: usize, message: String) -> AsmError {
+        AsmError { line, message }
+    }
+
+    /// Source line of the error (1-based; 0 if program-level).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Error description without the location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm error: {}", self.message)
+        } else {
+            write!(f, "asm error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "boom".into());
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "boom");
+        assert_eq!(e.to_string(), "asm error at line 7: boom");
+        let e0 = AsmError::new(0, "global".into());
+        assert_eq!(e0.to_string(), "asm error: global");
+    }
+}

@@ -1,0 +1,59 @@
+//! # vp-asm — assembler and program objects for the VP64 ISA
+//!
+//! Turns textual VP64 assembly into a [`Program`] — the executable object
+//! that `vp-sim` loads and that the instrumentation layer queries, playing
+//! the role the compiled Alpha executables (with their symbol tables)
+//! played for ATOM in the Value Profiling paper.
+//!
+//! ## Syntax overview
+//!
+//! ```text
+//! .text / .data            section switches
+//! label:                   labels (text: word address; data: byte address)
+//! .proc name ... .endp     procedure markers (drives the procedure table)
+//! .byte/.half/.word/.quad  data emission (.quad also takes labels: jump tables)
+//! .space N  .align N  .ascii "s"  .asciiz "s"
+//! add rd, rs, rt           register ALU (add sub mul div rem and or xor nor
+//!                          sll srl sra slt sltu seq sne)
+//! addi rd, rs, imm         immediate ALU (any of the above + `i`)
+//! ldd rd, off(base)        loads: ld{b,h,w,d}, sign-extending ld{b,h,w}s
+//! std rs, off(base)        stores: st{b,h,w,d}
+//! beq rs, rt, label        branches: beq bne blt bge bltu bgeu
+//! j/jal label   jr rs   jalr rd, rs   sys exit|putint|putchar|getinput
+//! li rd, imm64  la rd, label  mov rd, rs  ret  call label  b label
+//! bz rs, label  bnz rs, label  nop
+//! ```
+//!
+//! Comments start with `#` or `;`.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), vp_asm::AsmError> {
+//! let program = vp_asm::assemble(
+//!     r#"
+//!     .text
+//!     .proc main
+//!     main:
+//!         li  r1, 10
+//!     loop:
+//!         addi r1, r1, -1
+//!         bnz  r1, loop
+//!         sys  exit
+//!     .endp
+//!     "#,
+//! )?;
+//! assert_eq!(program.procedures()[0].name, "main");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assemble;
+pub mod error;
+pub mod object;
+pub mod program;
+
+pub use assemble::assemble;
+pub use error::AsmError;
+pub use object::ObjectError;
+pub use program::{Procedure, Program, Section, Symbol, DATA_BASE};

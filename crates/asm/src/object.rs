@@ -1,0 +1,253 @@
+//! The VPO binary object format: serialized [`Program`]s.
+//!
+//! ATOM worked on on-disk Alpha executables; the `vprof` tool can likewise
+//! assemble once and instrument many times by saving assembled programs as
+//! `.vpo` objects. The format is a simple little-endian layout:
+//!
+//! ```text
+//! magic "VPO1"  | entry u32 | ncode u32 | ndata u32 | nsyms u32 | nprocs u32
+//! code words    (ncode x u32, encoded instructions)
+//! data bytes    (ndata)
+//! symbols       (name: u16 len + bytes, section u8, address u64)*
+//! procedures    (name: u16 len + bytes, start u32, end u32)*
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vp_isa::{DecodeError, Instruction};
+
+use crate::program::{Procedure, Program, Section, Symbol};
+
+const MAGIC: &[u8; 4] = b"VPO1";
+
+/// Error when parsing a VPO object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectError {
+    /// File does not start with the VPO magic.
+    BadMagic,
+    /// The byte stream ended before the declared contents.
+    Truncated,
+    /// An instruction word failed to decode.
+    BadInstruction(DecodeError),
+    /// A symbol or procedure name is not valid UTF-8.
+    BadName,
+    /// A section tag byte is unknown.
+    BadSection(u8),
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::BadMagic => write!(f, "not a VPO object (bad magic)"),
+            ObjectError::Truncated => write!(f, "truncated VPO object"),
+            ObjectError::BadInstruction(e) => write!(f, "bad instruction in object: {e}"),
+            ObjectError::BadName => write!(f, "invalid UTF-8 in object name"),
+            ObjectError::BadSection(tag) => write!(f, "unknown section tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObjectError::BadInstruction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjectError> {
+        let end = self.at.checked_add(n).ok_or(ObjectError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ObjectError::Truncated);
+        }
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ObjectError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ObjectError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjectError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ObjectError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn name(&mut self) -> Result<String, ObjectError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ObjectError::BadName)
+    }
+}
+
+impl Program {
+    /// Serializes the program to the VPO object format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.len() * 4 + self.data().len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.entry().to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data().len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.symbols().len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.procedures().len() as u32).to_le_bytes());
+        for instr in self.code() {
+            out.extend_from_slice(&instr.encode().to_le_bytes());
+        }
+        out.extend_from_slice(self.data());
+        for (name, sym) in self.symbols() {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(match sym.section {
+                Section::Text => 0,
+                Section::Data => 1,
+            });
+            out.extend_from_slice(&sym.address.to_le_bytes());
+        }
+        for proc in self.procedures() {
+            out.extend_from_slice(&(proc.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(proc.name.as_bytes());
+            out.extend_from_slice(&proc.range.start.to_le_bytes());
+            out.extend_from_slice(&proc.range.end.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a VPO object back into a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ObjectError`] for malformed input; parsing never
+    /// panics, whatever the bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, ObjectError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ObjectError::BadMagic);
+        }
+        let entry = r.u32()?;
+        let ncode = r.u32()? as usize;
+        let ndata = r.u32()? as usize;
+        let nsyms = r.u32()? as usize;
+        let nprocs = r.u32()? as usize;
+
+        let mut code = Vec::with_capacity(ncode.min(1 << 20));
+        for _ in 0..ncode {
+            let word = r.u32()?;
+            code.push(Instruction::decode(word).map_err(ObjectError::BadInstruction)?);
+        }
+        let data = r.take(ndata)?.to_vec();
+        let mut symbols = BTreeMap::new();
+        for _ in 0..nsyms {
+            let name = r.name()?;
+            let section = match r.u8()? {
+                0 => Section::Text,
+                1 => Section::Data,
+                tag => return Err(ObjectError::BadSection(tag)),
+            };
+            let address = r.u64()?;
+            symbols.insert(name, Symbol { section, address });
+        }
+        let mut procedures = Vec::with_capacity(nprocs.min(1 << 16));
+        for _ in 0..nprocs {
+            let name = r.name()?;
+            let start = r.u32()?;
+            let end = r.u32()?;
+            procedures.push(Procedure { name, range: start..end });
+        }
+        Ok(Program::from_parts(code, data, symbols, procedures, entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            r#"
+            .data
+            tab: .quad 1, 2, f
+            msg: .asciiz "hi"
+            .text
+            .proc main
+            main:
+                la  r1, tab
+                ldd r2, 0(r1)
+                call f
+                sys exit
+            .endp
+            .proc f
+            f:
+                add v0, a0, a0
+                ret
+            .endp
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        let q = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(p.code(), q.code());
+        assert_eq!(p.data(), q.data());
+        assert_eq!(p.symbols(), q.symbols());
+        assert_eq!(p.procedures(), q.procedures());
+        assert_eq!(p.entry(), q.entry());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(Program::from_bytes(b"ELF!rest").unwrap_err(), ObjectError::BadMagic);
+        assert_eq!(Program::from_bytes(b"").unwrap_err(), ObjectError::Truncated);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 1..bytes.len() {
+            let err = Program::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ObjectError::Truncated | ObjectError::BadMagic),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_instruction() {
+        let mut bytes = sample().to_bytes();
+        // Overwrite the first code word with an invalid opcode (63).
+        let code_off = 4 + 4 + 4 + 4 + 4 + 4;
+        bytes[code_off..code_off + 4].copy_from_slice(&(63u32 << 26).to_le_bytes());
+        assert!(matches!(
+            Program::from_bytes(&bytes),
+            Err(ObjectError::BadInstruction(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ObjectError::BadMagic.to_string().contains("magic"));
+        assert!(ObjectError::Truncated.to_string().contains("truncated"));
+        assert!(ObjectError::BadSection(7).to_string().contains("7"));
+    }
+}

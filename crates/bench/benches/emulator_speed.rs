@@ -1,0 +1,29 @@
+//! Criterion bench: raw emulator speed (instructions per second) on the
+//! benchmark suite — the baseline every profiling-overhead figure divides
+//! by.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vp_sim::Machine;
+use vp_workloads::{DataSet, Workload};
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator_run");
+    for name in ["li", "m88ksim", "hydro2d"] {
+        let w = Workload::by_name(name).expect("workload");
+        let instrs = w.run(DataSet::Test, 100_000_000).expect("run").instructions;
+        group.throughput(Throughput::Elements(instrs));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w: &Workload| {
+            b.iter(|| {
+                let mut machine =
+                    Machine::new(w.program().clone(), w.machine_config(DataSet::Test))
+                        .expect("machine");
+                black_box(machine.run(100_000_000).expect("run").instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench: wall-clock cost of the profiling pipeline (experiment
+//! E12's timing column, measured rigorously): uninstrumented run vs
+//! no-op instrumentation vs load profiling vs all-instruction profiling vs
+//! the convergent profiler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vp_core::{track::TrackerConfig, ConvergentConfig, ConvergentProfiler, InstructionProfiler};
+use vp_instrument::{Analysis, Instrumenter, Selection};
+use vp_sim::Machine;
+use vp_workloads::{DataSet, Workload};
+
+struct Nop;
+impl Analysis for Nop {}
+
+fn bench_overhead(c: &mut Criterion) {
+    let w = Workload::by_name("m88ksim").expect("workload");
+    let instrs = w.run(DataSet::Test, 100_000_000).expect("run").instructions;
+    let mut group = c.benchmark_group("profiling_overhead");
+    group.throughput(Throughput::Elements(instrs));
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(w.program().clone(), w.machine_config(DataSet::Test))
+                .expect("machine");
+            black_box(m.run(100_000_000).expect("run").instructions)
+        })
+    });
+    group.bench_function("noop_analysis", |b| {
+        b.iter(|| {
+            let mut a = Nop;
+            black_box(
+                Instrumenter::new()
+                    .select(Selection::None)
+                    .run(w.program(), w.machine_config(DataSet::Test), 100_000_000, &mut a)
+                    .expect("run")
+                    .outcome
+                    .instructions,
+            )
+        })
+    });
+    group.bench_function("loads_full", |b| {
+        b.iter(|| {
+            let mut p = InstructionProfiler::new(TrackerConfig::default());
+            black_box(
+                Instrumenter::new()
+                    .select(Selection::LoadsOnly)
+                    .run(w.program(), w.machine_config(DataSet::Test), 100_000_000, &mut p)
+                    .expect("run")
+                    .counts
+                    .total(),
+            )
+        })
+    });
+    group.bench_function("all_instrs_full", |b| {
+        b.iter(|| {
+            let mut p = InstructionProfiler::new(TrackerConfig::default());
+            black_box(
+                Instrumenter::new()
+                    .select(Selection::RegisterDefining)
+                    .run(w.program(), w.machine_config(DataSet::Test), 100_000_000, &mut p)
+                    .expect("run")
+                    .counts
+                    .total(),
+            )
+        })
+    });
+    group.bench_function("all_instrs_convergent", |b| {
+        b.iter(|| {
+            let mut p =
+                ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
+            black_box(
+                Instrumenter::new()
+                    .select(Selection::RegisterDefining)
+                    .run(w.program(), w.machine_config(DataSet::Test), 100_000_000, &mut p)
+                    .expect("run")
+                    .counts
+                    .total(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

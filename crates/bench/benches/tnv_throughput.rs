@@ -1,0 +1,71 @@
+//! Criterion bench: TNV table update throughput across policies and table
+//! sizes, against the exact full-histogram profile.
+//!
+//! This is the engineering claim behind the TNV table: constant space and
+//! a few nanoseconds per profiled value, versus a hash-map histogram whose
+//! cost and footprint grow with distinct values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vp_core::{FullProfile, Policy, TnvTable};
+
+/// A deterministic semi-invariant stream: 80% one value, the rest drawn
+/// from a rotating set (the workload TNV tables actually face).
+fn stream(len: usize) -> Vec<u64> {
+    (0..len as u64).map(|i| if i % 5 == 4 { 1000 + (i % 97) } else { 7 }).collect()
+}
+
+fn bench_tnv(c: &mut Criterion) {
+    let values = stream(10_000);
+    let mut group = c.benchmark_group("tnv_update");
+    group.throughput(Throughput::Elements(values.len() as u64));
+
+    for capacity in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("lfu_clear", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut t =
+                        TnvTable::new(cap, Policy::LfuClear { steady: cap / 2, clear_interval: 2000 });
+                    for &v in &values {
+                        t.observe(black_box(v));
+                    }
+                    black_box(t.inv_top(1))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("lfu", capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let mut t = TnvTable::new(cap, Policy::Lfu);
+                for &v in &values {
+                    t.observe(black_box(v));
+                }
+                black_box(t.inv_top(1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lru", capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let mut t = TnvTable::new(cap, Policy::Lru);
+                for &v in &values {
+                    t.observe(black_box(v));
+                }
+                black_box(t.inv_top(1))
+            })
+        });
+    }
+
+    group.bench_function("full_histogram", |b| {
+        b.iter(|| {
+            let mut f = FullProfile::new();
+            for &v in &values {
+                f.observe(black_box(v));
+            }
+            black_box(f.inv_all(1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tnv);
+criterion_main!(benches);

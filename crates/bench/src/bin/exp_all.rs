@@ -1,0 +1,41 @@
+//! Runs every experiment binary (E1–E14) in sequence. Used to regenerate
+//! EXPERIMENTS.md's captured output:
+//!
+//! ```text
+//! cargo run --release -p vp-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 17] = [
+    "exp_benchmarks",
+    "exp_loads",
+    "exp_all_instrs",
+    "exp_inv_histogram",
+    "exp_by_class",
+    "exp_tnv_policy",
+    "exp_convergent",
+    "exp_train_test",
+    "exp_memory",
+    "exp_params",
+    "exp_bb_quantile",
+    "exp_overhead",
+    "exp_specialize",
+    "exp_predict",
+    "exp_path",
+    "exp_temporal",
+    "exp_multiway",
+];
+
+fn main() {
+    let current = std::env::current_exe().expect("current exe path");
+    let bin_dir = current.parent().expect("bin dir");
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! E3 — the all-instructions value profile: the same metric table as E2
+//! but over *every* register-defining instruction, the paper's broader
+//! profiling universe.
+//!
+//! Paper shape: aggregate invariance is lower than for loads alone
+//! (address arithmetic and loop counters vary), yet a substantial fraction
+//! of all dynamic instructions still produce their top value.
+
+use vp_bench::all_instr_profile;
+use vp_core::{render_metric_table, ReportRow};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E3", "all register-defining instruction value profiles (test input)");
+    let rows: Vec<ReportRow> = suite()
+        .iter()
+        .map(|w| ReportRow {
+            label: w.name().to_string(),
+            aggregate: all_instr_profile(w, DataSet::Test).aggregate(),
+        })
+        .collect();
+    println!("{}", render_metric_table("all defining instructions, execution-weighted (values in %)", &rows));
+}

@@ -1,0 +1,42 @@
+//! E11 — Table IV.1: the basic-block quantile table. For each benchmark,
+//! the number (and fraction) of hottest static basic blocks needed to
+//! cover 50/90/99/100% of dynamic execution.
+//!
+//! Paper shape: execution is extremely concentrated — a small fraction of
+//! static blocks covers the vast majority of dynamic execution, which is
+//! why profiling effort (and specialization) can focus on few sites.
+
+use vp_sim::stats::quantile_table;
+use vp_sim::{Cfg, Machine};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E11", "basic block quantile table (Table IV.1, test input)");
+    let coverages = [0.5, 0.9, 0.99, 1.0];
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>14} {:>14}",
+        "program", "blocks", "50%", "90%", "99%", "100%"
+    );
+    for w in suite() {
+        let mut machine =
+            Machine::new(w.program().clone(), w.machine_config(DataSet::Test)).expect("machine");
+        machine.run(vp_bench::BUDGET).expect("run");
+        let cfg = Cfg::build(w.program());
+        let counts = cfg.block_counts(machine.stats().per_instr());
+        let rows = quantile_table(&counts, &coverages);
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{} ({:.0}%)", r.blocks, r.block_fraction * 100.0))
+            .collect();
+        println!(
+            "{:<10} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            w.name(),
+            cfg.blocks().len(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+        );
+    }
+    println!("\ncells: hottest blocks needed (as % of executed static blocks)");
+}

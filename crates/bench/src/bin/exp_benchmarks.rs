@@ -1,0 +1,28 @@
+//! E1 — Table III.1: the benchmark suite and its data sets.
+//!
+//! The paper's table lists each program, its two inputs and the dynamic
+//! instruction count of each run (in millions); ours reports the same for
+//! the SPEC-stand-in suite (counts in thousands — the workloads are scaled
+//! to keep the full experiment matrix fast).
+
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E1", "benchmark programs and data sets (Table III.1)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {}",
+        "program", "static size", "test Kinstrs", "train Kinstrs", "description"
+    );
+    for w in suite() {
+        let test = w.run(DataSet::Test, vp_bench::BUDGET).expect("test run").instructions;
+        let train = w.run(DataSet::Train, vp_bench::BUDGET).expect("train run").instructions;
+        println!(
+            "{:<10} {:>12} {:>14.1} {:>14.1} {}",
+            w.name(),
+            w.program().len(),
+            test as f64 / 1_000.0,
+            train as f64 / 1_000.0,
+            w.description()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! E5 — invariance by instruction class: the paper's per-opcode-type
+//! breakdown of value invariance and last-value predictability.
+//!
+//! Paper shape: loads and logic/compare results are the most invariant
+//! classes; plain integer ALU (dominated by address arithmetic and loop
+//! counters) is the least; multiplies and FP sit in between.
+
+use std::collections::BTreeMap;
+
+use vp_bench::all_instr_profile;
+use vp_core::{aggregate, group_by_class, EntityMetrics};
+use vp_isa::OpClass;
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E5", "value invariance by instruction class (suite-wide, test input)");
+
+    let mut per_class: BTreeMap<OpClass, Vec<EntityMetrics>> = BTreeMap::new();
+    for w in suite() {
+        let profiler = all_instr_profile(&w, DataSet::Test);
+        for (class, ms) in group_by_class(w.program(), &profiler.metrics()) {
+            per_class.entry(class).or_default().extend(ms);
+        }
+    }
+
+    println!(
+        "{:<10} {:>14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "class", "execs", "LVP%", "InvT1%", "InvTN%", "InvA1%", "%zero"
+    );
+    for (class, metrics) in &per_class {
+        let a = aggregate(metrics);
+        println!(
+            "{:<10} {:>14} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            class.name(),
+            a.executions,
+            a.lvp * 100.0,
+            a.inv_top1 * 100.0,
+            a.inv_topn * 100.0,
+            a.inv_all1.unwrap_or(0.0) * 100.0,
+            a.pct_zero * 100.0,
+        );
+    }
+}

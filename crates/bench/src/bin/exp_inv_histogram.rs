@@ -1,0 +1,45 @@
+//! E4 — the invariance-distribution figures: for loads and for all
+//! defining instructions, the fraction of dynamic executions whose
+//! instruction falls into each 10%-wide `Inv-Top(1)` bucket.
+//!
+//! Paper shape: the distribution is strongly bimodal — big masses in the
+//! 0–10% bucket (varying instructions) and the 90–100% bucket (invariant
+//! ones), with little in between. That bimodality is what makes
+//! "semi-invariant" a usable classification.
+
+use vp_bench::{all_instr_profile, load_profile};
+use vp_core::invariance_histogram;
+use vp_workloads::{suite, DataSet};
+
+fn print_histogram(title: &str, buckets: [f64; 10]) {
+    println!("{title}");
+    for (i, weight) in buckets.iter().enumerate() {
+        let bar = "#".repeat((weight * 60.0).round() as usize);
+        println!("  {:>3}-{:<4} {:>6.1}% {bar}", i * 10, format!("{}%", (i + 1) * 10), weight * 100.0);
+    }
+    println!();
+}
+
+fn main() {
+    vp_bench::heading("E4", "invariance distribution (execution-weighted, suite-wide)");
+
+    let mut load_metrics = Vec::new();
+    let mut all_metrics = Vec::new();
+    for w in suite() {
+        load_metrics.extend(load_profile(&w, DataSet::Test).metrics());
+        all_metrics.extend(all_instr_profile(&w, DataSet::Test).metrics());
+    }
+
+    print_histogram(
+        "loads: fraction of dynamic executions per Inv-Top(1) bucket",
+        invariance_histogram(&load_metrics, |m| m.inv_top1),
+    );
+    print_histogram(
+        "all defining instructions: fraction per Inv-Top(1) bucket",
+        invariance_histogram(&all_metrics, |m| m.inv_top1),
+    );
+    print_histogram(
+        "loads: fraction per Inv-Top(N) bucket (whole TNV table)",
+        invariance_histogram(&load_metrics, |m| m.inv_topn),
+    );
+}

@@ -1,0 +1,24 @@
+//! E2 — the load-value profile table: per benchmark, `LVP`, `Inv-Top(1)`,
+//! `Inv-Top(N)` (TNV estimate), `Inv-All` (exact), `%zero` and `Diff(L/I)`
+//! over all load instructions, execution-weighted.
+//!
+//! Paper shape to reproduce: load values are highly invariant on average
+//! (roughly half of dynamic loads covered by the top value), `Inv-Top`
+//! tracks `Inv-All` closely, and LVP understates invariance when values
+//! interleave.
+
+use vp_bench::load_profile;
+use vp_core::{render_metric_table, ReportRow};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E2", "load value profiles (test input)");
+    let rows: Vec<ReportRow> = suite()
+        .iter()
+        .map(|w| ReportRow {
+            label: w.name().to_string(),
+            aggregate: load_profile(w, DataSet::Test).aggregate(),
+        })
+        .collect();
+    println!("{}", render_metric_table("loads, execution-weighted (values in %)", &rows));
+}

@@ -1,0 +1,54 @@
+//! E10 — procedure parameter and return-value profiles: invariance of the
+//! argument registers and returns of every declared procedure, per
+//! benchmark.
+//!
+//! Paper shape: many procedures are called with nearly constant arguments
+//! (here: `vortex`'s query tag is fully invariant, `perl`'s hash argument
+//! varies), making arguments prime specialization hooks.
+
+use vp_core::{track::TrackerConfig, ParamProfiler, ParamSlot};
+use vp_instrument::{Instrumenter, Selection};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E10", "procedure parameter / return value profiles (test input)");
+    println!(
+        "{:<10} {:<12} {:<8} {:>9} {:>8} {:>8} {:>8}",
+        "program", "procedure", "slot", "execs", "InvT1%", "LVP%", "distinct"
+    );
+    for w in suite() {
+        let mut profiler = ParamProfiler::new(TrackerConfig::with_full(), 2);
+        Instrumenter::new()
+            .select(Selection::None)
+            .with_procedures(true)
+            .run(w.program(), w.machine_config(DataSet::Test), vp_bench::BUDGET, &mut profiler)
+            .expect("param profile run");
+        let procs = w.program().procedures();
+        let rows = profiler.metrics();
+        if rows.iter().all(|p| p.metrics.executions == 0) {
+            continue;
+        }
+        for p in rows {
+            if p.metrics.executions == 0 {
+                continue;
+            }
+            let name = procs.get(p.proc_index).map_or("?", |pr| pr.name.as_str());
+            let slot = match p.slot {
+                ParamSlot::Arg(i) => format!("arg{i}"),
+                ParamSlot::Ret => "ret".to_string(),
+            };
+            println!(
+                "{:<10} {:<12} {:<8} {:>9} {:>8.1} {:>8.1} {:>8}",
+                w.name(),
+                name,
+                slot,
+                p.metrics.executions,
+                p.metrics.inv_top1 * 100.0,
+                p.metrics.lvp * 100.0,
+                p.metrics.distinct.unwrap_or(0),
+            );
+        }
+    }
+    println!("\n(only benchmarks with non-main procedures appear: calls are the");
+    println!("instrumentation points, exactly as with ATOM's procedure hooks)");
+}

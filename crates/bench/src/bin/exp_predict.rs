@@ -1,0 +1,90 @@
+//! E14 — value prediction and profile-guided filtering (paper §II.A
+//! context): hit rates of the predictor families of refs \[17, 27, 34, 39\]
+//! on suite load streams, and the effect of filtering a last-value
+//! predictor with a train-input value profile.
+//!
+//! Paper/reference shape (Wang & Franklin): hybrid > stride ≈ two-level >
+//! LVP on average; profile filtering trades a little coverage for a large
+//! cut in mispredictions.
+
+use vp_bench::{load_profile, value_stream};
+use vp_core::InstructionProfiler;
+use vp_instrument::Selection;
+use vp_predict::{
+    evaluate, FilteredPredictor, HybridPredictor, LastValuePredictor, Predictor, PredictorStats,
+    StridePredictor, TwoLevelPredictor,
+};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E14", "value predictors on load streams; profile-guided filtering");
+    println!(
+        "{:<10} {:>7} {:>8} {:>8} {:>9} {:>9} | {:>9} {:>9} {:>10}",
+        "program", "lvp%", "stride%", "2level%", "hyb(l,s)%", "hyb(s,2)%", "lvp-misp%", "filt-misp%", "filt-hit%"
+    );
+
+    let mut sums = [0.0f64; 8];
+    let all = suite();
+    for w in &all {
+        let stream = value_stream(w, DataSet::Test, Selection::LoadsOnly);
+        let profile: InstructionProfiler = load_profile(w, DataSet::Train);
+
+        let stats = |p: &mut dyn Predictor| -> PredictorStats { evaluate(p, stream.iter().copied()) };
+        let lvp = stats(&mut LastValuePredictor::new(1024));
+        let stride = stats(&mut StridePredictor::new(1024));
+        let two = stats(&mut TwoLevelPredictor::new());
+        let hyb_ls = stats(&mut HybridPredictor::new(
+            LastValuePredictor::new(1024),
+            StridePredictor::new(1024),
+        ));
+        let hyb_s2 = stats(&mut HybridPredictor::new(
+            StridePredictor::new(1024),
+            TwoLevelPredictor::new(),
+        ));
+        let filt = stats(&mut FilteredPredictor::from_profile(
+            LastValuePredictor::new(1024),
+            &profile.metrics(),
+            0.5,
+        ));
+        let total = lvp.total().max(1) as f64;
+        let cells = [
+            lvp.hit_rate() * 100.0,
+            stride.hit_rate() * 100.0,
+            two.hit_rate() * 100.0,
+            hyb_ls.hit_rate() * 100.0,
+            hyb_s2.hit_rate() * 100.0,
+            lvp.mispredictions as f64 / total * 100.0,
+            filt.mispredictions as f64 / total * 100.0,
+            filt.hit_rate() * 100.0,
+        ];
+        for (s, c) in sums.iter_mut().zip(cells) {
+            *s += c;
+        }
+        println!(
+            "{:<10} {:>7.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1} | {:>9.1} {:>9.1} {:>10.1}",
+            w.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5],
+            cells[6],
+            cells[7]
+        );
+    }
+    let n = all.len() as f64;
+    println!(
+        "{:<10} {:>7.1} {:>8.1} {:>8.1} {:>9.1} {:>9.1} | {:>9.1} {:>9.1} {:>10.1}",
+        "mean",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n,
+        sums[5] / n,
+        sums[6] / n,
+        sums[7] / n
+    );
+    println!("\nfilter = only predict loads whose TRAIN-input profile has LVP >= 0.5");
+}

@@ -1,0 +1,106 @@
+//! E13 — the code-specialization case study (thesis Chapter X): profile
+//! the m88ksim-style kernel, specialize its semi-invariant configuration
+//! load, and measure dynamic-instruction speedup across invariance levels;
+//! then apply the same pipeline to every suite benchmark.
+//!
+//! Paper shape: solid speedups at high invariance that decay as the value
+//! gets perturbed more often, with the candidate filter refusing to
+//! specialize below its invariance bar; behaviour is bit-identical in all
+//! cases (the guard).
+
+use vp_core::{track::TrackerConfig, InstructionProfiler};
+use vp_instrument::{Instrumenter, Selection};
+use vp_sim::MachineConfig;
+use vp_specialize::{demo, evaluate, find_candidates, specialize_all, CandidateOptions};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E13", "code specialization on semi-invariant values");
+
+    println!("kernel sweep (20k iterations, perturbation period varied):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>9} {:>6}",
+        "perturb", "inv-top1%", "base", "special", "speedup", "exact"
+    );
+    let program = demo::program();
+    for period in [0u64, 1000, 200, 50, 10, 3] {
+        let input = demo::input(20_000, period);
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(&program, MachineConfig::new().input(input.clone()), vp_bench::BUDGET, &mut profiler)
+            .expect("profile");
+        let inv = profiler
+            .metrics_for(demo::config_load_index(&program))
+            .map_or(0.0, |m| m.inv_top1);
+        let candidates = find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+        let label = if period == 0 { "never".into() } else { format!("1/{period}") };
+        if candidates.is_empty() {
+            println!("{label:>10} {:>10.1} {:>12} {:>12} {:>9} {:>6}", inv * 100.0, "-", "-", "skipped", "-");
+            continue;
+        }
+        let specialized = specialize_all(&program, &candidates).expect("specialize");
+        let report = evaluate(&program, &specialized, &input, vp_bench::BUDGET).expect("evaluate");
+        println!(
+            "{label:>10} {:>10.1} {:>12} {:>12} {:>8.3}x {:>6}",
+            inv * 100.0,
+            report.base_instructions,
+            report.specialized_instructions,
+            report.speedup(),
+            if report.equivalent { "yes" } else { "NO" },
+        );
+    }
+
+    println!("\nsuite-wide automatic specialization:");
+    println!("  self  = profiled and measured on the test input");
+    println!("  cross = profiled on train, measured on test (values must transfer)");
+    println!(
+        "{:<10} {:>6} {:>13} {:>13} {:>6}",
+        "program", "cands", "self speedup", "cross speedup", "exact"
+    );
+    for w in suite() {
+        let mut speedups: Vec<Option<f64>> = Vec::new();
+        let mut cands = 0usize;
+        let mut exact = true;
+        for profile_ds in [DataSet::Test, DataSet::Train] {
+            let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+            Instrumenter::new()
+                .select(Selection::LoadsOnly)
+                .run(w.program(), w.machine_config(profile_ds), vp_bench::BUDGET, &mut profiler)
+                .expect("profile");
+            let candidates =
+                find_candidates(w.program(), &profiler.metrics(), CandidateOptions::default());
+            if profile_ds == DataSet::Test {
+                cands = candidates.len();
+            }
+            if candidates.is_empty() {
+                speedups.push(None);
+                continue;
+            }
+            let specialized = specialize_all(w.program(), &candidates).expect("specialize");
+            let report = evaluate(
+                w.program(),
+                &specialized,
+                w.input(DataSet::Test),
+                vp_bench::BUDGET,
+            )
+            .expect("evaluate");
+            exact &= report.equivalent;
+            speedups.push(Some(report.speedup()));
+        }
+        let cell = |v: &Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}x"));
+        println!(
+            "{:<10} {:>6} {:>13} {:>13} {:>6}",
+            w.name(),
+            cands,
+            cell(&speedups[0]),
+            cell(&speedups[1]),
+            if exact { "yes" } else { "NO" },
+        );
+    }
+    println!("\nThe cross column shows the limit of value-level transfer: invariance");
+    println!("transfers across inputs (E8), but when the dominant VALUE itself is");
+    println!("input-dependent (m88ksim's configuration word), a guard specialized on");
+    println!("the training value never fires and only its overhead remains — exactly");
+    println!("why the guard is mandatory.");
+}

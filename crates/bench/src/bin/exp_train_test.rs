@@ -1,0 +1,70 @@
+//! E8 — Table V.5: load-value profiles on the *test* versus *train*
+//! inputs, side by side, plus cross-input stability statistics.
+//!
+//! Paper shape (confirming Wall \[38\] for value profiles): per-benchmark
+//! metrics are very similar across inputs, per-instruction invariance is
+//! strongly correlated, and the profiled top value usually agrees — which
+//! is what makes profile-guided specialization on a training input sound.
+
+use vp_bench::{all_instr_profile, load_profile};
+use vp_core::{compare, correlation, render_metric_table, report::row};
+use vp_workloads::{suite, DataSet};
+
+fn main() {
+    vp_bench::heading("E8", "test vs train data sets (Table V.5)");
+
+    for w in suite() {
+        let train = load_profile(&w, DataSet::Train).metrics();
+        let test = load_profile(&w, DataSet::Test).metrics();
+        let rows = [row("train", &train), row("test", &test)];
+        println!("{}", render_metric_table(&format!("{}: loads by data set", w.name()), &rows));
+        let c = compare(&train, &test);
+        println!(
+            "  common sites {}  inv-corr {:+.3}  lvp-corr {:+.3}  mean|inv diff| {:.4}  top-value agreement {:.0}%\n",
+            c.common,
+            c.inv_correlation,
+            c.lvp_correlation,
+            c.mean_abs_inv_diff,
+            c.top_value_agreement * 100.0
+        );
+    }
+
+    // Pooled cross-input stability over ALL register-defining instructions
+    // of the whole suite: per-site (train, test) invariance pairs. This is
+    // the statistic behind "profiles transfer across inputs" — single-load
+    // kernels make per-program correlations degenerate, the pool does not.
+    let mut train_inv = Vec::new();
+    let mut test_inv = Vec::new();
+    let mut agree = 0usize;
+    for w in suite() {
+        let train = all_instr_profile(&w, DataSet::Train).metrics();
+        let test = all_instr_profile(&w, DataSet::Test).metrics();
+        let test_by_id: std::collections::HashMap<u64, _> =
+            test.iter().map(|m| (m.id, m)).collect();
+        for m in &train {
+            if let Some(t) = test_by_id.get(&m.id) {
+                train_inv.push(m.inv_top1);
+                test_inv.push(t.inv_top1);
+                if m.top_value.is_some() && m.top_value == t.top_value {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    println!("pooled over all register-defining sites of the suite:");
+    println!("  sites                  {}", train_inv.len());
+    println!("  inv-top1 correlation   {:+.3}", correlation(&train_inv, &test_inv));
+    println!(
+        "  mean |inv diff|        {:.4}",
+        train_inv
+            .iter()
+            .zip(&test_inv)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / train_inv.len().max(1) as f64
+    );
+    println!(
+        "  top-value agreement    {:.1}%",
+        agree as f64 / train_inv.len().max(1) as f64 * 100.0
+    );
+}

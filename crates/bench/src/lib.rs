@@ -1,0 +1,92 @@
+//! # vp-bench — experiment harness
+//!
+//! One `exp_*` binary per table/figure of the paper (see DESIGN.md §5 for
+//! the experiment index E1–E14 and EXPERIMENTS.md for captured results),
+//! plus Criterion micro-benchmarks. This library holds the shared
+//! plumbing so each experiment binary stays a thin report generator.
+//!
+//! Run an experiment with e.g. `cargo run --release -p vp-bench --bin
+//! exp_loads`, or everything with `--bin exp_all`.
+
+use vp_core::{track::TrackerConfig, InstructionProfiler};
+use vp_instrument::{Instrumenter, Selection};
+use vp_workloads::{DataSet, Workload};
+
+/// Instruction budget for experiment runs (far above any workload's need).
+pub const BUDGET: u64 = 100_000_000;
+
+/// Prints a section heading in the experiment output convention.
+pub fn heading(id: &str, title: &str) {
+    println!("==== {id}: {title} ====");
+}
+
+/// Runs the instruction profiler over one workload/data set.
+///
+/// # Panics
+///
+/// Panics if the workload run faults — experiment binaries treat that as a
+/// fatal harness bug.
+pub fn profile_instructions(
+    workload: &Workload,
+    ds: DataSet,
+    selection: Selection,
+    config: TrackerConfig,
+) -> InstructionProfiler {
+    let mut profiler = InstructionProfiler::new(config);
+    Instrumenter::new()
+        .select(selection)
+        .run(workload.program(), workload.machine_config(ds), BUDGET, &mut profiler)
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", workload.name(), ds.name()));
+    profiler
+}
+
+/// Load-value profile with exact ground truth (the default experiment
+/// configuration).
+pub fn load_profile(workload: &Workload, ds: DataSet) -> InstructionProfiler {
+    profile_instructions(workload, ds, Selection::LoadsOnly, TrackerConfig::with_full())
+}
+
+/// All-register-defining-instruction profile with exact ground truth.
+pub fn all_instr_profile(workload: &Workload, ds: DataSet) -> InstructionProfiler {
+    profile_instructions(workload, ds, Selection::RegisterDefining, TrackerConfig::with_full())
+}
+
+/// Collects the `(pc, value)` stream of selected instructions for one
+/// workload run (used by the predictor and TNV-policy experiments).
+///
+/// # Panics
+///
+/// Panics if the workload run faults.
+pub fn value_stream(workload: &Workload, ds: DataSet, selection: Selection) -> Vec<(u32, u64)> {
+    struct Collector(Vec<(u32, u64)>);
+    impl vp_instrument::Analysis for Collector {
+        fn after_instr(&mut self, _m: &vp_sim::Machine, ev: &vp_sim::InstrEvent) {
+            if let Some((_, v)) = ev.dest {
+                self.0.push((ev.index, v));
+            }
+        }
+    }
+    let mut collector = Collector(Vec::new());
+    Instrumenter::new()
+        .select(selection)
+        .run(workload.program(), workload.machine_config(ds), BUDGET, &mut collector)
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", workload.name(), ds.name()));
+    collector.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_workloads::suite;
+
+    #[test]
+    fn helpers_produce_profiles() {
+        let w = &suite()[1]; // li
+        let p = load_profile(w, DataSet::Test);
+        assert!(p.profiled_instructions() >= 1);
+        let a = all_instr_profile(w, DataSet::Test);
+        assert!(a.profiled_instructions() > p.profiled_instructions());
+        let stream = value_stream(w, DataSet::Test, Selection::LoadsOnly);
+        assert_eq!(stream.len() as u64, p.aggregate().executions);
+    }
+}

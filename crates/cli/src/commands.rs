@@ -1,0 +1,537 @@
+//! `vprof` subcommand implementations.
+
+use vp_asm::Program;
+use vp_core::{
+    compare, render_metric_table, report::row, track::TrackerConfig, ConvergentConfig,
+    ConvergentProfiler, InstructionProfiler, MemoryProfiler, ParamProfiler,
+};
+use vp_instrument::{Instrumenter, Selection};
+use vp_predict::{
+    evaluate as eval_predictor, HybridPredictor, LastValuePredictor, Predictor, StridePredictor,
+    TwoLevelPredictor,
+};
+use vp_sim::{InputSet, Machine, MachineConfig};
+use vp_workloads::{suite, DataSet, Workload};
+
+const BUDGET: u64 = 100_000_000;
+
+const USAGE: &str = "usage:
+  vprof list
+  vprof run <target> [--train]
+  vprof assemble <file.s> -o <file.vpo>
+  vprof disasm <target>
+  vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
+  vprof histogram <target> [--train] [--all]
+  vprof trace <target> -o <file.vpt> [--train] [--all]
+  vprof compare <workload>
+  vprof predict <workload> [--train]
+  vprof specialize [change-period]
+
+<target> is a built-in workload name or a path to a .s or .vpo file.";
+
+/// Dispatches a parsed command line. Returns a user-facing error string on
+/// failure.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("assemble") => assemble_cmd(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        Some("profile") => profile(&args[1..]),
+        Some("histogram") => histogram(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
+        Some("compare") => compare_cmd(&args[1..]),
+        Some("predict") => predict(&args[1..]),
+        Some("specialize") => specialize_cmd(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn dataset(args: &[String]) -> DataSet {
+    if args.iter().any(|a| a == "--train") {
+        DataSet::Train
+    } else {
+        DataSet::Test
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Resolves a target to (program, input): a workload name or a `.s` path.
+fn resolve(target: &str, ds: DataSet) -> Result<(Program, InputSet), String> {
+    if let Some(w) = Workload::by_name(target) {
+        return Ok((w.program().clone(), w.input(ds).clone()));
+    }
+    if target.ends_with(".s") {
+        let src = std::fs::read_to_string(target)
+            .map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let program = vp_asm::assemble(&src).map_err(|e| e.to_string())?;
+        return Ok((program, InputSet::empty()));
+    }
+    if target.ends_with(".vpo") {
+        let bytes =
+            std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let program = Program::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        return Ok((program, InputSet::empty()));
+    }
+    Err(format!(
+        "`{target}` is neither a workload (try `vprof list`) nor a .s/.vpo file"
+    ))
+}
+
+fn target_arg(args: &[String]) -> Result<&str, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing target\n{USAGE}"))
+}
+
+fn list() -> Result<(), String> {
+    println!("{:<10} {:>8} {}", "name", "instrs", "description");
+    for w in suite() {
+        println!("{:<10} {:>8} {}", w.name(), w.program().len(), w.description());
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let (program, input) = resolve(target_arg(args)?, ds)?;
+    let mut machine = Machine::new(program, MachineConfig::new().input(input))
+        .map_err(|e| e.to_string())?;
+    let out = machine.run(BUDGET).map_err(|e| e.to_string())?;
+    if !out.output.is_empty() {
+        print!("{}", out.output_text());
+    }
+    println!("exit code    {}", out.exit_code);
+    println!("instructions {}", out.instructions);
+    for (class, count) in machine.stats().per_class() {
+        println!("  {class:<9} {count}");
+    }
+    Ok(())
+}
+
+fn assemble_cmd(args: &[String]) -> Result<(), String> {
+    let target = target_arg(args)?;
+    if !target.ends_with(".s") {
+        return Err(format!("assemble expects a .s file, got `{target}`"));
+    }
+    let out_path = option_value(args, "-o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.vpo", target.trim_end_matches(".s")));
+    let src =
+        std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    let program = vp_asm::assemble(&src).map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, program.to_bytes())
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!(
+        "wrote {out_path}: {} instructions, {} data bytes, {} procedures",
+        program.len(),
+        program.data().len(),
+        program.procedures().len()
+    );
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), String> {
+    let (program, _) = resolve(target_arg(args)?, DataSet::Test)?;
+    print!("{program}");
+    Ok(())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let target = target_arg(args)?;
+    if target.ends_with(".vpt") {
+        return profile_trace(target, args);
+    }
+    let (program, input) = resolve(target, ds)?;
+    let cfg = MachineConfig::new().input(input);
+    let top: usize = option_value(args, "--top").map_or(Ok(10), |v| {
+        v.parse().map_err(|_| format!("bad --top value `{v}`"))
+    })?;
+
+    if flag(args, "--memory") {
+        let mut profiler = MemoryProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::MemoryOps)
+            .run(&program, cfg, BUDGET, &mut profiler)
+            .map_err(|e| e.to_string())?;
+        let rows = [row(target, &profiler.metrics())];
+        println!("{}", render_metric_table("memory locations (stored values)", &rows));
+        println!("hottest locations:");
+        for m in profiler.hottest(top) {
+            println!(
+                "  {:#010x}  execs {:>8}  inv-top1 {:5.1}%  top value {:?}",
+                m.id,
+                m.executions,
+                m.inv_top1 * 100.0,
+                m.top_value
+            );
+        }
+        return Ok(());
+    }
+
+    if flag(args, "--params") {
+        let mut profiler = ParamProfiler::new(TrackerConfig::with_full(), 4);
+        Instrumenter::new()
+            .select(Selection::None)
+            .with_procedures(true)
+            .run(&program, cfg, BUDGET, &mut profiler)
+            .map_err(|e| e.to_string())?;
+        println!("procedure parameters:");
+        for p in profiler.metrics().into_iter().take(top) {
+            println!(
+                "  proc {:<3} {:?}  execs {:>8}  inv-top1 {:5.1}%",
+                p.proc_index,
+                p.slot,
+                p.metrics.executions,
+                p.metrics.inv_top1 * 100.0
+            );
+        }
+        return Ok(());
+    }
+
+    let selection = if flag(args, "--all") {
+        Selection::RegisterDefining
+    } else {
+        Selection::LoadsOnly
+    };
+    let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
+
+    if flag(args, "--convergent") {
+        let mut profiler =
+            ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
+        Instrumenter::new()
+            .select(selection)
+            .run(&program, cfg, BUDGET, &mut profiler)
+            .map_err(|e| e.to_string())?;
+        let rows = [row(target, &profiler.metrics())];
+        println!("{}", render_metric_table(&format!("convergent profile: {what}"), &rows));
+        println!(
+            "profiled {:.2}% of executions",
+            profiler.overall_profile_fraction() * 100.0
+        );
+        return Ok(());
+    }
+
+    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new()
+        .select(selection)
+        .run(&program, cfg, BUDGET, &mut profiler)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = option_value(args, "--save") {
+        std::fs::write(path, vp_core::render_profile(&profiler.metrics()))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("saved {} entities to {path}", profiler.metrics().len());
+    }
+    let rows = [row(target, &profiler.metrics())];
+    println!("{}", render_metric_table(&format!("value profile: {what}"), &rows));
+    let mut ms = profiler.metrics();
+    ms.sort_by(|a, b| b.executions.cmp(&a.executions));
+    println!("hottest instructions:");
+    for m in ms.into_iter().take(top) {
+        println!(
+            "  [{:>5}] {:<24} execs {:>9}  inv-top1 {:5.1}%  lvp {:5.1}%  top {:?}",
+            m.id,
+            program.code()[m.id as usize].to_string(),
+            m.executions,
+            m.inv_top1 * 100.0,
+            m.lvp * 100.0,
+            m.top_value
+        );
+    }
+    Ok(())
+}
+
+fn profile_trace(path: &str, args: &[String]) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let trace = vp_instrument::Trace::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+    trace.replay(&mut profiler).map_err(|e| e.to_string())?;
+    if let Some(out) = option_value(args, "--save") {
+        std::fs::write(out, vp_core::render_profile(&profiler.metrics()))
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    }
+    let rows = [row(path, &profiler.metrics())];
+    println!(
+        "{}",
+        render_metric_table(&format!("value profile replayed from {path} ({} events)", trace.len()), &rows)
+    );
+    Ok(())
+}
+
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let target = target_arg(args)?;
+    let (program, input) = resolve(target, ds)?;
+    let selection = if flag(args, "--all") {
+        Selection::RegisterDefining
+    } else {
+        Selection::LoadsOnly
+    };
+    let out = option_value(args, "-o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{target}.vpt"));
+    let trace = vp_instrument::Trace::record(
+        &program,
+        MachineConfig::new().input(input),
+        BUDGET,
+        selection,
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(&out, trace.to_bytes()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("wrote {out}: {} events", trace.len());
+    Ok(())
+}
+
+fn histogram(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let target = target_arg(args)?;
+    let (program, input) = resolve(target, ds)?;
+    let selection = if flag(args, "--all") {
+        Selection::RegisterDefining
+    } else {
+        Selection::LoadsOnly
+    };
+    let mut profiler = InstructionProfiler::new(TrackerConfig::default());
+    Instrumenter::new()
+        .select(selection)
+        .run(&program, MachineConfig::new().input(input), BUDGET, &mut profiler)
+        .map_err(|e| e.to_string())?;
+    let buckets = vp_core::invariance_histogram(&profiler.metrics(), |m| m.inv_top1);
+    println!("{target}: execution-weighted Inv-Top(1) distribution");
+    for (i, weight) in buckets.iter().enumerate() {
+        let bar = "#".repeat((weight * 50.0).round() as usize);
+        println!(
+            "  {:>3}-{:<4} {:>6.1}% {bar}",
+            i * 10,
+            format!("{}%", (i + 1) * 10),
+            weight * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn compare_cmd(args: &[String]) -> Result<(), String> {
+    let target = target_arg(args)?;
+    let w = Workload::by_name(target)
+        .ok_or_else(|| format!("`{target}` is not a built-in workload"))?;
+    let mut profiles = Vec::new();
+    for ds in [DataSet::Train, DataSet::Test] {
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(w.program(), w.machine_config(ds), BUDGET, &mut profiler)
+            .map_err(|e| e.to_string())?;
+        profiles.push(profiler.metrics());
+    }
+    let rows = [row("train", &profiles[0]), row("test", &profiles[1])];
+    println!("{}", render_metric_table(&format!("{target}: load profile by data set"), &rows));
+    let c = compare(&profiles[0], &profiles[1]);
+    println!("common load sites        {}", c.common);
+    println!("inv-top1 correlation     {:.3}", c.inv_correlation);
+    println!("lvp correlation          {:.3}", c.lvp_correlation);
+    println!("mean |inv diff|          {:.3}", c.mean_abs_inv_diff);
+    println!("top-value agreement      {:.1}%", c.top_value_agreement * 100.0);
+    Ok(())
+}
+
+fn predict(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let target = target_arg(args)?;
+    let (program, input) = resolve(target, ds)?;
+
+    // Collect the load value stream once.
+    let mut stream: Vec<(u32, u64)> = Vec::new();
+    struct Collector<'a>(&'a mut Vec<(u32, u64)>);
+    impl vp_instrument::Analysis for Collector<'_> {
+        fn after_instr(&mut self, _m: &Machine, ev: &vp_sim::InstrEvent) {
+            if let Some((_, v)) = ev.dest {
+                self.0.push((ev.index, v));
+            }
+        }
+    }
+    Instrumenter::new()
+        .select(Selection::LoadsOnly)
+        .run(&program, MachineConfig::new().input(input), BUDGET, &mut Collector(&mut stream))
+        .map_err(|e| e.to_string())?;
+
+    println!("{:<14} {:>8} {:>8} {:>8}", "predictor", "hit%", "cover%", "prec%");
+    let report = |name: &str, p: &mut dyn Predictor| {
+        let s = eval_predictor(p, stream.iter().copied());
+        println!(
+            "{:<14} {:>8.1} {:>8.1} {:>8.1}",
+            name,
+            s.hit_rate() * 100.0,
+            s.coverage() * 100.0,
+            s.precision() * 100.0
+        );
+    };
+    report("lvp", &mut LastValuePredictor::new(1024));
+    report("stride", &mut StridePredictor::new(1024));
+    report("two-level", &mut TwoLevelPredictor::new());
+    report(
+        "hybrid(l,s)",
+        &mut HybridPredictor::new(LastValuePredictor::new(1024), StridePredictor::new(1024)),
+    );
+    report(
+        "hybrid(s,2l)",
+        &mut HybridPredictor::new(StridePredictor::new(1024), TwoLevelPredictor::new()),
+    );
+    Ok(())
+}
+
+fn specialize_cmd(args: &[String]) -> Result<(), String> {
+    use vp_specialize::{demo, evaluate, find_candidates, specialize_all, CandidateOptions};
+    let period: u64 = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map_or(Ok(0), |v| v.parse().map_err(|_| format!("bad change period `{v}`")))?;
+    let program = demo::program();
+    let input = demo::input(20_000, period);
+
+    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new()
+        .select(Selection::LoadsOnly)
+        .run(&program, MachineConfig::new().input(input.clone()), BUDGET, &mut profiler)
+        .map_err(|e| e.to_string())?;
+    let candidates = find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+    println!("candidates: {}", candidates.len());
+    for c in &candidates {
+        println!(
+            "  load @{}  value {:#x}  invariance {:.1}%  execs {}",
+            c.load_index,
+            c.value,
+            c.invariance * 100.0,
+            c.executions
+        );
+    }
+    if candidates.is_empty() {
+        println!("nothing to specialize (invariance too low?)");
+        return Ok(());
+    }
+    let specialized = specialize_all(&program, &candidates).map_err(|e| e.to_string())?;
+    let report = evaluate(&program, &specialized, &input, BUDGET).map_err(|e| e.to_string())?;
+    println!("base instructions         {}", report.base_instructions);
+    println!("specialized instructions  {}", report.specialized_instructions);
+    println!("speedup                   {:.3}x", report.speedup());
+    println!("equivalent output         {}", report.equivalent);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(dispatch(&args(&["--help"])).is_ok());
+        assert!(dispatch(&args(&[])).is_ok());
+        let err = dispatch(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn list_runs() {
+        assert!(dispatch(&args(&["list"])).is_ok());
+    }
+
+    #[test]
+    fn run_and_profile_workloads() {
+        assert!(dispatch(&args(&["run", "vortex"])).is_ok());
+        assert!(dispatch(&args(&["run", "vortex", "--train"])).is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--top", "3"])).is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--all"])).is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--memory"])).is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--params"])).is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--convergent"])).is_ok());
+        assert!(dispatch(&args(&["disasm", "vortex"])).is_ok());
+    }
+
+    #[test]
+    fn compare_predict_specialize() {
+        assert!(dispatch(&args(&["compare", "vortex"])).is_ok());
+        assert!(dispatch(&args(&["predict", "vortex"])).is_ok());
+        assert!(dispatch(&args(&["specialize", "100"])).is_ok());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(dispatch(&args(&["run"])).unwrap_err().contains("missing target"));
+        assert!(dispatch(&args(&["run", "nonesuch"])).unwrap_err().contains("neither"));
+        assert!(dispatch(&args(&["run", "/nonexistent/x.s"])).unwrap_err().contains("cannot read"));
+        assert!(dispatch(&args(&["profile", "vortex", "--top", "NaN"]))
+            .unwrap_err()
+            .contains("bad --top"));
+        assert!(dispatch(&args(&["compare", "nonesuch"])).is_err());
+        assert!(dispatch(&args(&["specialize", "bogus"])).unwrap_err().contains("bad change period"));
+        assert!(dispatch(&args(&["assemble", "notasm.txt"])).unwrap_err().contains("expects a .s"));
+    }
+
+    #[test]
+    fn histogram_and_profile_save() {
+        assert!(dispatch(&args(&["histogram", "vortex"])).is_ok());
+        assert!(dispatch(&args(&["histogram", "vortex", "--all", "--train"])).is_ok());
+        let dir = std::env::temp_dir().join("vprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("profile.tsv");
+        assert!(dispatch(&args(&[
+            "profile",
+            "vortex",
+            "--save",
+            out.to_str().unwrap()
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&out).unwrap();
+        let parsed = vp_core::parse_profile(&text).unwrap();
+        assert!(!parsed.is_empty());
+    }
+
+    #[test]
+    fn trace_record_and_replay() {
+        let dir = std::env::temp_dir().join("vprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("li.vpt");
+        assert!(dispatch(&args(&["trace", "li", "-o", out.to_str().unwrap()])).is_ok());
+        assert!(dispatch(&args(&["profile", out.to_str().unwrap()])).is_ok());
+        std::fs::write(&out, b"junk").unwrap();
+        assert!(dispatch(&args(&["profile", out.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn assemble_object_round_trip() {
+        let dir = std::env::temp_dir().join("vprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("prog.s");
+        let obj = dir.join("prog.vpo");
+        std::fs::write(&src, ".text\nmain: li a0, 9\n sys exit\n").unwrap();
+        assert!(dispatch(&args(&[
+            "assemble",
+            src.to_str().unwrap(),
+            "-o",
+            obj.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert!(dispatch(&args(&["run", obj.to_str().unwrap()])).is_ok());
+        assert!(dispatch(&args(&["disasm", obj.to_str().unwrap()])).is_ok());
+        // Corrupt object is rejected cleanly.
+        std::fs::write(&obj, b"garbage").unwrap();
+        assert!(dispatch(&args(&["run", obj.to_str().unwrap()])).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! The convergent ("intelligent") sampling profiler.
+//!
+//! Full value profiling runs analysis code at every instruction, which the
+//! paper measured as a substantial slowdown. Its remedy: profile each
+//! instruction in *bursts*; once an instruction's invariance stops changing
+//! between bursts (it has **converged**), back off — skip a geometrically
+//! growing number of executions before the next burst. Unconverged
+//! instructions keep being profiled at full rate.
+//!
+//! The profiler reports exactly how many executions it profiled versus how
+//! many occurred, which is the machine-independent overhead measure of
+//! experiment E7, and its trackers yield the same metrics as the full
+//! profiler so accuracy can be compared side by side.
+
+use std::collections::HashMap;
+
+use vp_instrument::Analysis;
+use vp_sim::{InstrEvent, Machine};
+
+use crate::metrics::{aggregate, Aggregate, EntityMetrics};
+use crate::track::{TrackerConfig, ValueTracker};
+
+/// Tuning of the convergent profiler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergentConfig {
+    /// Executions profiled per burst before checking convergence.
+    pub burst: u64,
+    /// Maximum absolute change of `Inv-Top(1)` between consecutive burst
+    /// ends for the instruction to be considered stable.
+    pub delta: f64,
+    /// Consecutive stable checks required before backing off.
+    pub stable_checks: u32,
+    /// Executions skipped after the first convergence.
+    pub initial_skip: u64,
+    /// Skip-interval growth factor applied at each re-convergence.
+    pub backoff: f64,
+    /// Upper bound on the skip interval.
+    pub max_skip: u64,
+}
+
+impl Default for ConvergentConfig {
+    /// The defaults used by the reproduction's experiments: 200-execution
+    /// bursts, 1% invariance delta, two stable checks, skips growing 4x
+    /// from 2 000 up to 256 000 executions.
+    fn default() -> Self {
+        ConvergentConfig {
+            burst: 200,
+            delta: 0.01,
+            stable_checks: 2,
+            initial_skip: 2_000,
+            backoff: 4.0,
+            max_skip: 256_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Profiling a burst; counts executions profiled in the burst so far.
+    Profiling { in_burst: u64 },
+    /// Skipping; counts executions remaining to skip.
+    Skipping { remaining: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct ConvState {
+    tracker: ValueTracker,
+    phase: Phase,
+    prev_inv: Option<f64>,
+    stable: u32,
+    skip: u64,
+    profiled: u64,
+    total: u64,
+}
+
+impl ConvState {
+    fn new(config: TrackerConfig, initial_skip: u64) -> ConvState {
+        ConvState {
+            tracker: ValueTracker::new(config),
+            phase: Phase::Profiling { in_burst: 0 },
+            prev_inv: None,
+            stable: 0,
+            skip: initial_skip,
+            profiled: 0,
+            total: 0,
+        }
+    }
+}
+
+/// Per-instruction overhead/accuracy summary of a convergent run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergentStats {
+    /// Instruction index.
+    pub index: u32,
+    /// Executions observed (profiled or skipped).
+    pub total: u64,
+    /// Executions actually profiled into the TNV table.
+    pub profiled: u64,
+}
+
+impl ConvergentStats {
+    /// Fraction of executions profiled, in `\[0, 1\]`.
+    pub fn profile_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.profiled as f64 / self.total as f64
+        }
+    }
+}
+
+/// The convergent sampling profiler (an [`Analysis`]).
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use vp_core::convergent::{ConvergentConfig, ConvergentProfiler};
+/// use vp_core::track::TrackerConfig;
+/// use vp_instrument::{Instrumenter, Selection};
+/// use vp_sim::MachineConfig;
+///
+/// // A long loop producing a constant value converges almost immediately.
+/// let program = vp_asm::assemble(
+///     ".text\nmain: li r9, 30000\nloop: addi r2, r0, 7\n addi r9, r9, -1\n bnz r9, loop\n sys exit\n",
+/// )?;
+/// let mut profiler = ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
+/// Instrumenter::new()
+///     .select(Selection::RegisterDefining)
+///     .run(&program, MachineConfig::new(), 1_000_000, &mut profiler)?;
+/// let constant = profiler.stats().into_iter().find(|s| s.index == 1).unwrap();
+/// assert!(constant.profile_fraction() < 0.2, "converged instruction should be mostly skipped");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvergentProfiler {
+    tracker_config: TrackerConfig,
+    config: ConvergentConfig,
+    states: HashMap<u32, ConvState>,
+}
+
+impl ConvergentProfiler {
+    /// Creates a convergent profiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.burst` is 0 or `config.backoff < 1.0`.
+    pub fn new(tracker_config: TrackerConfig, config: ConvergentConfig) -> ConvergentProfiler {
+        assert!(config.burst > 0, "burst must be positive");
+        assert!(config.backoff >= 1.0, "backoff must be >= 1");
+        ConvergentProfiler { tracker_config, config, states: HashMap::new() }
+    }
+
+    /// The sampler configuration.
+    pub fn config(&self) -> ConvergentConfig {
+        self.config
+    }
+
+    /// Metric snapshots from the (sampled) trackers, ordered by index.
+    pub fn metrics(&self) -> Vec<EntityMetrics> {
+        let mut out: Vec<EntityMetrics> = self
+            .states
+            .iter()
+            .map(|(&i, s)| EntityMetrics::from_tracker(u64::from(i), &s.tracker, self.tracker_config.capacity))
+            .collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Execution-weighted aggregate over sampled trackers, weighted by the
+    /// *total* executions each instruction had (so the aggregate is
+    /// comparable to a full profile's).
+    pub fn aggregate(&self) -> Aggregate {
+        let metrics: Vec<EntityMetrics> = self
+            .metrics()
+            .into_iter()
+            .map(|mut m| {
+                // Reweight by true execution counts, not profiled counts.
+                if let Some(s) = self.states.get(&(m.id as u32)) {
+                    m.executions = s.total;
+                }
+                m
+            })
+            .collect();
+        aggregate(&metrics)
+    }
+
+    /// Per-instruction overhead statistics, ordered by index.
+    pub fn stats(&self) -> Vec<ConvergentStats> {
+        let mut out: Vec<ConvergentStats> = self
+            .states
+            .iter()
+            .map(|(&index, s)| ConvergentStats { index, total: s.total, profiled: s.profiled })
+            .collect();
+        out.sort_by_key(|s| s.index);
+        out
+    }
+
+    /// Overall fraction of executions profiled (the headline overhead
+    /// reduction of experiment E7).
+    pub fn overall_profile_fraction(&self) -> f64 {
+        let total: u64 = self.states.values().map(|s| s.total).sum();
+        let profiled: u64 = self.states.values().map(|s| s.profiled).sum();
+        if total == 0 {
+            0.0
+        } else {
+            profiled as f64 / total as f64
+        }
+    }
+
+    /// The sampled tracker of one instruction.
+    pub fn tracker(&self, index: u32) -> Option<&ValueTracker> {
+        self.states.get(&index).map(|s| &s.tracker)
+    }
+}
+
+impl Analysis for ConvergentProfiler {
+    fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
+        let Some((_, value)) = event.dest else { return };
+        let config = self.config;
+        let state = self
+            .states
+            .entry(event.index)
+            .or_insert_with(|| ConvState::new(self.tracker_config, config.initial_skip));
+        state.total += 1;
+        match state.phase {
+            Phase::Profiling { ref mut in_burst } => {
+                state.tracker.observe(value);
+                state.profiled += 1;
+                *in_burst += 1;
+                if *in_burst >= config.burst {
+                    *in_burst = 0;
+                    let inv = state.tracker.inv_top(1);
+                    let stable_now = state
+                        .prev_inv
+                        .is_some_and(|prev| (inv - prev).abs() < config.delta);
+                    state.prev_inv = Some(inv);
+                    if stable_now {
+                        state.stable += 1;
+                        if state.stable >= config.stable_checks {
+                            state.stable = 0;
+                            state.phase = Phase::Skipping { remaining: state.skip };
+                            let next = (state.skip as f64 * config.backoff) as u64;
+                            state.skip = next.min(config.max_skip);
+                        }
+                    } else {
+                        state.stable = 0;
+                    }
+                }
+            }
+            Phase::Skipping { ref mut remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    state.phase = Phase::Profiling { in_burst: 0 };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(profiler: &mut ConvergentProfiler, index: u32, values: impl Iterator<Item = u64>) {
+        // Drive the state machine directly through synthetic events.
+        use vp_isa::{AluOp, Instruction, Reg};
+        let program = vp_asm::assemble(".text\nmain: sys exit\n").unwrap();
+        let machine = vp_sim::Machine::new(program, vp_sim::MachineConfig::new()).unwrap();
+        for value in values {
+            let event = InstrEvent {
+                index,
+                instr: Instruction::Alu { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, rt: Reg::R0 },
+                dest: Some((Reg::R1, value)),
+                mem: None,
+                taken: None,
+                next_index: index + 1,
+            };
+            profiler.after_instr(&machine, &event);
+        }
+    }
+
+    fn small_config() -> ConvergentConfig {
+        ConvergentConfig {
+            burst: 10,
+            delta: 0.05,
+            stable_checks: 2,
+            initial_skip: 50,
+            backoff: 2.0,
+            max_skip: 400,
+        }
+    }
+
+    #[test]
+    fn constant_stream_converges_and_skips() {
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        let stats = &p.stats()[0];
+        assert_eq!(stats.total, 10_000);
+        // Must have skipped the overwhelming majority.
+        assert!(stats.profile_fraction() < 0.1, "fraction {}", stats.profile_fraction());
+        // And the sampled profile still reports full invariance.
+        let m = &p.metrics()[0];
+        assert!((m.inv_top1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_stream_never_converges_fully() {
+        // Invariance of a uniform-random stream keeps drifting early on but
+        // eventually settles near zero, so backoff happens late: the
+        // profiled fraction stays well above the constant-stream case.
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let values = std::iter::repeat_with(move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        })
+        .take(10_000);
+        feed(&mut p, 3, values);
+
+        let mut q = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut q, 3, std::iter::repeat(7).take(10_000));
+        assert!(
+            p.stats()[0].profiled >= q.stats()[0].profiled,
+            "random stream should be profiled at least as much as a constant one"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let cfg = ConvergentConfig { max_skip: 100, ..small_config() };
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), cfg);
+        feed(&mut p, 0, std::iter::repeat(1).take(50_000));
+        let s = &p.states[&0];
+        assert_eq!(s.skip, 100, "skip should cap at max_skip");
+    }
+
+    #[test]
+    fn phase_change_reawakens_profiling() {
+        // Converge on value A, then switch to value B: the periodic
+        // re-profiling bursts must pick up the new value.
+        let cfg = small_config();
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), cfg);
+        let stream = std::iter::repeat(1).take(5_000).chain(std::iter::repeat(2).take(200_000));
+        feed(&mut p, 0, stream);
+        let tnv = p.tracker(0).unwrap().tnv();
+        assert_eq!(tnv.top_value(), Some(2), "new dominant value must surface: {tnv}");
+    }
+
+    #[test]
+    fn overall_fraction_mixes_instructions() {
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        feed(&mut p, 1, (0..100u64).cycle().take(10_000));
+        let f = p.overall_profile_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        assert_eq!(p.stats().len(), 2);
+    }
+
+    #[test]
+    fn aggregate_reweights_by_total() {
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        let agg = p.aggregate();
+        assert_eq!(agg.executions, 10_000);
+        assert!((agg.inv_top1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be positive")]
+    fn zero_burst_panics() {
+        let _ = ConvergentProfiler::new(
+            TrackerConfig::default(),
+            ConvergentConfig { burst: 0, ..ConvergentConfig::default() },
+        );
+    }
+}

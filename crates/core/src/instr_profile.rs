@@ -1,0 +1,189 @@
+//! The instruction value profiler: one [`ValueTracker`] per profiled
+//! instruction, fed from the instrumentation layer.
+//!
+//! This is the paper's core tool. Pair it with
+//! [`Selection::LoadsOnly`](vp_instrument::Selection) for the load-value
+//! profile (experiment E2) or
+//! [`Selection::RegisterDefining`](vp_instrument::Selection) for the
+//! all-instructions profile (E3).
+
+use std::collections::HashMap;
+
+use vp_instrument::Analysis;
+use vp_sim::{InstrEvent, Machine};
+
+use crate::metrics::{aggregate, Aggregate, EntityMetrics};
+use crate::track::{TrackerConfig, ValueTracker};
+
+/// Profiles destination-register values of instrumented instructions.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use vp_core::InstructionProfiler;
+/// use vp_core::track::TrackerConfig;
+/// use vp_instrument::{Instrumenter, Selection};
+/// use vp_sim::MachineConfig;
+///
+/// let program = vp_asm::assemble(
+///     r#"
+///     .text
+///     main:
+///         li r1, 100
+///     loop:
+///         addi r2, r0, 7        # always produces 7: fully invariant
+///         addi r1, r1, -1       # loop counter: all values distinct
+///         bnz  r1, loop
+///         sys  exit
+///     "#,
+/// )?;
+/// let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+/// Instrumenter::new()
+///     .select(Selection::RegisterDefining)
+///     .run(&program, MachineConfig::new(), 100_000, &mut profiler)?;
+/// let constant = profiler.metrics_for(1).unwrap();   // the `addi r2` at index 1
+/// assert!((constant.inv_top1 - 1.0).abs() < 1e-9);
+/// let counter = profiler.metrics_for(2).unwrap();
+/// assert!(counter.inv_top1 < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstructionProfiler {
+    config: TrackerConfig,
+    trackers: HashMap<u32, ValueTracker>,
+}
+
+impl InstructionProfiler {
+    /// Creates a profiler; each instruction gets a tracker configured by
+    /// `config` the first time it executes.
+    pub fn new(config: TrackerConfig) -> InstructionProfiler {
+        InstructionProfiler { config, trackers: HashMap::new() }
+    }
+
+    /// The tracker of one instruction, if it ever executed.
+    pub fn tracker(&self, index: u32) -> Option<&ValueTracker> {
+        self.trackers.get(&index)
+    }
+
+    /// Metric snapshot of one instruction.
+    pub fn metrics_for(&self, index: u32) -> Option<EntityMetrics> {
+        self.trackers
+            .get(&index)
+            .map(|t| EntityMetrics::from_tracker(u64::from(index), t, self.config.capacity))
+    }
+
+    /// Metric snapshots of every profiled instruction, ordered by index.
+    pub fn metrics(&self) -> Vec<EntityMetrics> {
+        let mut out: Vec<EntityMetrics> = self
+            .trackers
+            .iter()
+            .map(|(&i, t)| EntityMetrics::from_tracker(u64::from(i), t, self.config.capacity))
+            .collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Execution-weighted aggregate over all profiled instructions.
+    pub fn aggregate(&self) -> Aggregate {
+        aggregate(&self.metrics())
+    }
+
+    /// Number of distinct instructions profiled.
+    pub fn profiled_instructions(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The tracker configuration in force.
+    pub fn config(&self) -> TrackerConfig {
+        self.config
+    }
+
+    /// Estimated total profiler footprint in bytes across all trackers —
+    /// constant per instruction under a pure TNV configuration, growing
+    /// with distinct values when the exact histogram is kept.
+    pub fn footprint_bytes(&self) -> usize {
+        self.trackers.values().map(ValueTracker::footprint_bytes).sum()
+    }
+}
+
+impl Analysis for InstructionProfiler {
+    fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
+        if let Some((_, value)) = event.dest {
+            self.trackers
+                .entry(event.index)
+                .or_insert_with(|| ValueTracker::new(self.config))
+                .observe(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_instrument::{Instrumenter, Selection};
+    use vp_sim::MachineConfig;
+
+    const LOOP: &str = r#"
+        .data
+        x: .quad 11
+        .text
+        main:
+            li  r9, 50
+            la  r8, x
+        loop:
+            ldd r2, 0(r8)        # always loads 11
+            addi r9, r9, -1
+            bnz r9, loop
+            sys exit
+    "#;
+
+    fn run(selection: Selection) -> InstructionProfiler {
+        let program = vp_asm::assemble(LOOP).unwrap();
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(selection)
+            .run(&program, MachineConfig::new(), 100_000, &mut profiler)
+            .unwrap();
+        profiler
+    }
+
+    #[test]
+    fn loads_only_profiles_one_instruction() {
+        let p = run(Selection::LoadsOnly);
+        assert_eq!(p.profiled_instructions(), 1);
+        let m = &p.metrics()[0];
+        assert_eq!(m.executions, 50);
+        assert!((m.inv_top1 - 1.0).abs() < 1e-12);
+        assert_eq!(m.top_value, Some(11));
+        assert_eq!(m.distinct, Some(1));
+    }
+
+    #[test]
+    fn register_defining_covers_alu_and_loads() {
+        let p = run(Selection::RegisterDefining);
+        // li (1) + la (2) + ldd (1) + addi (1) = 5 defining instructions.
+        assert_eq!(p.profiled_instructions(), 5);
+        let agg = p.aggregate();
+        assert!(agg.executions > 100);
+        assert!(agg.inv_top1 > 0.0 && agg.inv_top1 <= 1.0);
+        // The loop counter has 50 distinct values; the load has 1.
+        let ms = p.metrics();
+        let counter = ms.iter().find(|m| m.distinct == Some(50)).unwrap();
+        assert!(counter.inv_top1 < 0.1);
+    }
+
+    #[test]
+    fn stores_produce_no_samples() {
+        let src = ".data\nx: .quad 0\n.text\nmain: la r8, x\n std r0, 0(r8)\n sys exit\n";
+        let program = vp_asm::assemble(src).unwrap();
+        let mut p = InstructionProfiler::new(TrackerConfig::default());
+        Instrumenter::new()
+            .select(Selection::All)
+            .run(&program, MachineConfig::new(), 1000, &mut p)
+            .unwrap();
+        // la defines r8 twice (lui+ori); store and sys define nothing.
+        assert_eq!(p.profiled_instructions(), 2);
+        assert!(p.tracker(2).is_none());
+        assert!(p.metrics_for(0).is_some());
+    }
+}

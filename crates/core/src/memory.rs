@@ -1,0 +1,315 @@
+//! The memory-location value profiler.
+//!
+//! The thesis extends value profiling from instructions to *memory
+//! locations*: for each (aligned) address, profile the values stored to
+//! it. Semi-invariant locations are candidates for the same optimizations
+//! as semi-invariant instructions (e.g. speculative load bypassing,
+//! Moudgill & Moreno \[29\]).
+
+use std::collections::HashMap;
+
+use vp_instrument::Analysis;
+use vp_sim::{Machine, MemAccess};
+
+use crate::metrics::{aggregate, Aggregate, EntityMetrics};
+use crate::track::{TrackerConfig, ValueTracker};
+
+/// Profiles values written to memory locations.
+///
+/// Locations are tracked at a configurable alignment granularity (default
+/// 8 bytes — one 64-bit word per tracker, the granularity the thesis
+/// profiles). The tracker population is capped so a pathological workload
+/// cannot exhaust memory; overflowing stores are counted in
+/// [`MemoryProfiler::dropped`].
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use vp_core::MemoryProfiler;
+/// use vp_core::track::TrackerConfig;
+/// use vp_instrument::{Instrumenter, Selection};
+/// use vp_sim::MachineConfig;
+///
+/// let program = vp_asm::assemble(
+///     r#"
+///     .data
+///     x: .quad 0
+///     .text
+///     main:
+///         la  r8, x
+///         li  r9, 20
+///     loop:
+///         std r9, 0(r8)         # store the loop counter: varying
+///         addi r9, r9, -1
+///         bnz r9, loop
+///         sys exit
+///     "#,
+/// )?;
+/// let mut profiler = MemoryProfiler::new(TrackerConfig::with_full());
+/// Instrumenter::new()
+///     .select(Selection::MemoryOps)
+///     .run(&program, MachineConfig::new(), 10_000, &mut profiler)?;
+/// let metrics = profiler.metrics();
+/// assert_eq!(metrics.len(), 1);
+/// assert_eq!(metrics[0].executions, 20);
+/// assert!(metrics[0].inv_top1 < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryProfiler {
+    config: TrackerConfig,
+    granularity: u64,
+    max_locations: usize,
+    include_loads: bool,
+    trackers: HashMap<u64, ValueTracker>,
+    dropped: u64,
+}
+
+impl MemoryProfiler {
+    /// Default limit on tracked locations.
+    pub const DEFAULT_MAX_LOCATIONS: usize = 1 << 20;
+
+    /// Creates a profiler tracking 8-byte-aligned locations, observing
+    /// stored values only (the thesis's primary memory profile).
+    pub fn new(config: TrackerConfig) -> MemoryProfiler {
+        MemoryProfiler {
+            config,
+            granularity: 8,
+            max_locations: Self::DEFAULT_MAX_LOCATIONS,
+            include_loads: false,
+            trackers: HashMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Also observe values *read* from each location, so the profile
+    /// reflects the values a location supplies, not just those written to
+    /// it (the thesis's read-side variant; pair with
+    /// [`Selection::MemoryOps`](vp_instrument::Selection)).
+    pub fn including_loads(mut self, yes: bool) -> MemoryProfiler {
+        self.include_loads = yes;
+        self
+    }
+
+    /// Sets the alignment granularity in bytes (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is 0 or not a power of two.
+    pub fn with_granularity(mut self, granularity: u64) -> MemoryProfiler {
+        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        self.granularity = granularity;
+        self
+    }
+
+    /// Caps the number of tracked locations.
+    pub fn with_max_locations(mut self, max: usize) -> MemoryProfiler {
+        self.max_locations = max;
+        self
+    }
+
+    /// Stores ignored because the location cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of tracked locations.
+    pub fn locations(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The tracker for the location containing `address`.
+    pub fn tracker(&self, address: u64) -> Option<&ValueTracker> {
+        self.trackers.get(&(address & !(self.granularity - 1)))
+    }
+
+    /// Metric snapshots per location, ordered by address.
+    pub fn metrics(&self) -> Vec<EntityMetrics> {
+        let mut out: Vec<EntityMetrics> = self
+            .trackers
+            .iter()
+            .map(|(&a, t)| EntityMetrics::from_tracker(a, t, self.config.capacity))
+            .collect();
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Execution-weighted aggregate over all locations.
+    pub fn aggregate(&self) -> Aggregate {
+        aggregate(&self.metrics())
+    }
+
+    /// The `n` most frequently written locations, hottest first.
+    pub fn hottest(&self, n: usize) -> Vec<EntityMetrics> {
+        let mut ms = self.metrics();
+        ms.sort_by(|a, b| b.executions.cmp(&a.executions).then(a.id.cmp(&b.id)));
+        ms.truncate(n);
+        ms
+    }
+}
+
+impl MemoryProfiler {
+    fn observe_access(&mut self, access: &MemAccess) {
+        let key = access.address & !(self.granularity - 1);
+        if let Some(t) = self.trackers.get_mut(&key) {
+            t.observe(access.value);
+        } else if self.trackers.len() < self.max_locations {
+            let mut t = ValueTracker::new(self.config);
+            t.observe(access.value);
+            self.trackers.insert(key, t);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+impl Analysis for MemoryProfiler {
+    fn on_store(&mut self, _machine: &Machine, _index: u32, access: &MemAccess) {
+        self.observe_access(access);
+    }
+
+    fn on_load(&mut self, _machine: &Machine, _index: u32, access: &MemAccess) {
+        if self.include_loads {
+            self.observe_access(access);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_instrument::{Instrumenter, Selection};
+    use vp_sim::MachineConfig;
+
+    fn run(src: &str, profiler: &mut MemoryProfiler) {
+        let program = vp_asm::assemble(src).unwrap();
+        Instrumenter::new()
+            .select(Selection::MemoryOps)
+            .run(&program, MachineConfig::new(), 100_000, profiler)
+            .unwrap();
+    }
+
+    #[test]
+    fn invariant_location() {
+        let mut p = MemoryProfiler::new(TrackerConfig::with_full());
+        run(
+            r#"
+            .data
+            x: .quad 0
+            .text
+            main:
+                la r8, x
+                li r9, 30
+                li r10, 5
+            loop:
+                std r10, 0(r8)   # always 5
+                addi r9, r9, -1
+                bnz r9, loop
+                sys exit
+            "#,
+            &mut p,
+        );
+        assert_eq!(p.locations(), 1);
+        let m = &p.metrics()[0];
+        assert!((m.inv_top1 - 1.0).abs() < 1e-12);
+        assert_eq!(m.top_value, Some(5));
+        assert_eq!(p.dropped(), 0);
+        assert!(p.tracker(m.id).is_some());
+        assert!(p.tracker(m.id + 3).is_some(), "sub-word addresses map to the same tracker");
+    }
+
+    #[test]
+    fn granularity_merges_subword_stores() {
+        let mut p = MemoryProfiler::new(TrackerConfig::default()).with_granularity(8);
+        run(
+            r#"
+            .data
+            x: .quad 0
+            .text
+            main:
+                la r8, x
+                li r9, 1
+                stb r9, 0(r8)
+                stb r9, 4(r8)
+                sys exit
+            "#,
+            &mut p,
+        );
+        assert_eq!(p.locations(), 1);
+        assert_eq!(p.metrics()[0].executions, 2);
+    }
+
+    #[test]
+    fn location_cap_drops() {
+        let mut p = MemoryProfiler::new(TrackerConfig::default()).with_max_locations(2);
+        run(
+            r#"
+            .data
+            buf: .space 64
+            .text
+            main:
+                la r8, buf
+                std r0, 0(r8)
+                std r0, 8(r8)
+                std r0, 16(r8)
+                std r0, 24(r8)
+                sys exit
+            "#,
+            &mut p,
+        );
+        assert_eq!(p.locations(), 2);
+        assert_eq!(p.dropped(), 2);
+    }
+
+    #[test]
+    fn hottest_ordering() {
+        let mut p = MemoryProfiler::new(TrackerConfig::default());
+        run(
+            r#"
+            .data
+            buf: .space 16
+            .text
+            main:
+                la r8, buf
+                std r0, 0(r8)
+                std r0, 8(r8)
+                std r0, 8(r8)
+                sys exit
+            "#,
+            &mut p,
+        );
+        let hot = p.hottest(1);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].executions, 2);
+        let agg = p.aggregate();
+        assert_eq!(agg.executions, 3);
+    }
+
+    #[test]
+    fn including_loads_observes_reads() {
+        let src = r#"
+            .data
+            x: .quad 5
+            .text
+            main:
+                la  r8, x
+                ldd r2, 0(r8)
+                ldd r2, 0(r8)
+                std r2, 0(r8)
+                sys exit
+        "#;
+        let mut stores_only = MemoryProfiler::new(TrackerConfig::default());
+        run(src, &mut stores_only);
+        assert_eq!(stores_only.metrics()[0].executions, 1);
+        let mut both = MemoryProfiler::new(TrackerConfig::default()).including_loads(true);
+        run(src, &mut both);
+        assert_eq!(both.metrics()[0].executions, 3);
+        assert!((both.metrics()[0].inv_top1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_granularity_panics() {
+        let _ = MemoryProfiler::new(TrackerConfig::default()).with_granularity(6);
+    }
+}

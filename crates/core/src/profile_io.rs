@@ -1,0 +1,238 @@
+//! Profile persistence: save and load [`EntityMetrics`] as a
+//! tab-separated text format.
+//!
+//! The paper's workflow is *profile once, optimize later*: the value
+//! profile gathered on a training run is consumed by a compiler (or our
+//! specializer) in a separate process. This module provides the on-disk
+//! profile format — human-readable TSV with a header line, one row per
+//! entity.
+
+use std::fmt;
+
+use crate::metrics::EntityMetrics;
+
+const HEADER: &str =
+    "id\texecutions\tlvp\tinv_top1\tinv_topn\tinv_all1\tinv_alln\tpct_zero\tdistinct\ttop_value";
+
+/// Error when parsing a profile file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    /// 1-based line of the problem (0 = structural, e.g. missing header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "profile parse error: {}", self.message)
+        } else {
+            write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseProfileError {}
+
+fn opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.9}"))
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+/// Serializes metrics to the TSV profile format.
+///
+/// ```
+/// use vp_core::profile_io::{parse_profile, render_profile};
+/// # use vp_core::EntityMetrics;
+/// let metrics = vec![EntityMetrics {
+///     id: 4, executions: 100, lvp: 0.5, inv_top1: 0.9, inv_topn: 1.0,
+///     inv_all1: Some(0.9), inv_alln: Some(1.0), pct_zero: 0.0,
+///     distinct: Some(2), top_value: Some(7),
+/// }];
+/// let text = render_profile(&metrics);
+/// assert_eq!(parse_profile(&text).unwrap(), metrics);
+/// ```
+pub fn render_profile(metrics: &[EntityMetrics]) -> String {
+    let mut out = String::with_capacity(64 * (metrics.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for m in metrics {
+        out.push_str(&format!(
+            "{}\t{}\t{:.9}\t{:.9}\t{:.9}\t{}\t{}\t{:.9}\t{}\t{}\n",
+            m.id,
+            m.executions,
+            m.lvp,
+            m.inv_top1,
+            m.inv_topn,
+            opt_f64(m.inv_all1),
+            opt_f64(m.inv_alln),
+            m.pct_zero,
+            opt_u64(m.distinct),
+            opt_u64(m.top_value),
+        ));
+    }
+    out
+}
+
+fn parse_opt_f64(field: &str, line: usize) -> Result<Option<f64>, ParseProfileError> {
+    if field == "-" {
+        return Ok(None);
+    }
+    field
+        .parse()
+        .map(Some)
+        .map_err(|_| ParseProfileError { line, message: format!("bad float `{field}`") })
+}
+
+fn parse_opt_u64(field: &str, line: usize) -> Result<Option<u64>, ParseProfileError> {
+    if field == "-" {
+        return Ok(None);
+    }
+    field
+        .parse()
+        .map(Some)
+        .map_err(|_| ParseProfileError { line, message: format!("bad integer `{field}`") })
+}
+
+/// Parses the TSV profile format back into metrics.
+///
+/// # Errors
+///
+/// Returns a [`ParseProfileError`] on a missing/unknown header, wrong
+/// column counts or malformed fields; parsing never panics.
+pub fn parse_profile(text: &str) -> Result<Vec<EntityMetrics>, ParseProfileError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim_end() == HEADER => {}
+        _ => {
+            return Err(ParseProfileError {
+                line: 0,
+                message: "missing or unknown profile header".to_string(),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (i, raw) in lines.enumerate() {
+        let line = i + 2;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split('\t').collect();
+        if fields.len() != 10 {
+            return Err(ParseProfileError {
+                line,
+                message: format!("expected 10 columns, got {}", fields.len()),
+            });
+        }
+        let num =
+            |f: &str| -> Result<u64, ParseProfileError> {
+                f.parse().map_err(|_| ParseProfileError {
+                    line,
+                    message: format!("bad integer `{f}`"),
+                })
+            };
+        let fnum =
+            |f: &str| -> Result<f64, ParseProfileError> {
+                f.parse().map_err(|_| ParseProfileError {
+                    line,
+                    message: format!("bad float `{f}`"),
+                })
+            };
+        out.push(EntityMetrics {
+            id: num(fields[0])?,
+            executions: num(fields[1])?,
+            lvp: fnum(fields[2])?,
+            inv_top1: fnum(fields[3])?,
+            inv_topn: fnum(fields[4])?,
+            inv_all1: parse_opt_f64(fields[5], line)?,
+            inv_alln: parse_opt_f64(fields[6], line)?,
+            pct_zero: fnum(fields[7])?,
+            distinct: parse_opt_u64(fields[8], line)?,
+            top_value: parse_opt_u64(fields[9], line)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<EntityMetrics> {
+        vec![
+            EntityMetrics {
+                id: 3,
+                executions: 1000,
+                lvp: 0.125,
+                inv_top1: 0.5,
+                inv_topn: 0.75,
+                inv_all1: Some(0.5),
+                inv_alln: Some(1.0),
+                pct_zero: 0.0625,
+                distinct: Some(17),
+                top_value: Some(u64::MAX),
+            },
+            EntityMetrics {
+                id: 9,
+                executions: 1,
+                lvp: 0.0,
+                inv_top1: 1.0,
+                inv_topn: 1.0,
+                inv_all1: None,
+                inv_alln: None,
+                pct_zero: 1.0,
+                distinct: None,
+                top_value: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let metrics = sample();
+        let text = render_profile(&metrics);
+        assert_eq!(parse_profile(&text).unwrap(), metrics);
+    }
+
+    #[test]
+    fn round_trip_through_profiler() {
+        use crate::instr_profile::InstructionProfiler;
+        use crate::track::TrackerConfig;
+        use vp_instrument::{Instrumenter, Selection};
+        let program = vp_asm::assemble(
+            ".data\nx: .quad 5\n.text\nmain: la r8, x\n ldd r2, 0(r8)\n sys exit\n",
+        )
+        .unwrap();
+        let mut p = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(&program, vp_sim::MachineConfig::new(), 1000, &mut p)
+            .unwrap();
+        let text = render_profile(&p.metrics());
+        assert_eq!(parse_profile(&text).unwrap(), p.metrics());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_profile("").is_err());
+        assert!(parse_profile("wrong header\n").is_err());
+        let good = render_profile(&sample());
+        let mut broken = good.replace("1000", "banana");
+        assert!(parse_profile(&broken).is_err());
+        broken = good.lines().next().unwrap().to_string() + "\n1\t2\n";
+        let err = parse_profile(&broken).unwrap_err();
+        assert!(err.message.contains("10 columns"), "{err}");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = render_profile(&sample()) + "\n\n";
+        assert_eq!(parse_profile(&text).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Temporal (interval) value profiling: invariance over time.
+//!
+//! A single whole-run invariance number hides *phases* — a value can be
+//! fully invariant within each program phase yet look semi-invariant
+//! overall (the gcc workload's mode word: 100% within each compile phase,
+//! 33% whole-run). The interval profiler splits an instruction's execution
+//! stream into fixed-length windows and keeps per-window metrics, the data
+//! behind phase plots and behind choosing the TNV clear interval.
+
+use std::collections::HashMap;
+
+use vp_instrument::Analysis;
+use vp_sim::{InstrEvent, Machine};
+
+use crate::track::{TrackerConfig, ValueTracker};
+
+/// Per-window snapshot of one instruction's value behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowMetrics {
+    /// Executions in this window (== window length except the last).
+    pub executions: u64,
+    /// `Inv-Top(1)` within the window alone.
+    pub inv_top1: f64,
+    /// The window's dominant value.
+    pub top_value: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct TemporalState {
+    current: ValueTracker,
+    windows: Vec<WindowMetrics>,
+}
+
+/// Profiles instruction values in fixed-length execution windows.
+///
+/// ```
+/// use vp_core::temporal::TemporalProfiler;
+/// use vp_core::track::TrackerConfig;
+///
+/// let profiler = TemporalProfiler::new(TrackerConfig::default(), 1000);
+/// assert_eq!(profiler.window_length(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalProfiler {
+    config: TrackerConfig,
+    window: u64,
+    states: HashMap<u32, TemporalState>,
+}
+
+impl TemporalProfiler {
+    /// Creates an interval profiler with `window` executions per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0.
+    pub fn new(config: TrackerConfig, window: u64) -> TemporalProfiler {
+        assert!(window > 0, "window length must be positive");
+        TemporalProfiler { config, window, states: HashMap::new() }
+    }
+
+    /// The configured window length.
+    pub fn window_length(&self) -> u64 {
+        self.window
+    }
+
+    fn snapshot(tracker: &ValueTracker) -> WindowMetrics {
+        WindowMetrics {
+            executions: tracker.executions(),
+            inv_top1: tracker.inv_top(1),
+            top_value: tracker.tnv().top_value(),
+        }
+    }
+
+    /// Completed (and the trailing partial) windows of one instruction, in
+    /// execution order. Empty if the instruction never executed.
+    pub fn windows(&self, index: u32) -> Vec<WindowMetrics> {
+        let Some(state) = self.states.get(&index) else { return Vec::new() };
+        let mut out = state.windows.clone();
+        if state.current.executions() > 0 {
+            out.push(Self::snapshot(&state.current));
+        }
+        out
+    }
+
+    /// Instructions profiled, ordered by index.
+    pub fn instructions(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.states.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The number of *phases* of an instruction: maximal runs of adjacent
+    /// windows sharing the same dominant value. A stationary instruction
+    /// has 1; gcc's mode load has 3.
+    pub fn phase_count(&self, index: u32) -> usize {
+        let windows = self.windows(index);
+        let mut phases = 0;
+        let mut last: Option<Option<u64>> = None;
+        for w in &windows {
+            if last != Some(w.top_value) {
+                phases += 1;
+                last = Some(w.top_value);
+            }
+        }
+        phases
+    }
+
+    /// Mean within-window invariance, weighted by window executions. When
+    /// this is much higher than the whole-run `Inv-Top(1)`, the
+    /// instruction is *phase-wise invariant* — the prime case for the TNV
+    /// clearing policy and for re-specialization.
+    pub fn windowed_invariance(&self, index: u32) -> f64 {
+        let windows = self.windows(index);
+        let total: u64 = windows.iter().map(|w| w.executions).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        windows.iter().map(|w| w.inv_top1 * w.executions as f64).sum::<f64>() / total as f64
+    }
+}
+
+impl Analysis for TemporalProfiler {
+    fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
+        let Some((_, value)) = event.dest else { return };
+        let config = self.config;
+        let window = self.window;
+        let state = self
+            .states
+            .entry(event.index)
+            .or_insert_with(|| TemporalState { current: ValueTracker::new(config), windows: Vec::new() });
+        state.current.observe(value);
+        if state.current.executions() >= window {
+            state.windows.push(Self::snapshot(&state.current));
+            state.current = ValueTracker::new(config);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::{AluOp, Instruction, Reg};
+
+    fn feed(profiler: &mut TemporalProfiler, index: u32, values: impl Iterator<Item = u64>) {
+        let program = vp_asm::assemble(".text\nmain: sys exit\n").unwrap();
+        let machine = vp_sim::Machine::new(program, vp_sim::MachineConfig::new()).unwrap();
+        for value in values {
+            let event = InstrEvent {
+                index,
+                instr: Instruction::Alu { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, rt: Reg::R0 },
+                dest: Some((Reg::R1, value)),
+                mem: None,
+                taken: None,
+                next_index: index + 1,
+            };
+            profiler.after_instr(&machine, &event);
+        }
+    }
+
+    #[test]
+    fn phases_of_a_three_phase_stream() {
+        // 3 phases of 1000 executions, fully invariant within each.
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 100);
+        let stream = std::iter::repeat(1)
+            .take(1000)
+            .chain(std::iter::repeat(2).take(1000))
+            .chain(std::iter::repeat(3).take(1000));
+        feed(&mut p, 0, stream);
+        assert_eq!(p.windows(0).len(), 30);
+        assert_eq!(p.phase_count(0), 3);
+        // Whole-run invariance is 1/3; windowed invariance is 1.0.
+        assert!((p.windowed_invariance(0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.instructions(), vec![0]);
+    }
+
+    #[test]
+    fn stationary_stream_is_one_phase() {
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 50);
+        feed(&mut p, 4, std::iter::repeat(9).take(500));
+        assert_eq!(p.phase_count(4), 1);
+        assert!((p.windowed_invariance(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn varying_stream_has_low_windowed_invariance() {
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 50);
+        feed(&mut p, 4, (0..500u64).map(|i| i));
+        assert!(p.windowed_invariance(4) < 0.05);
+    }
+
+    #[test]
+    fn partial_trailing_window_is_reported() {
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 100);
+        feed(&mut p, 0, std::iter::repeat(1).take(250));
+        let windows = p.windows(0);
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[2].executions, 50);
+        assert_eq!(p.windows(99), Vec::new());
+        assert_eq!(p.phase_count(99), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn zero_window_panics() {
+        let _ = TemporalProfiler::new(TrackerConfig::default(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! The Top-N-Value (TNV) table — the paper's central data structure.
+//!
+//! A TNV table keeps, per profiled entity (instruction, memory location or
+//! procedure parameter), a small fixed number of `(value, count)` pairs.
+//! The paper's replacement policy is *LFU with periodic clearing*: the
+//! table is kept ordered by count, the top entries form the **steady**
+//! part, and at a fixed interval of profiled occurrences the bottom
+//! **clear** part is emptied, so that new values always have head room to
+//! compete for a steady slot, while values that were only briefly hot
+//! during one program phase cannot permanently squat in the table.
+//!
+//! Plain LFU and LRU variants are provided as baselines for the
+//! replacement-policy accuracy experiment (E6).
+
+use std::fmt;
+
+/// Replacement policy of a [`TnvTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// The paper's policy: least-frequently-used replacement restricted to
+    /// the bottom part of the table, with that bottom part cleared every
+    /// `clear_interval` profiled occurrences. `steady` entries at the top
+    /// are never victims.
+    LfuClear {
+        /// Number of top entries protected from clearing.
+        steady: usize,
+        /// Profiled occurrences between clears of the bottom part.
+        clear_interval: u64,
+    },
+    /// Plain LFU: on a miss with a full table, the entry with the smallest
+    /// count is replaced. Vulnerable to early-phase values monopolizing
+    /// the table.
+    Lfu,
+    /// LRU: on a miss with a full table, the least recently *seen* value is
+    /// replaced. Tracks recency, not frequency.
+    Lru,
+}
+
+impl Default for Policy {
+    /// The paper's configuration for an 8-entry table: the top half is
+    /// steady and the bottom half is cleared every 2000 occurrences.
+    fn default() -> Self {
+        Policy::LfuClear { steady: 4, clear_interval: 2000 }
+    }
+}
+
+/// One `(value, count)` pair of a TNV table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TnvEntry {
+    /// The profiled value.
+    pub value: u64,
+    /// How many profiled occurrences produced this value while it was
+    /// resident (an under-count of the true frequency, which is what the
+    /// accuracy experiment E6 quantifies).
+    pub count: u64,
+    /// Recency stamp (only meaningful under [`Policy::Lru`]).
+    last_seen: u64,
+}
+
+/// A Top-N-Value table.
+///
+/// ```
+/// use vp_core::tnv::{Policy, TnvTable};
+///
+/// let mut tnv = TnvTable::new(4, Policy::Lfu);
+/// for v in [7, 7, 7, 3, 3, 9] {
+///     tnv.observe(v);
+/// }
+/// assert_eq!(tnv.top(1)[0].value, 7);
+/// assert_eq!(tnv.top(1)[0].count, 3);
+/// assert_eq!(tnv.observations(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TnvTable {
+    entries: Vec<TnvEntry>,
+    capacity: usize,
+    policy: Policy,
+    observations: u64,
+    since_clear: u64,
+    clock: u64,
+}
+
+impl TnvTable {
+    /// Creates an empty table with room for `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0, or if an `LfuClear` policy's steady part
+    /// does not leave at least one clearable slot.
+    pub fn new(capacity: usize, policy: Policy) -> TnvTable {
+        assert!(capacity > 0, "TNV table capacity must be positive");
+        if let Policy::LfuClear { steady, clear_interval } = policy {
+            assert!(steady < capacity, "steady part must leave clearable slots");
+            assert!(clear_interval > 0, "clear interval must be positive");
+        }
+        TnvTable {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            policy,
+            observations: 0,
+            since_clear: 0,
+            clock: 0,
+        }
+    }
+
+    /// The paper's default table: 8 entries, LFU with lower-half clearing.
+    pub fn with_default_policy() -> TnvTable {
+        TnvTable::new(8, Policy::default())
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Number of values profiled into this table.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn observe(&mut self, value: u64) {
+        self.observations += 1;
+        self.clock += 1;
+
+        if let Some(pos) = self.entries.iter().position(|e| e.value == value) {
+            self.entries[pos].count += 1;
+            self.entries[pos].last_seen = self.clock;
+            // Restore count order by bubbling the entry up.
+            let mut i = pos;
+            while i > 0 && self.entries[i - 1].count < self.entries[i].count {
+                self.entries.swap(i - 1, i);
+                i -= 1;
+            }
+        } else if self.entries.len() < self.capacity {
+            self.entries.push(TnvEntry { value, count: 1, last_seen: self.clock });
+        } else {
+            match self.policy {
+                Policy::LfuClear { .. } | Policy::Lfu => {
+                    // Replace the lowest-count entry (always in the bottom
+                    // part under LfuClear, since the table is count-ordered).
+                    let last = self.entries.len() - 1;
+                    self.entries[last] = TnvEntry { value, count: 1, last_seen: self.clock };
+                }
+                Policy::Lru => {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_seen)
+                        .map(|(i, _)| i)
+                        .expect("table is full, so non-empty");
+                    self.entries[victim] = TnvEntry { value, count: 1, last_seen: self.clock };
+                    self.entries.sort_by(|a, b| b.count.cmp(&a.count));
+                }
+            }
+        }
+
+        if let Policy::LfuClear { steady, clear_interval } = self.policy {
+            self.since_clear += 1;
+            if self.since_clear >= clear_interval {
+                self.since_clear = 0;
+                self.entries.truncate(steady.min(self.entries.len()));
+            }
+        }
+    }
+
+    /// The `n` highest-count entries, best first.
+    pub fn top(&self, n: usize) -> &[TnvEntry] {
+        &self.entries[..n.min(self.entries.len())]
+    }
+
+    /// All resident entries, best first.
+    pub fn entries(&self) -> &[TnvEntry] {
+        &self.entries
+    }
+
+    /// Sum of the counts of the top `n` entries.
+    pub fn top_count(&self, n: usize) -> u64 {
+        self.top(n).iter().map(|e| e.count).sum()
+    }
+
+    /// The most frequent resident value, if any value has been profiled.
+    pub fn top_value(&self) -> Option<u64> {
+        self.entries.first().map(|e| e.value)
+    }
+
+    /// Memory footprint of the table in bytes: fixed at construction,
+    /// independent of how many distinct values the entity produces — the
+    /// paper's space argument for TNV tables over full histograms.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<TnvTable>() + self.capacity * std::mem::size_of::<TnvEntry>()
+    }
+
+    /// Estimated invariance over the top `n` values: the fraction of all
+    /// profiled occurrences covered by the top `n` resident counts. This is
+    /// the paper's `Inv-Top` metric (an *estimate*, since counts of evicted
+    /// residencies are lost).
+    pub fn inv_top(&self, n: usize) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        self.top_count(n) as f64 / self.observations as f64
+    }
+}
+
+impl fmt::Display for TnvTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TNV[{}/{}]", self.entries.len(), self.capacity)?;
+        for e in &self.entries {
+            write!(f, " {}:{}", e.value, e.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_slots_first() {
+        let mut t = TnvTable::new(3, Policy::Lfu);
+        t.observe(1);
+        t.observe(2);
+        t.observe(3);
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.observations(), 3);
+    }
+
+    #[test]
+    fn counts_and_ordering() {
+        let mut t = TnvTable::new(4, Policy::Lfu);
+        for v in [5, 6, 6, 6, 5, 7] {
+            t.observe(v);
+        }
+        let top: Vec<(u64, u64)> = t.entries().iter().map(|e| (e.value, e.count)).collect();
+        assert_eq!(top, vec![(6, 3), (5, 2), (7, 1)]);
+        assert_eq!(t.top_value(), Some(6));
+        assert_eq!(t.top_count(2), 5);
+        assert!((t.inv_top(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lfu_replaces_minimum() {
+        let mut t = TnvTable::new(2, Policy::Lfu);
+        t.observe(1);
+        t.observe(1);
+        t.observe(2);
+        t.observe(3); // replaces 2 (count 1)
+        let values: Vec<u64> = t.entries().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![1, 3]);
+    }
+
+    #[test]
+    fn lfu_phase_change_pathology() {
+        // Pure LFU: an early hot value blocks later, hotter values from
+        // accumulating counts — the pathology that motivates clearing.
+        let mut t = TnvTable::new(2, Policy::Lfu);
+        for _ in 0..100 {
+            t.observe(1);
+        }
+        t.observe(2);
+        // Phase change: value 3 becomes dominant, but values 2/3 keep
+        // evicting each other from the single bottom slot.
+        for _ in 0..100 {
+            t.observe(3);
+            t.observe(4);
+        }
+        // 3 never accumulates: its residency is reset by 4 each time.
+        assert!(t.top(1)[0].value == 1);
+        assert!(t.inv_top(2) < 0.5);
+    }
+
+    #[test]
+    fn lfu_clear_recovers_from_phase_change() {
+        // The clear interval bounds how much frequency a challenger can
+        // accumulate before its count resets, so it must exceed the steady
+        // entry's count for a phase change to be visible — with an interval
+        // of 150 a value seen 150 times in a row out-counts the old steady
+        // value (count 100), bubbles into the steady slot, and the former
+        // champion falls into the clearable part.
+        let mut t = TnvTable::new(2, Policy::LfuClear { steady: 1, clear_interval: 150 });
+        for _ in 0..100 {
+            t.observe(1);
+        }
+        // Phase change to a new dominant value.
+        for _ in 0..400 {
+            t.observe(3);
+        }
+        // 3 must have displaced 1 in the steady part.
+        assert_eq!(t.top_value(), Some(3));
+    }
+
+    #[test]
+    fn clearing_drops_bottom_part() {
+        let mut t = TnvTable::new(4, Policy::LfuClear { steady: 2, clear_interval: 8 });
+        for v in [1, 1, 1, 2, 2, 3, 4] {
+            t.observe(v);
+        }
+        assert_eq!(t.entries().len(), 4);
+        t.observe(1); // 8th observation triggers the clear
+        assert_eq!(t.entries().len(), 2);
+        let values: Vec<u64> = t.entries().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![1, 2]);
+    }
+
+    #[test]
+    fn lru_evicts_stalest() {
+        let mut t = TnvTable::new(2, Policy::Lru);
+        t.observe(1);
+        t.observe(2);
+        t.observe(1); // refresh 1
+        t.observe(3); // evicts 2
+        let mut values: Vec<u64> = t.entries().iter().map(|e| e.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 3]);
+    }
+
+    #[test]
+    fn inv_top_bounds() {
+        let mut t = TnvTable::with_default_policy();
+        assert_eq!(t.inv_top(1), 0.0);
+        for v in 0..100u64 {
+            t.observe(v % 10);
+        }
+        let i1 = t.inv_top(1);
+        let i4 = t.inv_top(4);
+        let i8 = t.inv_top(8);
+        assert!(i1 <= i4 && i4 <= i8);
+        assert!(i8 <= 1.0);
+        assert!(i1 > 0.0);
+    }
+
+    #[test]
+    fn constant_stream_is_fully_invariant() {
+        let mut t = TnvTable::with_default_policy();
+        for _ in 0..5000 {
+            t.observe(42);
+        }
+        assert!((t.inv_top(1) - 1.0).abs() < 1e-12);
+        assert_eq!(t.observations(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TnvTable::new(0, Policy::Lfu);
+    }
+
+    #[test]
+    #[should_panic(expected = "steady part")]
+    fn bad_steady_panics() {
+        let _ = TnvTable::new(4, Policy::LfuClear { steady: 4, clear_interval: 10 });
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut t = TnvTable::new(2, Policy::Lfu);
+        t.observe(9);
+        let s = t.to_string();
+        assert!(s.contains("9:1"), "{s}");
+    }
+}

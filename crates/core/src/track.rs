@@ -1,0 +1,327 @@
+//! Per-entity value tracking: a TNV table plus the scalar counters behind
+//! the paper's metrics (LVP, % zero, execution count, last value), and the
+//! exact [`FullProfile`] used as ground truth.
+
+use std::collections::HashMap;
+
+use crate::tnv::{Policy, TnvTable};
+
+/// Exact value histogram — the "full profile" the paper uses as ground
+/// truth when evaluating TNV-table accuracy (`Inv-All`, `Diff`). Space is
+/// proportional to the number of *distinct* values, which is exactly the
+/// cost the TNV table avoids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FullProfile {
+    counts: HashMap<u64, u64>,
+    observations: u64,
+}
+
+impl FullProfile {
+    /// An empty profile.
+    pub fn new() -> FullProfile {
+        FullProfile::default()
+    }
+
+    /// Records one occurrence of `value`.
+    pub fn observe(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.observations += 1;
+    }
+
+    /// Total observations.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of distinct values seen — the paper's `Diff` numerator.
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// The `n` most frequent `(value, count)` pairs, most frequent first.
+    /// Ties are broken by value for determinism.
+    pub fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Exact invariance over the top `n` values (`Inv-All(n)`).
+    pub fn inv_all(&self, n: usize) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.top(n).iter().map(|&(_, c)| c).sum();
+        covered as f64 / self.observations as f64
+    }
+
+    /// Exact count for a specific value.
+    pub fn count_of(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Estimated memory footprint in bytes: grows with the number of
+    /// distinct values (hash-map entry ≈ key + count + bucket overhead).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<FullProfile>() + self.counts.len() * 3 * std::mem::size_of::<u64>()
+    }
+}
+
+/// How much state a tracker keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// TNV table capacity.
+    pub capacity: usize,
+    /// TNV replacement policy.
+    pub policy: Policy,
+    /// Also keep the exact histogram (ground truth; costs memory
+    /// proportional to distinct values). Enable for accuracy experiments,
+    /// disable for realistic profiling overhead.
+    pub keep_full: bool,
+}
+
+impl Default for TrackerConfig {
+    /// The paper's defaults: an 8-entry `LfuClear` table, no full profile.
+    fn default() -> Self {
+        TrackerConfig { capacity: 8, policy: Policy::default(), keep_full: false }
+    }
+}
+
+impl TrackerConfig {
+    /// Default table with the exact histogram enabled.
+    pub fn with_full() -> TrackerConfig {
+        TrackerConfig { keep_full: true, ..TrackerConfig::default() }
+    }
+}
+
+/// Tracks the value stream of one profiled entity.
+///
+/// ```
+/// use vp_core::track::{TrackerConfig, ValueTracker};
+///
+/// let mut t = ValueTracker::new(TrackerConfig::with_full());
+/// for v in [4, 4, 4, 4, 0, 9, 4, 4, 4, 4] {
+///     t.observe(v);
+/// }
+/// assert_eq!(t.executions(), 10);
+/// assert!((t.inv_top(1) - 0.8).abs() < 1e-12);     // 8/10 are the value 4
+/// assert!((t.lvp() - 0.6).abs() < 1e-12);          // 6/10 repeat the previous
+/// assert!((t.pct_zero() - 0.1).abs() < 1e-12);
+/// assert_eq!(t.full().unwrap().distinct(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueTracker {
+    tnv: TnvTable,
+    full: Option<FullProfile>,
+    executions: u64,
+    zeros: u64,
+    lvp_hits: u64,
+    last: Option<u64>,
+}
+
+impl ValueTracker {
+    /// Creates a tracker with the given configuration.
+    pub fn new(config: TrackerConfig) -> ValueTracker {
+        ValueTracker {
+            tnv: TnvTable::new(config.capacity, config.policy),
+            full: config.keep_full.then(FullProfile::new),
+            executions: 0,
+            zeros: 0,
+            lvp_hits: 0,
+            last: None,
+        }
+    }
+
+    /// Records one produced value.
+    pub fn observe(&mut self, value: u64) {
+        self.executions += 1;
+        if value == 0 {
+            self.zeros += 1;
+        }
+        if self.last == Some(value) {
+            self.lvp_hits += 1;
+        }
+        self.last = Some(value);
+        self.tnv.observe(value);
+        if let Some(full) = &mut self.full {
+            full.observe(value);
+        }
+    }
+
+    /// Number of observed executions.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Last-value predictability: the fraction of executions whose value
+    /// equalled the immediately preceding execution's value (what a
+    /// last-value predictor with an infinite table would get right).
+    pub fn lvp(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.lvp_hits as f64 / self.executions as f64
+        }
+    }
+
+    /// Fraction of executions producing the value 0.
+    pub fn pct_zero(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.executions as f64
+        }
+    }
+
+    /// TNV-estimated invariance over the top `n` values (`Inv-Top`).
+    pub fn inv_top(&self, n: usize) -> f64 {
+        self.tnv.inv_top(n)
+    }
+
+    /// Exact invariance over the top `n` values (`Inv-All`), if the full
+    /// profile was kept.
+    pub fn inv_all(&self, n: usize) -> Option<f64> {
+        self.full.as_ref().map(|f| f.inv_all(n))
+    }
+
+    /// Number of distinct values, if the full profile was kept.
+    pub fn distinct(&self) -> Option<u64> {
+        self.full.as_ref().map(FullProfile::distinct)
+    }
+
+    /// The TNV table.
+    pub fn tnv(&self) -> &TnvTable {
+        &self.tnv
+    }
+
+    /// The exact histogram, if kept.
+    pub fn full(&self) -> Option<&FullProfile> {
+        self.full.as_ref()
+    }
+
+    /// The most recent value, if any.
+    pub fn last_value(&self) -> Option<u64> {
+        self.last
+    }
+
+    /// Estimated memory footprint in bytes (TNV table plus the exact
+    /// histogram when kept).
+    pub fn footprint_bytes(&self) -> usize {
+        self.tnv.footprint_bytes() + self.full.as_ref().map_or(0, FullProfile::footprint_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_profile_exactness() {
+        let mut f = FullProfile::new();
+        for v in [1, 2, 2, 3, 3, 3] {
+            f.observe(v);
+        }
+        assert_eq!(f.observations(), 6);
+        assert_eq!(f.distinct(), 3);
+        assert_eq!(f.top(2), vec![(3, 3), (2, 2)]);
+        assert!((f.inv_all(1) - 0.5).abs() < 1e-12);
+        assert!((f.inv_all(3) - 1.0).abs() < 1e-12);
+        assert_eq!(f.count_of(2), 2);
+        assert_eq!(f.count_of(99), 0);
+    }
+
+    #[test]
+    fn full_profile_tie_break_deterministic() {
+        let mut f = FullProfile::new();
+        for v in [9, 1, 9, 1] {
+            f.observe(v);
+        }
+        assert_eq!(f.top(1), vec![(1, 2)]); // smaller value wins ties
+    }
+
+    #[test]
+    fn lvp_of_constant_stream() {
+        let mut t = ValueTracker::new(TrackerConfig::default());
+        for _ in 0..100 {
+            t.observe(5);
+        }
+        assert!((t.lvp() - 0.99).abs() < 1e-12); // 99 of 100 repeat
+        assert!((t.inv_top(1) - 1.0).abs() < 1e-12);
+        assert_eq!(t.last_value(), Some(5));
+    }
+
+    #[test]
+    fn lvp_of_alternating_stream_is_zero() {
+        let mut t = ValueTracker::new(TrackerConfig::default());
+        for i in 0..100u64 {
+            t.observe(i % 2);
+        }
+        assert_eq!(t.lvp(), 0.0);
+        // ... but invariance over the top-2 values is total:
+        assert!((t.inv_top(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_invariance_despite_low_lvp() {
+        // The paper's key observation: invariance and last-value
+        // predictability are different properties. 90% of values are A but
+        // interleaved with B every 10th execution — LVP sees breaks, the
+        // TNV table sees 90% invariance.
+        let mut t = ValueTracker::new(TrackerConfig::default());
+        for i in 0..1000u64 {
+            t.observe(if i % 10 == 9 { 1 } else { 0 });
+        }
+        assert!(t.inv_top(1) >= 0.89);
+        assert!(t.lvp() < 0.85);
+        assert!((t.pct_zero() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_without_full_profile() {
+        let mut t = ValueTracker::new(TrackerConfig::default());
+        t.observe(1);
+        assert!(t.inv_all(1).is_none());
+        assert!(t.distinct().is_none());
+        assert!(t.full().is_none());
+    }
+
+    #[test]
+    fn tracker_with_full_profile_matches_tnv_on_few_values() {
+        let mut t = ValueTracker::new(TrackerConfig::with_full());
+        for v in [1, 1, 2, 2, 2, 3] {
+            t.observe(v);
+        }
+        // With fewer distinct values than capacity, TNV is exact.
+        assert!((t.inv_top(3) - t.inv_all(3).unwrap()).abs() < 1e-12);
+        assert_eq!(t.distinct(), Some(3));
+    }
+
+    #[test]
+    fn footprint_constant_for_tnv_grows_for_full() {
+        let mut tnv_only = ValueTracker::new(TrackerConfig::default());
+        let mut with_full = ValueTracker::new(TrackerConfig::with_full());
+        let base_tnv = tnv_only.footprint_bytes();
+        let base_full = with_full.footprint_bytes();
+        for v in 0..10_000u64 {
+            tnv_only.observe(v);
+            with_full.observe(v);
+        }
+        assert_eq!(tnv_only.footprint_bytes(), base_tnv, "TNV space is constant");
+        assert!(
+            with_full.footprint_bytes() > base_full + 10_000 * 8,
+            "full profile grows with distinct values"
+        );
+    }
+
+    #[test]
+    fn empty_tracker_metrics() {
+        let t = ValueTracker::new(TrackerConfig::with_full());
+        assert_eq!(t.executions(), 0);
+        assert_eq!(t.lvp(), 0.0);
+        assert_eq!(t.pct_zero(), 0.0);
+        assert_eq!(t.inv_top(8), 0.0);
+        assert_eq!(t.inv_all(8), Some(0.0));
+        assert_eq!(t.last_value(), None);
+    }
+}

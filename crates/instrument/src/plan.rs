@@ -1,0 +1,102 @@
+//! Selection of instrumentation points.
+
+use std::collections::BTreeSet;
+
+use vp_asm::Program;
+
+/// Which instructions receive an `after_instr` analysis call.
+///
+/// The paper's profilers differ only in this choice: the load-value profile
+/// instruments loads, the full value profile instruments every
+/// register-defining instruction, and the convergent profiler dynamically
+/// skips calls (that logic lives in the analysis itself — the *static*
+/// selection stays fixed, as it did with ATOM, where instrumentation is
+/// inserted at link time).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Instrument every instruction.
+    #[default]
+    All,
+    /// Instrument only loads.
+    LoadsOnly,
+    /// Instrument every register-defining instruction (the paper's "all
+    /// instructions" universe: excludes stores, branches, jumps and nops).
+    RegisterDefining,
+    /// Instrument loads and stores (for the memory-location profile).
+    MemoryOps,
+    /// Instrument an explicit set of instruction indices.
+    Custom(BTreeSet<u32>),
+    /// Instrument nothing (baseline for overhead measurements).
+    None,
+}
+
+impl Selection {
+    /// Resolves the selection into a per-instruction boolean map for
+    /// `program`.
+    pub fn resolve(&self, program: &Program) -> Vec<bool> {
+        let code = program.code();
+        match self {
+            Selection::All => vec![true; code.len()],
+            Selection::LoadsOnly => code.iter().map(|i| i.is_load()).collect(),
+            Selection::RegisterDefining => {
+                code.iter().map(|i| i.is_register_defining()).collect()
+            }
+            Selection::MemoryOps => code
+                .iter()
+                .map(|i| i.is_load() || matches!(i, vp_isa::Instruction::Store { .. }))
+                .collect(),
+            Selection::Custom(set) => {
+                (0..code.len() as u32).map(|i| set.contains(&i)).collect()
+            }
+            Selection::None => vec![false; code.len()],
+        }
+    }
+
+    /// Number of instrumented static instructions for `program`.
+    pub fn count(&self, program: &Program) -> usize {
+        self.resolve(program).iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        vp_asm::assemble(
+            r#"
+            .data
+            x: .quad 1
+            .text
+            main:
+                la  r1, x
+                ldd r2, 0(r1)
+                std r2, 0(r1)
+                beq r2, r0, done
+            done:
+                sys exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selections() {
+        let p = sample();
+        assert_eq!(Selection::All.count(&p), p.len());
+        assert_eq!(Selection::LoadsOnly.count(&p), 1);
+        assert_eq!(Selection::MemoryOps.count(&p), 2);
+        // la = lui+ori (2 defining) + ldd (1); store/branch/sys define nothing.
+        assert_eq!(Selection::RegisterDefining.count(&p), 3);
+        assert_eq!(Selection::None.count(&p), 0);
+        let custom = Selection::Custom([0u32, 2].into_iter().collect());
+        let map = custom.resolve(&p);
+        assert!(map[0] && map[2] && !map[1]);
+        assert_eq!(custom.count(&p), 2);
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(Selection::default(), Selection::All);
+    }
+}

@@ -1,0 +1,346 @@
+//! Running programs with analyses attached.
+
+use vp_asm::Program;
+use vp_isa::{Instruction, Reg, Value};
+use vp_sim::{ExecStats, InstrEvent, Machine, MachineConfig, MemAccess, RunOutcome, SimError};
+
+use crate::plan::Selection;
+
+/// An analysis tool: the instrumentation-time code of an ATOM tool.
+///
+/// All callbacks have empty default bodies, so an analysis implements only
+/// the events it cares about. Callbacks receive the [`Machine`] *after* the
+/// instruction executed (ATOM's "instrument after" point, which is where
+/// the paper reads destination register values).
+pub trait Analysis {
+    /// Called after every *selected* instruction executes.
+    fn after_instr(&mut self, machine: &Machine, event: &InstrEvent) {
+        let _ = (machine, event);
+    }
+
+    /// Called after every selected load with its effective address/value.
+    fn on_load(&mut self, machine: &Machine, index: u32, access: &MemAccess) {
+        let _ = (machine, index, access);
+    }
+
+    /// Called after every selected store with its effective address/value.
+    fn on_store(&mut self, machine: &Machine, index: u32, access: &MemAccess) {
+        let _ = (machine, index, access);
+    }
+
+    /// Called when control enters a declared procedure via `jal`/`jalr`.
+    /// `args` are the four argument registers at entry.
+    fn on_proc_entry(&mut self, machine: &Machine, proc_index: usize, args: [Value; 4]) {
+        let _ = (machine, proc_index, args);
+    }
+
+    /// Called when a procedure entered via `on_proc_entry` returns.
+    /// `ret` is the return-value register `v0` at the return point.
+    fn on_proc_exit(&mut self, machine: &Machine, proc_index: usize, ret: Value) {
+        let _ = (machine, proc_index, ret);
+    }
+}
+
+/// Counts of analysis invocations — the exact measure of profiling
+/// overhead used in experiment E12 (the paper reported slowdowns of its
+/// ATOM tools; the event counts are the machine-independent cause).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `after_instr` invocations.
+    pub instr_events: u64,
+    /// `on_load` invocations.
+    pub load_events: u64,
+    /// `on_store` invocations.
+    pub store_events: u64,
+    /// `on_proc_entry` invocations.
+    pub entry_events: u64,
+    /// `on_proc_exit` invocations.
+    pub exit_events: u64,
+}
+
+impl EventCounts {
+    /// Total analysis invocations of any kind.
+    pub fn total(&self) -> u64 {
+        self.instr_events + self.load_events + self.store_events + self.entry_events + self.exit_events
+    }
+}
+
+/// Result of an instrumented run.
+#[derive(Debug, Clone)]
+pub struct InstrumentedRun {
+    /// The program's own outcome.
+    pub outcome: RunOutcome,
+    /// How many analysis events fired.
+    pub counts: EventCounts,
+    /// Dynamic execution statistics of the run.
+    pub stats: ExecStats,
+}
+
+/// Configures and executes instrumented runs (the ATOM driver).
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use vp_instrument::{Analysis, Instrumenter, Selection};
+///
+/// struct Nothing;
+/// impl Analysis for Nothing {}
+///
+/// let program = vp_asm::assemble(".text\nmain: sys exit\n")?;
+/// let run = Instrumenter::new()
+///     .select(Selection::None)
+///     .run(&program, vp_sim::MachineConfig::new(), 100, &mut Nothing)?;
+/// assert_eq!(run.counts.total(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Instrumenter {
+    selection: Selection,
+    procedures: bool,
+}
+
+impl Instrumenter {
+    /// A new instrumenter that selects all instructions and does not
+    /// instrument procedures.
+    pub fn new() -> Instrumenter {
+        Instrumenter { selection: Selection::All, procedures: false }
+    }
+
+    /// Sets which instructions receive `after_instr`/`on_load`/`on_store`.
+    pub fn select(mut self, selection: Selection) -> Instrumenter {
+        self.selection = selection;
+        self
+    }
+
+    /// Enables procedure entry/exit instrumentation.
+    pub fn with_procedures(mut self, yes: bool) -> Instrumenter {
+        self.procedures = yes;
+        self
+    }
+
+    /// Runs `program` under `config` with `analysis` attached, for at most
+    /// `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the emulator (including budget
+    /// exhaustion).
+    pub fn run<A: Analysis>(
+        &self,
+        program: &Program,
+        config: MachineConfig,
+        budget: u64,
+        analysis: &mut A,
+    ) -> Result<InstrumentedRun, SimError> {
+        let selected = self.selection.resolve(program);
+        let mut machine = Machine::new(program.clone(), config)?;
+        let mut counts = EventCounts::default();
+        // Shadow call stack: (procedure index, expected return instruction).
+        let mut call_stack: Vec<(usize, u32)> = Vec::new();
+        let procs = self.procedures;
+
+        let outcome = machine.run_with(budget, |m, event| {
+            if selected.get(event.index as usize).copied().unwrap_or(false) {
+                counts.instr_events += 1;
+                analysis.after_instr(m, event);
+                if let Some(access) = &event.mem {
+                    if access.store {
+                        counts.store_events += 1;
+                        analysis.on_store(m, event.index, access);
+                    } else {
+                        counts.load_events += 1;
+                        analysis.on_load(m, event.index, access);
+                    }
+                }
+            }
+            if procs {
+                track_procedures(m, event, &mut call_stack, &mut counts, analysis);
+            }
+        })?;
+
+        let stats = machine.stats().clone();
+        Ok(InstrumentedRun { outcome, counts, stats })
+    }
+}
+
+fn track_procedures<A: Analysis>(
+    machine: &Machine,
+    event: &InstrEvent,
+    call_stack: &mut Vec<(usize, u32)>,
+    counts: &mut EventCounts,
+    analysis: &mut A,
+) {
+    let program = machine.program();
+    match event.instr {
+        Instruction::Jal { .. } | Instruction::Jalr { .. } => {
+            let target = event.next_index;
+            if let Some(pos) =
+                program.procedures().iter().position(|p| p.range.start == target)
+            {
+                let args = [
+                    machine.reg(Reg::A0),
+                    machine.reg(Reg::A1),
+                    machine.reg(Reg::A2),
+                    machine.reg(Reg::A3),
+                ];
+                call_stack.push((pos, event.index + 1));
+                counts.entry_events += 1;
+                analysis.on_proc_entry(machine, pos, args);
+            }
+        }
+        Instruction::Jr { .. } => {
+            if let Some(&(proc, ret_to)) = call_stack.last() {
+                if ret_to == event.next_index {
+                    call_stack.pop();
+                    counts.exit_events += 1;
+                    analysis.on_proc_exit(machine, proc, machine.reg(Reg::V0));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CALL_PROGRAM: &str = r#"
+        .data
+        x: .quad 7
+        .text
+        main:
+            li  a0, 3
+            call triple
+            la  r8, x
+            ldd r2, 0(r8)
+            std r2, 0(r8)
+            mov a0, v0
+            sys exit
+        .proc triple
+        triple:
+            add v0, a0, a0
+            add v0, v0, a0
+            ret
+        .endp
+    "#;
+
+    #[derive(Default)]
+    struct Recorder {
+        instrs: Vec<u32>,
+        loads: Vec<(u32, u64)>,
+        stores: Vec<(u32, u64)>,
+        entries: Vec<(usize, [u64; 4])>,
+        exits: Vec<(usize, u64)>,
+    }
+
+    impl Analysis for Recorder {
+        fn after_instr(&mut self, _m: &Machine, ev: &InstrEvent) {
+            self.instrs.push(ev.index);
+        }
+        fn on_load(&mut self, _m: &Machine, index: u32, a: &MemAccess) {
+            self.loads.push((index, a.value));
+        }
+        fn on_store(&mut self, _m: &Machine, index: u32, a: &MemAccess) {
+            self.stores.push((index, a.value));
+        }
+        fn on_proc_entry(&mut self, _m: &Machine, p: usize, args: [u64; 4]) {
+            self.entries.push((p, args));
+        }
+        fn on_proc_exit(&mut self, _m: &Machine, p: usize, ret: u64) {
+            self.exits.push((p, ret));
+        }
+    }
+
+    fn program() -> Program {
+        vp_asm::assemble(CALL_PROGRAM).unwrap()
+    }
+
+    #[test]
+    fn full_instrumentation_sees_everything() {
+        let p = program();
+        let mut rec = Recorder::default();
+        let run = Instrumenter::new()
+            .with_procedures(true)
+            .run(&p, MachineConfig::new(), 10_000, &mut rec)
+            .unwrap();
+        assert_eq!(run.outcome.exit_code, 9);
+        assert_eq!(rec.instrs.len() as u64, run.outcome.instructions);
+        assert_eq!(rec.loads, vec![(4, 7)]);
+        assert_eq!(rec.stores, vec![(5, 7)]);
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].0, 0);
+        assert_eq!(rec.entries[0].1[0], 3);
+        assert_eq!(rec.exits, vec![(0, 9)]);
+        assert_eq!(run.counts.entry_events, 1);
+        assert_eq!(run.counts.exit_events, 1);
+        assert_eq!(run.counts.load_events, 1);
+        assert_eq!(run.counts.store_events, 1);
+        assert!(run.counts.total() > 4);
+    }
+
+    #[test]
+    fn loads_only_selection() {
+        let p = program();
+        let mut rec = Recorder::default();
+        let run = Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(&p, MachineConfig::new(), 10_000, &mut rec)
+            .unwrap();
+        assert_eq!(rec.instrs.len(), 1);
+        assert_eq!(rec.loads.len(), 1);
+        assert!(rec.stores.is_empty()); // stores not selected
+        assert!(rec.entries.is_empty()); // procedures off
+        assert_eq!(run.counts.instr_events, 1);
+    }
+
+    #[test]
+    fn none_selection_costs_nothing() {
+        let p = program();
+        let mut rec = Recorder::default();
+        let run = Instrumenter::new()
+            .select(Selection::None)
+            .run(&p, MachineConfig::new(), 10_000, &mut rec)
+            .unwrap();
+        assert_eq!(run.counts.total(), 0);
+        assert!(rec.instrs.is_empty());
+        assert_eq!(run.outcome.exit_code, 9);
+        assert_eq!(run.stats.total(), run.outcome.instructions);
+    }
+
+    #[test]
+    fn recursive_procedure_tracking() {
+        let src = r#"
+            .text
+            main:
+                li a0, 3
+                call down
+                mov a0, v0
+                sys exit
+            .proc down
+            down:
+                addi sp, sp, -16
+                std  ra, 0(sp)
+                mov  v0, a0
+                bz   a0, out
+                addi a0, a0, -1
+                call down
+            out:
+                ldd  ra, 0(sp)
+                addi sp, sp, 16
+                ret
+            .endp
+        "#;
+        let p = vp_asm::assemble(src).unwrap();
+        let mut rec = Recorder::default();
+        Instrumenter::new()
+            .select(Selection::None)
+            .with_procedures(true)
+            .run(&p, MachineConfig::new(), 10_000, &mut rec)
+            .unwrap();
+        assert_eq!(rec.entries.len(), 4); // down(3), down(2), down(1), down(0)
+        assert_eq!(rec.exits.len(), 4);
+        assert_eq!(rec.entries[0].1[0], 3);
+        assert_eq!(rec.entries[3].1[0], 0);
+    }
+}

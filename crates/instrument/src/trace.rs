@@ -1,0 +1,323 @@
+//! Trace recording and replay.
+//!
+//! Trace-driven analysis was the standard methodology of the paper's era:
+//! record a program's dynamic event stream once, then run any number of
+//! analyses offline without re-executing the program. This module records
+//! the instrumentation event stream into a compact in-memory (or on-disk)
+//! [`Trace`] and replays it into any [`Analysis`] — producing *identical*
+//! profiles to a live run, which the tests verify.
+//!
+//! Note that replay cannot provide the live [`Machine`] state, so analyses
+//! that inspect machine registers beyond the event payload see a parked
+//! machine. Every profiler in `vp-core` uses only the event payloads.
+
+use std::fmt;
+
+use vp_asm::Program;
+use vp_isa::{DecodeError, Instruction, Reg, Value};
+use vp_sim::{InstrEvent, Machine, MachineConfig, MemAccess, SimError};
+
+use crate::plan::Selection;
+use crate::runner::{Analysis, EventCounts, Instrumenter};
+
+/// One recorded event: the serializable subset of [`InstrEvent`] the
+/// profilers consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Instruction index.
+    pub index: u32,
+    /// Encoded instruction word.
+    pub instr_word: u32,
+    /// Destination register and value, if the instruction wrote one.
+    pub dest: Option<(Reg, Value)>,
+    /// Memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Next instruction index.
+    pub next_index: u32,
+}
+
+/// A recorded event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// Error when deserializing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Byte stream is not a trace or is cut short.
+    Malformed,
+    /// An instruction word failed to decode during replay.
+    BadInstruction(DecodeError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed => write!(f, "malformed trace"),
+            TraceError::BadInstruction(e) => write!(f, "bad instruction in trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const MAGIC: &[u8; 4] = b"VPT1";
+const EVENT_BYTES: usize = 4 + 4 + 1 + 1 + 8 + 1 + 8 + 8 + 1 + 4;
+
+impl Trace {
+    /// Records the selected events of one program run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator faults from the recording run.
+    pub fn record(
+        program: &Program,
+        config: MachineConfig,
+        budget: u64,
+        selection: Selection,
+    ) -> Result<Trace, SimError> {
+        struct Recorder(Vec<TraceEvent>);
+        impl Analysis for Recorder {
+            fn after_instr(&mut self, _m: &Machine, ev: &InstrEvent) {
+                self.0.push(TraceEvent {
+                    index: ev.index,
+                    instr_word: ev.instr.encode(),
+                    dest: ev.dest,
+                    mem: ev.mem,
+                    next_index: ev.next_index,
+                });
+            }
+        }
+        let mut recorder = Recorder(Vec::new());
+        Instrumenter::new().select(selection).run(program, config, budget, &mut recorder)?;
+        Ok(Trace { events: recorder.0 })
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Replays the trace into an analysis. The analysis receives the same
+    /// `after_instr`/`on_load`/`on_store` sequence a live instrumented run
+    /// would have delivered (procedure hooks are not replayed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadInstruction`] if an event's instruction
+    /// word does not decode (corrupt trace).
+    pub fn replay<A: Analysis>(&self, analysis: &mut A) -> Result<EventCounts, TraceError> {
+        // A parked machine to satisfy the Analysis signature.
+        let program = Program::from_parts(
+            vec![Instruction::Sys { call: vp_isa::Syscall::Exit }],
+            Vec::new(),
+            Default::default(),
+            Vec::new(),
+            0,
+        );
+        let machine =
+            Machine::new(program, MachineConfig::new()).expect("parked machine");
+        let mut counts = EventCounts::default();
+        for ev in &self.events {
+            let instr =
+                Instruction::decode(ev.instr_word).map_err(TraceError::BadInstruction)?;
+            let event = InstrEvent {
+                index: ev.index,
+                instr,
+                dest: ev.dest,
+                mem: ev.mem,
+                taken: None,
+                next_index: ev.next_index,
+            };
+            counts.instr_events += 1;
+            analysis.after_instr(&machine, &event);
+            if let Some(access) = &event.mem {
+                if access.store {
+                    counts.store_events += 1;
+                    analysis.on_store(&machine, event.index, access);
+                } else {
+                    counts.load_events += 1;
+                    analysis.on_load(&machine, event.index, access);
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Serializes the trace (little-endian, fixed-width records).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.events.len() * EVENT_BYTES);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for ev in &self.events {
+            out.extend_from_slice(&ev.index.to_le_bytes());
+            out.extend_from_slice(&ev.instr_word.to_le_bytes());
+            match ev.dest {
+                Some((r, v)) => {
+                    out.push(1);
+                    out.push(r.index() as u8);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.push(0);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+            match &ev.mem {
+                Some(a) => {
+                    out.push(1);
+                    out.extend_from_slice(&a.address.to_le_bytes());
+                    out.extend_from_slice(&a.value.to_le_bytes());
+                    out.push(u8::from(a.store) | (width_tag(a.width) << 1));
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&[0u8; 17]);
+                }
+            }
+            out.extend_from_slice(&ev.next_index.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a trace written by [`to_bytes`](Trace::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Malformed`] on truncation or bad framing.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        if bytes.len() < 8 || &bytes[..4] != MAGIC {
+            return Err(TraceError::Malformed);
+        }
+        let n = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let body = &bytes[8..];
+        if body.len() != n * EVENT_BYTES {
+            return Err(TraceError::Malformed);
+        }
+        let mut events = Vec::with_capacity(n);
+        for chunk in body.chunks_exact(EVENT_BYTES) {
+            let u32_at = |o: usize| u32::from_le_bytes(chunk[o..o + 4].try_into().expect("4"));
+            let u64_at = |o: usize| u64::from_le_bytes(chunk[o..o + 8].try_into().expect("8"));
+            let dest = if chunk[8] == 1 {
+                let reg = Reg::from_index(chunk[9] as usize).ok_or(TraceError::Malformed)?;
+                Some((reg, u64_at(10)))
+            } else {
+                None
+            };
+            let mem = if chunk[18] == 1 {
+                let flags = chunk[35];
+                Some(MemAccess {
+                    address: u64_at(19),
+                    value: u64_at(27),
+                    store: flags & 1 == 1,
+                    width: width_from_tag(flags >> 1).ok_or(TraceError::Malformed)?,
+                })
+            } else {
+                None
+            };
+            events.push(TraceEvent {
+                index: u32_at(0),
+                instr_word: u32_at(4),
+                dest,
+                mem,
+                next_index: u32_at(36),
+            });
+        }
+        Ok(Trace { events })
+    }
+}
+
+fn width_tag(w: vp_isa::MemWidth) -> u8 {
+    match w {
+        vp_isa::MemWidth::B => 0,
+        vp_isa::MemWidth::H => 1,
+        vp_isa::MemWidth::W => 2,
+        vp_isa::MemWidth::D => 3,
+    }
+}
+
+fn width_from_tag(tag: u8) -> Option<vp_isa::MemWidth> {
+    vp_isa::MemWidth::ALL.get(tag as usize).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        vp_asm::assemble(
+            r#"
+            .data
+            x: .quad 7
+            .text
+            main:
+                la  r8, x
+                li  r9, 20
+            loop:
+                ldd r2, 0(r8)
+                add r3, r2, r9
+                std r3, 0(r8)
+                std r0, 0(r8)
+                ldd r2, 0(r8)
+                addi r9, r9, -1
+                bnz r9, loop
+                sys exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_and_serialize_round_trip() {
+        let program = sample_program();
+        let trace =
+            Trace::record(&program, MachineConfig::new(), 100_000, Selection::All).unwrap();
+        assert!(!trace.is_empty());
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(trace.events().len(), trace.len());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert_eq!(Trace::from_bytes(b"nope").unwrap_err(), TraceError::Malformed);
+        let program = sample_program();
+        let trace =
+            Trace::record(&program, MachineConfig::new(), 100_000, Selection::LoadsOnly).unwrap();
+        let bytes = trace.to_bytes();
+        assert!(Trace::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut wrong_count = bytes.clone();
+        wrong_count[4..8].copy_from_slice(&9999u32.to_le_bytes());
+        assert!(Trace::from_bytes(&wrong_count).is_err());
+    }
+
+    #[test]
+    fn replay_counts_match_live_counts() {
+        let program = sample_program();
+        struct Null;
+        impl Analysis for Null {}
+        let live = Instrumenter::new()
+            .select(Selection::MemoryOps)
+            .run(&program, MachineConfig::new(), 100_000, &mut Null)
+            .unwrap();
+        let trace =
+            Trace::record(&program, MachineConfig::new(), 100_000, Selection::MemoryOps).unwrap();
+        let counts = trace.replay(&mut Null).unwrap();
+        assert_eq!(counts.instr_events, live.counts.instr_events);
+        assert_eq!(counts.load_events, live.counts.load_events);
+        assert_eq!(counts.store_events, live.counts.store_events);
+    }
+}

@@ -1,0 +1,73 @@
+//! Failure injection: instrumented runs that fault must surface the fault
+//! and leave the analysis with exactly the events that happened before it.
+
+use vp_instrument::{Analysis, Instrumenter};
+use vp_sim::{InstrEvent, Machine, MachineConfig, SimError};
+
+#[derive(Default)]
+struct Counter(u64);
+
+impl Analysis for Counter {
+    fn after_instr(&mut self, _m: &Machine, _ev: &InstrEvent) {
+        self.0 += 1;
+    }
+}
+
+#[test]
+fn memory_fault_mid_run() {
+    // Third instruction faults (load far out of bounds via negative base).
+    let program = vp_asm::assemble(
+        ".text\nmain: li r1, 1\n li r2, -8\n ldd r3, 0(r2)\n sys exit\n",
+    )
+    .unwrap();
+    let mut counter = Counter::default();
+    let err = Instrumenter::new()
+        .run(&program, MachineConfig::new(), 1000, &mut counter)
+        .unwrap_err();
+    assert!(matches!(err, SimError::Mem(_)), "{err}");
+    // The two successful instructions were observed; the faulting one not.
+    assert_eq!(counter.0, 2);
+}
+
+#[test]
+fn budget_exhaustion_mid_run() {
+    let program = vp_asm::assemble(".text\nmain: j main\n").unwrap();
+    let mut counter = Counter::default();
+    let err = Instrumenter::new()
+        .run(&program, MachineConfig::new(), 50, &mut counter)
+        .unwrap_err();
+    assert_eq!(err, SimError::BudgetExhausted { budget: 50 });
+    assert_eq!(counter.0, 50, "every executed instruction was observed");
+}
+
+#[test]
+fn pc_escape_is_reported() {
+    // Fall off the end of the text section (no sys exit).
+    let program = vp_asm::assemble(".text\nmain: li r1, 1\n").unwrap();
+    let mut counter = Counter::default();
+    let err = Instrumenter::new()
+        .run(&program, MachineConfig::new(), 1000, &mut counter)
+        .unwrap_err();
+    assert!(matches!(err, SimError::PcOutOfRange { .. }), "{err}");
+}
+
+#[test]
+fn bad_indirect_jump_is_reported() {
+    let program = vp_asm::assemble(".text\nmain: li r1, 6\n jr r1\n sys exit\n").unwrap();
+    let mut counter = Counter::default();
+    let err = Instrumenter::new()
+        .run(&program, MachineConfig::new(), 1000, &mut counter)
+        .unwrap_err();
+    assert!(matches!(err, SimError::BadJumpTarget { address: 6 }), "{err}");
+}
+
+#[test]
+fn image_too_large_is_reported() {
+    let program = vp_asm::assemble(".data\nbuf: .space 64\n.text\nmain: sys exit\n").unwrap();
+    let mut counter = Counter::default();
+    let err = Instrumenter::new()
+        .run(&program, MachineConfig::new().memory_size(1024), 1000, &mut counter)
+        .unwrap_err();
+    assert!(matches!(err, SimError::ImageTooLarge { .. }), "{err}");
+    assert_eq!(counter.0, 0, "nothing executed");
+}

@@ -1,0 +1,97 @@
+//! Disassembly: `Display` for [`Instruction`] producing the same syntax the
+//! `vp-asm` assembler accepts, so `assemble(disassemble(i)) == i`.
+
+use std::fmt;
+
+use crate::instr::Instruction;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instruction::AluImm { op, rd, rs, imm } => {
+                write!(f, "{}i {rd}, {rs}, {imm}", op.mnemonic())
+            }
+            Instruction::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+            Instruction::Fp { op, rd, rs, rt } => {
+                if op.uses_rt() {
+                    write!(f, "{op} {rd}, {rs}, {rt}")
+                } else {
+                    write!(f, "{op} {rd}, {rs}")
+                }
+            }
+            Instruction::Load { rd, base, offset, width } => {
+                write!(f, "ld{} {rd}, {offset}({base})", width.suffix())
+            }
+            Instruction::LoadSigned { rd, base, offset, width } => {
+                write!(f, "ld{}s {rd}, {offset}({base})", width.suffix())
+            }
+            Instruction::Store { rs, base, offset, width } => {
+                write!(f, "st{} {rs}, {offset}({base})", width.suffix())
+            }
+            Instruction::Branch { cond, rs, rt, disp } => {
+                write!(f, "{cond} {rs}, {rt}, {disp}")
+            }
+            Instruction::Jump { target } => write!(f, "j {target}"),
+            Instruction::Jal { target } => write!(f, "jal {target}"),
+            Instruction::Jr { rs } => write!(f, "jr {rs}"),
+            Instruction::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Instruction::Sys { call } => write!(f, "sys {call}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, BranchCond, FpOp, MemWidth};
+    use crate::reg::Reg;
+
+    #[test]
+    fn display_forms() {
+        let cases: Vec<(Instruction, &str)> = vec![
+            (Instruction::Nop, "nop"),
+            (
+                Instruction::Alu { op: AluOp::Add, rd: Reg::R3, rs: Reg::R1, rt: Reg::R2 },
+                "add r3, r1, r2",
+            ),
+            (
+                Instruction::AluImm { op: AluOp::Add, rd: Reg::R3, rs: Reg::R1, imm: -4 },
+                "addi r3, r1, -4",
+            ),
+            (Instruction::Lui { rd: Reg::R3, imm: 16 }, "lui r3, 16"),
+            (
+                Instruction::Load { rd: Reg::R3, base: Reg::SP, offset: 8, width: MemWidth::D },
+                "ldd r3, 8(r29)",
+            ),
+            (
+                Instruction::LoadSigned { rd: Reg::R3, base: Reg::SP, offset: -8, width: MemWidth::B },
+                "ldbs r3, -8(r29)",
+            ),
+            (
+                Instruction::Store { rs: Reg::R3, base: Reg::SP, offset: 8, width: MemWidth::W },
+                "stw r3, 8(r29)",
+            ),
+            (
+                Instruction::Branch { cond: BranchCond::Ne, rs: Reg::R1, rt: Reg::R0, disp: -3 },
+                "bne r1, r0, -3",
+            ),
+            (Instruction::Jump { target: 12 }, "j 12"),
+            (Instruction::Jal { target: 12 }, "jal 12"),
+            (Instruction::Jr { rs: Reg::RA }, "jr r30"),
+            (Instruction::Jalr { rd: Reg::RA, rs: Reg::R8 }, "jalr r30, r8"),
+            (
+                Instruction::Fp { op: FpOp::CvtIF, rd: Reg::R1, rs: Reg::R2, rt: Reg::R0 },
+                "cvtif r1, r2",
+            ),
+            (
+                Instruction::Fp { op: FpOp::FMul, rd: Reg::R1, rs: Reg::R2, rt: Reg::R3 },
+                "fmul r1, r2, r3",
+            ),
+        ];
+        for (instr, text) in cases {
+            assert_eq!(instr.to_string(), text);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Binary encoding and decoding of VP64 instructions.
+//!
+//! Every instruction is one 32-bit word:
+//!
+//! ```text
+//!  31    26 25  21 20  16 15  11 10     0
+//! +--------+------+------+------+--------+
+//! | opcode |  rd  |  rs  |  rt  | funct  |   R-format (alu, fp)
+//! +--------+------+------+------+--------+
+//! | opcode |  rd  |  rs  |     imm16     |   I-format (alu-imm, mem, branch)
+//! +--------+------+------+---------------+
+//! | opcode |           target26          |   J-format (jump, jal)
+//! +--------+-----------------------------+
+//! ```
+//!
+//! Branch/jump displacements and targets are in instruction words.
+
+use std::fmt;
+
+use crate::instr::Instruction;
+use crate::op::{AluOp, BranchCond, FpOp, MemWidth, Syscall};
+use crate::reg::Reg;
+
+// Primary opcode assignments.
+const OP_NOP: u32 = 0;
+const OP_ALU: u32 = 1;
+const OP_FP: u32 = 2;
+const OP_ALU_IMM_BASE: u32 = 3; // 3..=18, one per AluOp
+const OP_LUI: u32 = 19;
+const OP_LOAD_BASE: u32 = 20; // 20..=23, one per MemWidth
+const OP_LOAD_SIGNED_BASE: u32 = 24; // 24..=26, B/H/W
+const OP_STORE_BASE: u32 = 27; // 27..=30, one per MemWidth
+const OP_BRANCH_BASE: u32 = 31; // 31..=36, one per BranchCond
+const OP_JUMP: u32 = 37;
+const OP_JAL: u32 = 38;
+const OP_JR: u32 = 39;
+const OP_JALR: u32 = 40;
+const OP_SYS: u32 = 41;
+
+/// Error produced when decoding an instruction word fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The primary opcode field does not name an instruction.
+    UnknownOpcode {
+        /// The offending 6-bit opcode value.
+        opcode: u32,
+    },
+    /// An R-format funct field is out of range for its opcode.
+    UnknownFunct {
+        /// The primary opcode.
+        opcode: u32,
+        /// The offending funct value.
+        funct: u32,
+    },
+    /// A syscall number is out of range.
+    UnknownSyscall {
+        /// The offending syscall number.
+        number: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { opcode } => {
+                write!(f, "unknown opcode {opcode:#x}")
+            }
+            DecodeError::UnknownFunct { opcode, funct } => {
+                write!(f, "unknown funct {funct:#x} for opcode {opcode:#x}")
+            }
+            DecodeError::UnknownSyscall { number } => {
+                write!(f, "unknown syscall number {number}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn field_rd(word: u32) -> Reg {
+    Reg::from_index(((word >> 21) & 0x1f) as usize).expect("5-bit field")
+}
+
+#[inline]
+fn field_rs(word: u32) -> Reg {
+    Reg::from_index(((word >> 16) & 0x1f) as usize).expect("5-bit field")
+}
+
+#[inline]
+fn field_rt(word: u32) -> Reg {
+    Reg::from_index(((word >> 11) & 0x1f) as usize).expect("5-bit field")
+}
+
+#[inline]
+fn field_imm(word: u32) -> i16 {
+    (word & 0xffff) as u16 as i16
+}
+
+#[inline]
+fn pack_r(opcode: u32, rd: Reg, rs: Reg, rt: Reg, funct: u32) -> u32 {
+    debug_assert!(opcode < 64 && funct < (1 << 11));
+    (opcode << 26) | ((rd.index() as u32) << 21) | ((rs.index() as u32) << 16) | ((rt.index() as u32) << 11) | funct
+}
+
+#[inline]
+fn pack_i(opcode: u32, rd: Reg, rs: Reg, imm: i16) -> u32 {
+    (opcode << 26) | ((rd.index() as u32) << 21) | ((rs.index() as u32) << 16) | (imm as u16 as u32)
+}
+
+#[inline]
+fn pack_j(opcode: u32, target: u32) -> u32 {
+    debug_assert!(target < (1 << 26));
+    (opcode << 26) | (target & 0x03ff_ffff)
+}
+
+fn width_index(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::B => 0,
+        MemWidth::H => 1,
+        MemWidth::W => 2,
+        MemWidth::D => 3,
+    }
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit word.
+    ///
+    /// Encoding is total: every `Instruction` value has a word. Jump targets
+    /// wider than 26 bits are truncated (programs that large are rejected by
+    /// the assembler long before encoding).
+    pub fn encode(self) -> u32 {
+        match self {
+            Instruction::Nop => pack_j(OP_NOP, 0),
+            Instruction::Alu { op, rd, rs, rt } => {
+                let funct = AluOp::ALL.iter().position(|&o| o == op).expect("alu op") as u32;
+                pack_r(OP_ALU, rd, rs, rt, funct)
+            }
+            Instruction::Fp { op, rd, rs, rt } => {
+                let funct = FpOp::ALL.iter().position(|&o| o == op).expect("fp op") as u32;
+                pack_r(OP_FP, rd, rs, rt, funct)
+            }
+            Instruction::AluImm { op, rd, rs, imm } => {
+                let idx = AluOp::ALL.iter().position(|&o| o == op).expect("alu op") as u32;
+                pack_i(OP_ALU_IMM_BASE + idx, rd, rs, imm)
+            }
+            Instruction::Lui { rd, imm } => pack_i(OP_LUI, rd, Reg::R0, imm as i16),
+            Instruction::Load { rd, base, offset, width } => {
+                pack_i(OP_LOAD_BASE + width_index(width), rd, base, offset)
+            }
+            Instruction::LoadSigned { rd, base, offset, width } => {
+                let idx = width_index(width).min(2);
+                pack_i(OP_LOAD_SIGNED_BASE + idx, rd, base, offset)
+            }
+            Instruction::Store { rs, base, offset, width } => {
+                pack_i(OP_STORE_BASE + width_index(width), rs, base, offset)
+            }
+            Instruction::Branch { cond, rs, rt, disp } => {
+                let idx = BranchCond::ALL.iter().position(|&c| c == cond).expect("cond") as u32;
+                pack_i(OP_BRANCH_BASE + idx, rs, rt, disp)
+            }
+            Instruction::Jump { target } => pack_j(OP_JUMP, target),
+            Instruction::Jal { target } => pack_j(OP_JAL, target),
+            Instruction::Jr { rs } => pack_i(OP_JR, rs, Reg::R0, 0),
+            Instruction::Jalr { rd, rs } => pack_i(OP_JALR, rd, rs, 0),
+            Instruction::Sys { call } => {
+                let n = Syscall::ALL.iter().position(|&c| c == call).expect("syscall") as i16;
+                pack_i(OP_SYS, Reg::R0, Reg::R0, n)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the opcode, funct or syscall field
+    /// does not correspond to any instruction.
+    pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+        let opcode = word >> 26;
+        match opcode {
+            OP_NOP => Ok(Instruction::Nop),
+            OP_ALU => {
+                let funct = word & 0x7ff;
+                let op = *AluOp::ALL
+                    .get(funct as usize)
+                    .ok_or(DecodeError::UnknownFunct { opcode, funct })?;
+                Ok(Instruction::Alu { op, rd: field_rd(word), rs: field_rs(word), rt: field_rt(word) })
+            }
+            OP_FP => {
+                let funct = word & 0x7ff;
+                let op = *FpOp::ALL
+                    .get(funct as usize)
+                    .ok_or(DecodeError::UnknownFunct { opcode, funct })?;
+                Ok(Instruction::Fp { op, rd: field_rd(word), rs: field_rs(word), rt: field_rt(word) })
+            }
+            _ if (OP_ALU_IMM_BASE..OP_ALU_IMM_BASE + 16).contains(&opcode) => {
+                let op = AluOp::ALL[(opcode - OP_ALU_IMM_BASE) as usize];
+                Ok(Instruction::AluImm { op, rd: field_rd(word), rs: field_rs(word), imm: field_imm(word) })
+            }
+            OP_LUI => Ok(Instruction::Lui { rd: field_rd(word), imm: field_imm(word) as u16 }),
+            _ if (OP_LOAD_BASE..OP_LOAD_BASE + 4).contains(&opcode) => {
+                let width = MemWidth::ALL[(opcode - OP_LOAD_BASE) as usize];
+                Ok(Instruction::Load { rd: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+            }
+            _ if (OP_LOAD_SIGNED_BASE..OP_LOAD_SIGNED_BASE + 3).contains(&opcode) => {
+                let width = MemWidth::ALL[(opcode - OP_LOAD_SIGNED_BASE) as usize];
+                Ok(Instruction::LoadSigned { rd: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+            }
+            _ if (OP_STORE_BASE..OP_STORE_BASE + 4).contains(&opcode) => {
+                let width = MemWidth::ALL[(opcode - OP_STORE_BASE) as usize];
+                Ok(Instruction::Store { rs: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+            }
+            _ if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&opcode) => {
+                let cond = BranchCond::ALL[(opcode - OP_BRANCH_BASE) as usize];
+                Ok(Instruction::Branch { cond, rs: field_rd(word), rt: field_rs(word), disp: field_imm(word) })
+            }
+            OP_JUMP => Ok(Instruction::Jump { target: word & 0x03ff_ffff }),
+            OP_JAL => Ok(Instruction::Jal { target: word & 0x03ff_ffff }),
+            OP_JR => Ok(Instruction::Jr { rs: field_rd(word) }),
+            OP_JALR => Ok(Instruction::Jalr { rd: field_rd(word), rs: field_rs(word) }),
+            OP_SYS => {
+                let number = word & 0xffff;
+                let call = *Syscall::ALL
+                    .get(number as usize)
+                    .ok_or(DecodeError::UnknownSyscall { number })?;
+                Ok(Instruction::Sys { call })
+            }
+            _ => Err(DecodeError::UnknownOpcode { opcode }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instruction) {
+        let w = i.encode();
+        assert_eq!(Instruction::decode(w), Ok(i), "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_representatives() {
+        round_trip(Instruction::Nop);
+        for op in AluOp::ALL {
+            round_trip(Instruction::Alu { op, rd: Reg::R1, rs: Reg::R31, rt: Reg::R15 });
+            round_trip(Instruction::AluImm { op, rd: Reg::R2, rs: Reg::R3, imm: -5 });
+        }
+        for op in FpOp::ALL {
+            round_trip(Instruction::Fp { op, rd: Reg::R9, rs: Reg::R8, rt: Reg::R7 });
+        }
+        for width in MemWidth::ALL {
+            round_trip(Instruction::Load { rd: Reg::R5, base: Reg::SP, offset: -32768, width });
+            round_trip(Instruction::Store { rs: Reg::R5, base: Reg::SP, offset: 32767, width });
+        }
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W] {
+            round_trip(Instruction::LoadSigned { rd: Reg::R5, base: Reg::SP, offset: -1, width });
+        }
+        for cond in BranchCond::ALL {
+            round_trip(Instruction::Branch { cond, rs: Reg::R1, rt: Reg::R2, disp: -100 });
+        }
+        round_trip(Instruction::Lui { rd: Reg::R4, imm: 0xffff });
+        round_trip(Instruction::Jump { target: 0x03ff_ffff });
+        round_trip(Instruction::Jal { target: 0 });
+        round_trip(Instruction::Jr { rs: Reg::RA });
+        round_trip(Instruction::Jalr { rd: Reg::R30, rs: Reg::R8 });
+        for call in Syscall::ALL {
+            round_trip(Instruction::Sys { call });
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert_eq!(
+            Instruction::decode(63 << 26),
+            Err(DecodeError::UnknownOpcode { opcode: 63 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_funct() {
+        let word = (OP_ALU << 26) | 30; // funct 30 is out of range
+        assert_eq!(
+            Instruction::decode(word),
+            Err(DecodeError::UnknownFunct { opcode: OP_ALU, funct: 30 })
+        );
+        let word = (OP_FP << 26) | 7;
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_syscall() {
+        let word = (OP_SYS << 26) | 99;
+        assert_eq!(Instruction::decode(word), Err(DecodeError::UnknownSyscall { number: 99 }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::UnknownOpcode { opcode: 63 };
+        assert!(e.to_string().contains("unknown opcode"));
+    }
+}

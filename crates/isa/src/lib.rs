@@ -1,0 +1,52 @@
+//! # vp-isa — the VP64 instruction set
+//!
+//! A compact 64-bit RISC instruction set used by the Value Profiling
+//! reproduction as a stand-in for the DEC Alpha ISA that the original paper
+//! (Calder, Feller, Eustace, MICRO-30 1997) profiled through ATOM.
+//!
+//! The ISA is deliberately Alpha-flavoured where it matters to the paper:
+//!
+//! * a single 64-bit register file (Alpha kept FP values as 64-bit
+//!   bit-patterns too, which is what makes *value* profiling uniform across
+//!   instruction classes),
+//! * a register `r0` hard-wired to zero,
+//! * fixed-width 32-bit instruction words,
+//! * opcode *classes* (loads, integer ALU, shifts, logic, compares,
+//!   multiplies/divides, floating point, branches) matching the breakdown
+//!   used in the paper's per-class invariance tables.
+//!
+//! The crate provides the [`Instruction`] type, binary
+//! [encoding/decoding](mod@encode), a [disassembler](mod@disasm) and the
+//! classification helpers ([`Instruction::class`],
+//! [`Instruction::dest_register`]) that the profiler layers rely on.
+//!
+//! ## Example
+//!
+//! ```
+//! use vp_isa::{AluOp, Instruction, Reg};
+//!
+//! let add = Instruction::Alu { op: AluOp::Add, rd: Reg::R3, rs: Reg::R1, rt: Reg::R2 };
+//! let word = add.encode();
+//! assert_eq!(Instruction::decode(word).unwrap(), add);
+//! assert_eq!(add.to_string(), "add r3, r1, r2");
+//! ```
+
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod op;
+pub mod reg;
+
+pub use encode::DecodeError;
+pub use instr::Instruction;
+pub use op::{AluOp, BranchCond, FpOp, MemWidth, OpClass, Syscall};
+pub use reg::Reg;
+
+/// A machine value: every architectural register and memory word holds 64
+/// bits. Floating-point values are stored as `f64` bit patterns, exactly as
+/// the Alpha stored them, so the value profiler sees one uniform domain.
+pub type Value = u64;
+
+/// Size of one instruction word in bytes. The program counter advances by
+/// this amount; branch displacements are counted in instruction words.
+pub const INSTR_BYTES: u64 = 4;

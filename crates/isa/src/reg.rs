@@ -1,0 +1,254 @@
+//! Architectural registers of the VP64 ISA.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 architectural registers, `r0`..`r31`.
+///
+/// Conventions (enforced only by the assembler/workloads, not the hardware):
+///
+/// | register | role |
+/// |----------|------|
+/// | `r0` (`zero`) | hard-wired zero: writes are discarded |
+/// | `r1`  (`v0`)  | return value |
+/// | `r4`..`r7` (`a0`..`a3`) | procedure arguments |
+/// | `r29` (`sp`) | stack pointer |
+/// | `r30` (`ra`) | return address (written by `jal`/`jalr`) |
+///
+/// ```
+/// use vp_isa::Reg;
+/// assert_eq!(Reg::R0.index(), 0);
+/// assert_eq!("sp".parse::<Reg>().unwrap(), Reg::SP);
+/// assert_eq!(Reg::from_index(30), Some(Reg::RA));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+    R16 = 16,
+    R17 = 17,
+    R18 = 18,
+    R19 = 19,
+    R20 = 20,
+    R21 = 21,
+    R22 = 22,
+    R23 = 23,
+    R24 = 24,
+    R25 = 25,
+    R26 = 26,
+    R27 = 27,
+    R28 = 28,
+    R29 = 29,
+    R30 = 30,
+    R31 = 31,
+}
+
+impl Reg {
+    /// Register count of the architecture.
+    pub const COUNT: usize = 32;
+
+    /// The hard-wired zero register (alias of [`Reg::R0`]).
+    pub const ZERO: Reg = Reg::R0;
+    /// Return-value register (alias of [`Reg::R1`]).
+    pub const V0: Reg = Reg::R1;
+    /// First argument register (alias of [`Reg::R4`]).
+    pub const A0: Reg = Reg::R4;
+    /// Second argument register.
+    pub const A1: Reg = Reg::R5;
+    /// Third argument register.
+    pub const A2: Reg = Reg::R6;
+    /// Fourth argument register.
+    pub const A3: Reg = Reg::R7;
+    /// Stack pointer (alias of [`Reg::R29`]).
+    pub const SP: Reg = Reg::R29;
+    /// Return-address register (alias of [`Reg::R30`]).
+    pub const RA: Reg = Reg::R30;
+
+    /// Numeric index of the register, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from its index; `None` if `idx >= 32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Option<Reg> {
+        if idx < Self::COUNT {
+            // SAFETY-free mapping via a lookup table.
+            Some(ALL_REGS[idx])
+        } else {
+            None
+        }
+    }
+
+    /// All 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        ALL_REGS.iter().copied()
+    }
+
+    /// True for the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+
+    /// The canonical `rN` spelling.
+    pub fn name(self) -> String {
+        format!("r{}", self.index())
+    }
+}
+
+const ALL_REGS: [Reg; 32] = [
+    Reg::R0,
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+    Reg::R16,
+    Reg::R17,
+    Reg::R18,
+    Reg::R19,
+    Reg::R20,
+    Reg::R21,
+    Reg::R22,
+    Reg::R23,
+    Reg::R24,
+    Reg::R25,
+    Reg::R26,
+    Reg::R27,
+    Reg::R28,
+    Reg::R29,
+    Reg::R30,
+    Reg::R31,
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    /// The text that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `rN` as well as the ABI aliases `zero`, `v0`, `a0`..`a3`,
+    /// `sp`, `ra`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { input: s.to_owned() };
+        match s {
+            "zero" => return Ok(Reg::ZERO),
+            "v0" => return Ok(Reg::V0),
+            "a0" => return Ok(Reg::A0),
+            "a1" => return Ok(Reg::A1),
+            "a2" => return Ok(Reg::A2),
+            "a3" => return Ok(Reg::A3),
+            "sp" => return Ok(Reg::SP),
+            "ra" => return Ok(Reg::RA),
+            _ => {}
+        }
+        let digits = s.strip_prefix('r').ok_or_else(err)?;
+        let idx: usize = digits.parse().map_err(|_| err())?;
+        Reg::from_index(idx).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn parse_canonical_names() {
+        for r in Reg::all() {
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::R0);
+        assert_eq!("v0".parse::<Reg>().unwrap(), Reg::R1);
+        assert_eq!("a0".parse::<Reg>().unwrap(), Reg::R4);
+        assert_eq!("a3".parse::<Reg>().unwrap(), Reg::R7);
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::R29);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::R30);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "r", "r32", "r-1", "x5", "R5", "r05x"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(Reg::R17.name(), "r17");
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: encode/decode round-trip for arbitrary instructions.
+
+use proptest::prelude::*;
+use vp_isa::{AluOp, BranchCond, FpOp, Instruction, MemWidth, Reg, Syscall};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_fp_op() -> impl Strategy<Value = FpOp> {
+    (0usize..FpOp::ALL.len()).prop_map(|i| FpOp::ALL[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    (0usize..BranchCond::ALL.len()).prop_map(|i| BranchCond::ALL[i])
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    (0usize..4).prop_map(|i| MemWidth::ALL[i])
+}
+
+fn arb_signed_width() -> impl Strategy<Value = MemWidth> {
+    (0usize..3).prop_map(|i| MemWidth::ALL[i])
+}
+
+fn arb_syscall() -> impl Strategy<Value = Syscall> {
+    (0usize..Syscall::ALL.len()).prop_map(|i| Syscall::ALL[i])
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rd, rs, imm)| Instruction::AluImm { op, rd, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (arb_fp_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Instruction::Fp { op, rd, rs, rt }),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width())
+            .prop_map(|(rd, base, offset, width)| Instruction::Load { rd, base, offset, width }),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_signed_width()).prop_map(
+            |(rd, base, offset, width)| Instruction::LoadSigned { rd, base, offset, width }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width())
+            .prop_map(|(rs, base, offset, width)| Instruction::Store { rs, base, offset, width }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(cond, rs, rt, disp)| Instruction::Branch { cond, rs, rt, disp }),
+        (0u32..(1 << 26)).prop_map(|target| Instruction::Jump { target }),
+        (0u32..(1 << 26)).prop_map(|target| Instruction::Jal { target }),
+        arb_reg().prop_map(|rs| Instruction::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instruction::Jalr { rd, rs }),
+        arb_syscall().prop_map(|call| Instruction::Sys { call }),
+    ]
+}
+
+proptest! {
+    /// encode → decode must reproduce the instruction exactly.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instruction()) {
+        let word = instr.encode();
+        prop_assert_eq!(Instruction::decode(word), Ok(instr));
+    }
+
+    /// Decoding any word either fails or re-encodes to a word that decodes
+    /// to the same instruction (decode is a partial inverse of encode).
+    #[test]
+    fn decode_encode_stable(word in any::<u32>()) {
+        if let Ok(instr) = Instruction::decode(word) {
+            let again = Instruction::decode(instr.encode());
+            prop_assert_eq!(again, Ok(instr));
+        }
+    }
+
+    /// Classification helpers never panic and agree with each other.
+    #[test]
+    fn classification_consistent(instr in arb_instruction()) {
+        if instr.is_load() {
+            prop_assert_eq!(instr.class(), vp_isa::OpClass::Load);
+            prop_assert!(instr.is_register_defining() || instr.dest_register().unwrap().is_zero());
+        }
+        if instr.is_register_defining() {
+            prop_assert!(instr.dest_register().is_some());
+        }
+        prop_assert!(instr.source_registers().len() <= 2);
+    }
+}

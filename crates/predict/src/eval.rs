@@ -1,0 +1,118 @@
+//! Predictor evaluation harness.
+
+use crate::Predictor;
+
+/// Outcome counts of driving a predictor over a value stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Correct predictions.
+    pub hits: u64,
+    /// Wrong predictions (the costly case: mis-speculation).
+    pub mispredictions: u64,
+    /// Executions where the predictor declined to predict.
+    pub silent: u64,
+}
+
+impl PredictorStats {
+    /// Total instructions fed.
+    pub fn total(&self) -> u64 {
+        self.hits + self.mispredictions + self.silent
+    }
+
+    /// Hit rate over *all* executions (the paper's accuracy measure).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Precision: hits over predictions actually made.
+    pub fn precision(&self) -> f64 {
+        let made = self.hits + self.mispredictions;
+        if made == 0 {
+            0.0
+        } else {
+            self.hits as f64 / made as f64
+        }
+    }
+
+    /// Fraction of executions on which a prediction was attempted.
+    pub fn coverage(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.mispredictions) as f64 / total as f64
+        }
+    }
+}
+
+/// Drives `predictor` over a `(pc, actual_value)` stream, predicting
+/// before and training after each event, and tallies the outcomes.
+///
+/// ```
+/// use vp_predict::{eval::evaluate, LastValuePredictor};
+///
+/// let stream = (0..10u64).map(|_| (4u32, 9u64));
+/// let stats = evaluate(&mut LastValuePredictor::new(8), stream);
+/// assert_eq!(stats.total(), 10);
+/// assert_eq!(stats.mispredictions, 0);
+/// ```
+pub fn evaluate<P, I>(predictor: &mut P, stream: I) -> PredictorStats
+where
+    P: Predictor + ?Sized,
+    I: IntoIterator<Item = (u32, u64)>,
+{
+    let mut stats = PredictorStats::default();
+    for (pc, actual) in stream {
+        match predictor.predict(pc) {
+            Some(v) if v == actual => stats.hits += 1,
+            Some(_) => stats.mispredictions += 1,
+            None => stats.silent += 1,
+        }
+        predictor.update(pc, actual);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lvp::LastValuePredictor;
+    use crate::stride::StridePredictor;
+
+    #[test]
+    fn stats_arithmetic() {
+        let s = PredictorStats { hits: 6, mispredictions: 2, silent: 2 };
+        assert_eq!(s.total(), 10);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.precision() - 0.75).abs() < 1e-12);
+        assert!((s.coverage() - 0.8).abs() < 1e-12);
+        let empty = PredictorStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.coverage(), 0.0);
+    }
+
+    #[test]
+    fn lvp_vs_stride_on_a_counter() {
+        // A striding stream: stride prediction should far outperform LVP.
+        let stream: Vec<(u32, u64)> = (0..500u64).map(|i| (0u32, i * 16)).collect();
+        let l = evaluate(&mut LastValuePredictor::new(16), stream.iter().copied());
+        let s = evaluate(&mut StridePredictor::new(16), stream.iter().copied());
+        assert!(s.hit_rate() > 0.9);
+        assert!(l.hit_rate() < 0.1);
+    }
+
+    #[test]
+    fn constant_stream_both_work() {
+        let stream: Vec<(u32, u64)> = (0..100).map(|_| (0u32, 5u64)).collect();
+        let l = evaluate(&mut LastValuePredictor::new(16), stream.iter().copied());
+        let s = evaluate(&mut StridePredictor::new(16), stream.iter().copied());
+        assert!(l.hit_rate() > 0.9);
+        assert!(s.hit_rate() > 0.9);
+    }
+}

@@ -1,0 +1,70 @@
+//! # vp-predict — value predictors
+//!
+//! Hardware value prediction is the motivating context of the Value
+//! Profiling paper (§II.A): last-value predictors (Lipasti & Shen [27,
+//! 28], Gabbay & Mendelson \[17\]), stride and two-level predictors
+//! (Sazeides & Smith \[34\], Wang & Franklin \[39\]) and profile-guided
+//! predictor filtering (Gabbay & Mendelson \[18\]).
+//!
+//! This crate implements those predictor families over the same
+//! `(pc, value)` event stream the profiler observes:
+//!
+//! * [`LastValuePredictor`] — the Value History Table (VHT) with 2-bit
+//!   confidence counters,
+//! * [`StridePredictor`] — last value + stride with 2-delta update,
+//! * [`TwoLevelPredictor`] — per-PC value history indexing a pattern
+//!   table of recently seen values,
+//! * [`HybridPredictor`] — per-PC selector between two components
+//!   (Wang & Franklin's organization),
+//! * [`FilteredPredictor`] — restricts prediction to instructions a value
+//!   *profile* marked predictable, the paper's proposed use.
+//!
+//! * [`path::PathLvp`] — the thesis's future-work extension: last-value
+//!   prediction indexed by `(pc, path history)`, after Young & Smith \[40\].
+//!
+//! All predictors implement [`Predictor`] and are evaluated with
+//! [`eval::evaluate`] (path-sensitive prediction has its own pathed
+//! stream and harness in [`path`]).
+//!
+//! ```
+//! use vp_predict::{eval, LastValuePredictor, Predictor};
+//!
+//! let mut p = LastValuePredictor::new(64);
+//! let stream: Vec<(u32, u64)> = (0..100).map(|_| (0u32, 7u64)).collect();
+//! let stats = eval::evaluate(&mut p, stream.iter().copied());
+//! assert!(stats.hit_rate() > 0.9);
+//! ```
+
+pub mod eval;
+pub mod filter;
+pub mod hybrid;
+pub mod lvp;
+pub mod path;
+pub mod stride;
+pub mod two_level;
+
+pub use eval::{evaluate, PredictorStats};
+pub use filter::FilteredPredictor;
+pub use hybrid::HybridPredictor;
+pub use lvp::LastValuePredictor;
+pub use path::{collect_pathed_stream, evaluate_pathed, PathHistory, PathLvp, PathedEvent};
+pub use stride::StridePredictor;
+pub use two_level::TwoLevelPredictor;
+
+/// A value predictor over a `(pc, value)` instruction stream.
+///
+/// The driver calls [`predict`](Predictor::predict) *before* the
+/// instruction executes and [`update`](Predictor::update) with the actual
+/// produced value afterwards. `predict` returns `None` when the predictor
+/// does not have enough confidence to speculate — mispredictions are
+/// costly, so predictors only speak when confident.
+pub trait Predictor {
+    /// Predicted value for the instruction at `pc`, if confident.
+    fn predict(&mut self, pc: u32) -> Option<u64>;
+
+    /// Trains the predictor with the actually produced value.
+    fn update(&mut self, pc: u32, actual: u64);
+
+    /// Short human-readable name for report tables.
+    fn name(&self) -> &'static str;
+}

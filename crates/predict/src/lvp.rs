@@ -1,0 +1,140 @@
+//! Last-value prediction: the N-entry Value History Table (VHT).
+
+use crate::Predictor;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct VhtEntry {
+    tag: u32,
+    value: u64,
+    /// 2-bit saturating confidence counter; predict when >= 2.
+    confidence: u8,
+    valid: bool,
+}
+
+/// The last-value predictor of Gabbay \[17\] / Lipasti et al. \[27\]: a
+/// direct-mapped Value History Table indexed by PC, each entry holding the
+/// last value the instruction produced and a 2-bit confidence counter.
+///
+/// ```
+/// use vp_predict::{LastValuePredictor, Predictor};
+///
+/// let mut p = LastValuePredictor::new(16);
+/// p.update(4, 9);
+/// p.update(4, 9);      // confidence builds
+/// assert_eq!(p.predict(4), Some(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LastValuePredictor {
+    entries: Vec<VhtEntry>,
+}
+
+impl LastValuePredictor {
+    /// Creates a VHT with `entries` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0.
+    pub fn new(entries: usize) -> LastValuePredictor {
+        assert!(entries > 0, "VHT needs at least one entry");
+        LastValuePredictor { entries: vec![VhtEntry::default(); entries.next_power_of_two()] }
+    }
+
+    /// Number of table slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never true).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn slot(&self, pc: u32) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+}
+
+impl Predictor for LastValuePredictor {
+    fn predict(&mut self, pc: u32) -> Option<u64> {
+        let e = &self.entries[self.slot(pc)];
+        (e.valid && e.tag == pc && e.confidence >= 2).then_some(e.value)
+    }
+
+    fn update(&mut self, pc: u32, actual: u64) {
+        let slot = self.slot(pc);
+        let e = &mut self.entries[slot];
+        if e.valid && e.tag == pc {
+            if e.value == actual {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.value = actual;
+                e.confidence = e.confidence.saturating_sub(1);
+            }
+        } else {
+            // Aliasing or cold entry: steal it.
+            *e = VhtEntry { tag: pc, value: actual, confidence: 1, valid: true };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lvp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_table_does_not_predict() {
+        let mut p = LastValuePredictor::new(8);
+        assert_eq!(p.predict(0), None);
+    }
+
+    #[test]
+    fn confidence_gating() {
+        let mut p = LastValuePredictor::new(8);
+        p.update(0, 5);
+        assert_eq!(p.predict(0), None, "confidence 1 is below threshold");
+        p.update(0, 5);
+        assert_eq!(p.predict(0), Some(5));
+    }
+
+    #[test]
+    fn value_change_decays_confidence() {
+        let mut p = LastValuePredictor::new(8);
+        for _ in 0..4 {
+            p.update(0, 5);
+        }
+        assert_eq!(p.predict(0), Some(5));
+        p.update(0, 6); // confidence 3 -> 2, value now 6
+        assert_eq!(p.predict(0), Some(6));
+        p.update(0, 7); // confidence 2 -> 1
+        assert_eq!(p.predict(0), None);
+    }
+
+    #[test]
+    fn aliasing_steals_entry() {
+        let mut p = LastValuePredictor::new(4);
+        p.update(1, 10);
+        p.update(1, 10);
+        assert_eq!(p.predict(1), Some(10));
+        p.update(5, 99); // same slot (5 & 3 == 1), different tag
+        assert_eq!(p.predict(1), None);
+        p.update(5, 99);
+        assert_eq!(p.predict(5), Some(99));
+    }
+
+    #[test]
+    fn size_rounds_to_power_of_two() {
+        let p = LastValuePredictor::new(5);
+        assert_eq!(p.len(), 8);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = LastValuePredictor::new(0);
+    }
+}

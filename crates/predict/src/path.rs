@@ -1,0 +1,261 @@
+//! Path-sensitive value prediction — the thesis's future-work extension.
+//!
+//! "One could use an approach similar to Young and Smith \[40\] by using the
+//! path history when predicting values. This can be especially beneficial
+//! for procedures called from several locations in the program."
+//!
+//! A global *path history register* is folded with the targets of taken
+//! control transfers; predictor tables are indexed by `(pc, history)`
+//! instead of `pc` alone, so an instruction whose value depends on *how*
+//! control reached it (e.g. the call site and its constant argument) gets
+//! one table entry per path.
+
+use std::collections::HashMap;
+
+use vp_asm::Program;
+use vp_instrument::{Analysis, Instrumenter, Selection};
+use vp_sim::{InstrEvent, Machine, MachineConfig, SimError};
+
+/// One dynamic event of a path-annotated value stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathedEvent {
+    /// Instruction index.
+    pub pc: u32,
+    /// Produced value.
+    pub value: u64,
+    /// Path history register at the time of execution.
+    pub path: u64,
+}
+
+/// The global path history register: a shift-and-fold of recent taken
+/// control-transfer targets, truncated to `bits` bits.
+#[derive(Debug, Clone, Copy)]
+pub struct PathHistory {
+    bits: u32,
+    value: u64,
+}
+
+impl PathHistory {
+    /// A history register of `bits` bits (1..=63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or ≥ 64.
+    pub fn new(bits: u32) -> PathHistory {
+        assert!((1..64).contains(&bits), "history bits must be in 1..=63");
+        PathHistory { bits, value: 0 }
+    }
+
+    /// Folds one control-transfer target into the history.
+    pub fn push(&mut self, target: u32) {
+        let mask = (1u64 << self.bits) - 1;
+        self.value = ((self.value << 3) ^ u64::from(target)) & mask;
+    }
+
+    /// Current history value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Collects the path-annotated value stream of the selected instructions
+/// in one program run.
+///
+/// # Errors
+///
+/// Propagates emulator faults.
+pub fn collect_pathed_stream(
+    program: &Program,
+    config: MachineConfig,
+    budget: u64,
+    selection: Selection,
+    history_bits: u32,
+) -> Result<Vec<PathedEvent>, SimError> {
+    struct Collector {
+        history: PathHistory,
+        events: Vec<PathedEvent>,
+        selected: Vec<bool>,
+    }
+    impl Analysis for Collector {
+        fn after_instr(&mut self, _m: &Machine, ev: &InstrEvent) {
+            if self.selected.get(ev.index as usize).copied().unwrap_or(false) {
+                if let Some((_, value)) = ev.dest {
+                    self.events.push(PathedEvent {
+                        pc: ev.index,
+                        value,
+                        path: self.history.value(),
+                    });
+                }
+            }
+            // Maintain the path on every control transfer (the collector is
+            // attached with Selection::All so it sees them all).
+            if ev.instr.is_control_transfer() && ev.next_index != ev.index + 1 {
+                self.history.push(ev.next_index);
+            }
+        }
+    }
+    let mut collector = Collector {
+        history: PathHistory::new(history_bits),
+        events: Vec::new(),
+        selected: selection.resolve(program),
+    };
+    Instrumenter::new()
+        .select(Selection::All)
+        .run(program, config, budget, &mut collector)?;
+    Ok(collector.events)
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    value: u64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// A last-value predictor indexed by `(pc, path history)`.
+#[derive(Debug, Clone, Default)]
+pub struct PathLvp {
+    table: HashMap<(u32, u64), Entry>,
+}
+
+impl PathLvp {
+    /// An empty path-sensitive LVP.
+    pub fn new() -> PathLvp {
+        PathLvp::default()
+    }
+
+    /// Number of `(pc, path)` contexts allocated.
+    pub fn contexts(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Predicted value for `(pc, path)`, if confident.
+    pub fn predict(&self, pc: u32, path: u64) -> Option<u64> {
+        let e = self.table.get(&(pc, path))?;
+        (e.valid && e.confidence >= 2).then_some(e.value)
+    }
+
+    /// Trains the `(pc, path)` context with the produced value.
+    pub fn update(&mut self, pc: u32, path: u64, actual: u64) {
+        let e = self.table.entry((pc, path)).or_default();
+        if e.valid && e.value == actual {
+            e.confidence = (e.confidence + 1).min(3);
+        } else if e.valid {
+            e.value = actual;
+            e.confidence = e.confidence.saturating_sub(1);
+        } else {
+            *e = Entry { value: actual, confidence: 1, valid: true };
+        }
+    }
+}
+
+/// Evaluates a [`PathLvp`] and a path-blind LVP over the same pathed
+/// stream, returning `(path_hits, blind_hits, total)`.
+pub fn evaluate_pathed(stream: &[PathedEvent]) -> (u64, u64, u64) {
+    let mut pathed = PathLvp::new();
+    let mut blind = PathLvp::new(); // path pinned to 0 = plain per-PC LVP
+    let mut path_hits = 0;
+    let mut blind_hits = 0;
+    for ev in stream {
+        if pathed.predict(ev.pc, ev.path) == Some(ev.value) {
+            path_hits += 1;
+        }
+        if blind.predict(ev.pc, 0) == Some(ev.value) {
+            blind_hits += 1;
+        }
+        pathed.update(ev.pc, ev.path, ev.value);
+        blind.update(ev.pc, 0, ev.value);
+    }
+    (path_hits, blind_hits, stream.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A procedure called from two sites with site-constant arguments: the
+    /// canonical case where path history rescues last-value prediction.
+    const TWO_SITES: &str = r#"
+        .text
+        main:
+            li r9, 200
+        loop:
+            andi r12, r9, 1
+            bz   r12, even
+            li   a0, 10
+            call f
+            j    next
+        even:
+            li   a0, 20
+            call f
+        next:
+            addi r9, r9, -1
+            bnz  r9, loop
+            sys  exit
+        .proc f
+        f:
+            add  v0, a0, a0     # value alternates 20/40 with the call site
+            ret
+        .endp
+    "#;
+
+    #[test]
+    fn path_history_disambiguates_call_sites() {
+        let program = vp_asm::assemble(TWO_SITES).unwrap();
+        let target = program.procedure("f").unwrap().range.start;
+        let stream = collect_pathed_stream(
+            &program,
+            MachineConfig::new(),
+            1_000_000,
+            Selection::Custom([target].into_iter().collect()),
+            16,
+        )
+        .unwrap();
+        assert_eq!(stream.len(), 200);
+        let (path_hits, blind_hits, total) = evaluate_pathed(&stream);
+        // The value alternates with the call site every iteration: blind
+        // LVP almost never hits, path-indexed LVP almost always does.
+        assert!(blind_hits < total / 10, "blind {blind_hits}/{total}");
+        assert!(path_hits > total * 8 / 10, "pathed {path_hits}/{total}");
+    }
+
+    #[test]
+    fn history_register_folds_and_masks() {
+        let mut h = PathHistory::new(8);
+        assert_eq!(h.value(), 0);
+        h.push(0xffff);
+        assert!(h.value() < 256);
+        let before = h.value();
+        h.push(1);
+        assert_ne!(h.value(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits")]
+    fn zero_bits_panics() {
+        let _ = PathHistory::new(0);
+    }
+
+    #[test]
+    fn path_lvp_confidence_gating() {
+        let mut p = PathLvp::new();
+        assert_eq!(p.predict(1, 2), None);
+        p.update(1, 2, 9);
+        assert_eq!(p.predict(1, 2), None);
+        p.update(1, 2, 9);
+        assert_eq!(p.predict(1, 2), Some(9));
+        assert_eq!(p.predict(1, 3), None, "different path, different context");
+        assert_eq!(p.contexts(), 1);
+    }
+
+    #[test]
+    fn stationary_streams_do_not_regress() {
+        // With one call site the path is constant: pathed and blind LVP
+        // behave identically.
+        let stream: Vec<PathedEvent> =
+            (0..100).map(|_| PathedEvent { pc: 4, value: 7, path: 42 }).collect();
+        let (path_hits, blind_hits, total) = evaluate_pathed(&stream);
+        assert_eq!(path_hits, blind_hits);
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,156 @@
+//! Stride prediction: last value plus a (2-delta) stride.
+
+use crate::Predictor;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    tag: u32,
+    last: u64,
+    stride: i64,
+    candidate: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// A stride predictor with 2-delta stride update: the stored stride is
+/// replaced only after the same new stride is seen twice, which keeps one
+/// irregular value from destroying a steady stride. With stride zero this
+/// degenerates to last-value prediction — the paper's observation that a
+/// constant is a stride-0 sequence.
+///
+/// ```
+/// use vp_predict::{Predictor, StridePredictor};
+///
+/// let mut p = StridePredictor::new(16);
+/// for v in [10u64, 20, 30, 40] {
+///     p.update(8, v);
+/// }
+/// assert_eq!(p.predict(8), Some(50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePredictor {
+    entries: Vec<StrideEntry>,
+}
+
+impl StridePredictor {
+    /// Creates a stride table with `entries` slots (rounded up to a power
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0.
+    pub fn new(entries: usize) -> StridePredictor {
+        assert!(entries > 0, "stride table needs at least one entry");
+        StridePredictor { entries: vec![StrideEntry::default(); entries.next_power_of_two()] }
+    }
+
+    /// Number of table slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has zero slots (never true).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn slot(&self, pc: u32) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+}
+
+impl Predictor for StridePredictor {
+    fn predict(&mut self, pc: u32) -> Option<u64> {
+        let e = &self.entries[self.slot(pc)];
+        (e.valid && e.tag == pc && e.confidence >= 2)
+            .then(|| e.last.wrapping_add(e.stride as u64))
+    }
+
+    fn update(&mut self, pc: u32, actual: u64) {
+        let slot = self.slot(pc);
+        let e = &mut self.entries[slot];
+        if e.valid && e.tag == pc {
+            let observed = actual.wrapping_sub(e.last) as i64;
+            if observed == e.stride {
+                e.confidence = (e.confidence + 1).min(3);
+            } else if observed == e.candidate {
+                // Second sighting of the new stride: adopt it.
+                e.stride = observed;
+                e.confidence = 1;
+            } else {
+                e.candidate = observed;
+                e.confidence = e.confidence.saturating_sub(1);
+            }
+            e.last = actual;
+        } else {
+            *e = StrideEntry { tag: pc, last: actual, stride: 0, candidate: 0, confidence: 0, valid: true };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_stride() {
+        let mut p = StridePredictor::new(8);
+        for v in [100u64, 108, 116, 124] {
+            p.update(0, v);
+        }
+        assert_eq!(p.predict(0), Some(132));
+    }
+
+    #[test]
+    fn constant_is_stride_zero() {
+        let mut p = StridePredictor::new(8);
+        for _ in 0..3 {
+            p.update(0, 7);
+        }
+        assert_eq!(p.predict(0), Some(7));
+    }
+
+    #[test]
+    fn negative_stride() {
+        let mut p = StridePredictor::new(8);
+        for v in [50u64, 40, 30, 20] {
+            p.update(0, v);
+        }
+        assert_eq!(p.predict(0), Some(10));
+    }
+
+    #[test]
+    fn two_delta_resists_one_glitch() {
+        let mut p = StridePredictor::new(8);
+        for v in [0u64, 10, 20, 30] {
+            p.update(0, v);
+        }
+        assert_eq!(p.predict(0), Some(40));
+        p.update(0, 99); // glitch: stride candidate becomes 69
+        p.update(0, 109); // back to +10: candidate mismatch, decay
+        p.update(0, 119);
+        p.update(0, 129);
+        assert_eq!(p.predict(0), Some(139), "stride +10 must survive the glitch");
+    }
+
+    #[test]
+    fn cold_and_aliased_entries() {
+        let mut p = StridePredictor::new(4);
+        assert_eq!(p.predict(3), None);
+        p.update(1, 5);
+        p.update(5, 6); // aliases slot 1
+        assert_eq!(p.predict(1), None);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = StridePredictor::new(0);
+    }
+}

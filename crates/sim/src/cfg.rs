@@ -1,0 +1,231 @@
+//! Static basic-block discovery.
+//!
+//! ATOM exposed programs as procedures → basic blocks → instructions; this
+//! module recovers the block structure of an assembled [`Program`] so the
+//! instrumentation layer can offer the same hierarchy and so the
+//! basic-block quantile experiment (Table IV.1) has blocks to count.
+
+use std::ops::Range;
+
+use vp_asm::Program;
+use vp_isa::Instruction;
+
+/// A static basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id (index into [`Cfg::blocks`]).
+    pub id: usize,
+    /// Instruction-index range `[start, end)`.
+    pub range: Range<u32>,
+}
+
+impl BasicBlock {
+    /// Leader (first instruction index) of the block.
+    pub fn leader(&self) -> u32 {
+        self.range.start
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// Whether the block is empty (never true for discovered blocks).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// The control-flow structure of a program: its basic blocks and a map
+/// from instruction index to owning block.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Discovers basic blocks.
+    ///
+    /// Leaders are: instruction 0, every procedure entry, every jump/branch
+    /// target, and every instruction following a control transfer. Indirect
+    /// jump targets are approximated by any code address appearing in the
+    /// data segment's `.quad` fixups being a procedure or label — in
+    /// practice our workloads only jump indirectly to labels, all of which
+    /// appear in the symbol table, so those are included too.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        if n == 0 {
+            return Cfg { blocks: Vec::new(), block_of: Vec::new() };
+        }
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        leader[program.entry() as usize] = true;
+        for proc in program.procedures() {
+            if (proc.range.start as usize) < n {
+                leader[proc.range.start as usize] = true;
+            }
+        }
+        // Every text symbol is a potential indirect-jump target.
+        for sym in program.symbols().values() {
+            if sym.section == vp_asm::Section::Text {
+                let idx = (sym.address / 4) as usize;
+                if idx < n {
+                    leader[idx] = true;
+                }
+            }
+        }
+        for (i, instr) in program.code().iter().enumerate() {
+            match *instr {
+                Instruction::Branch { disp, .. } => {
+                    let target = i as i64 + 1 + i64::from(disp);
+                    if (0..n as i64).contains(&target) {
+                        leader[target as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instruction::Jump { target } | Instruction::Jal { target } => {
+                    if (target as usize) < n {
+                        leader[target as usize] = true;
+                    }
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instruction::Jr { .. } | Instruction::Jalr { .. } => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instruction::Sys { call: vp_isa::Syscall::Exit } => {
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 1..=n {
+            if i == n || leader[i] {
+                let id = blocks.len();
+                blocks.push(BasicBlock { id, range: start as u32..i as u32 });
+                for slot in block_of.iter_mut().take(i).skip(start) {
+                    *slot = id;
+                }
+                start = i;
+            }
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// All basic blocks in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `index`.
+    pub fn block_of(&self, index: u32) -> Option<&BasicBlock> {
+        self.block_of.get(index as usize).map(|&id| &self.blocks[id])
+    }
+
+    /// Per-block dynamic execution counts, derived from per-instruction
+    /// counts by taking each block's leader count.
+    pub fn block_counts(&self, per_instr: &[u64]) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .map(|b| per_instr.get(b.leader() as usize).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        vp_asm::assemble(src).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = program(".text\nmain: li r1, 1\n add r2, r1, r1\n sys exit\n");
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].range, 0..3);
+        assert_eq!(cfg.blocks()[0].len(), 3);
+        assert!(!cfg.blocks()[0].is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let p = program(
+            r#"
+            .text
+            main:
+                li r1, 3
+            loop:
+                addi r1, r1, -1
+                bnz  r1, loop
+                sys exit
+            "#,
+        );
+        let cfg = Cfg::build(&p);
+        // Blocks: [li], [addi, bnz], [sys exit]
+        assert_eq!(cfg.blocks().len(), 3);
+        assert_eq!(cfg.block_of(0).unwrap().id, 0);
+        assert_eq!(cfg.block_of(1).unwrap().range, 1..3);
+        assert_eq!(cfg.block_of(2).unwrap().range, 1..3);
+        assert_eq!(cfg.block_of(3).unwrap().range, 3..4);
+        assert!(cfg.block_of(4).is_none());
+    }
+
+    #[test]
+    fn call_boundaries() {
+        let p = program(
+            r#"
+            .text
+            main:
+                call f
+                sys exit
+            .proc f
+            f:
+                ret
+            .endp
+            "#,
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 3);
+    }
+
+    #[test]
+    fn block_counts_use_leader() {
+        let p = program(
+            r#"
+            .text
+            main:
+                li r1, 2
+            loop:
+                addi r1, r1, -1
+                bnz  r1, loop
+                sys exit
+            "#,
+        );
+        let cfg = Cfg::build(&p);
+        // per_instr: li 1x, addi 2x, bnz 2x, exit 1x
+        let counts = cfg.block_counts(&[1, 2, 2, 1]);
+        assert_eq!(counts, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.block_of(0).is_none());
+    }
+}

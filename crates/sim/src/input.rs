@@ -1,0 +1,125 @@
+//! Program inputs: the *data sets* of the paper's methodology.
+//!
+//! The paper ran each SPEC benchmark with two inputs, *test* and *train*
+//! (Table III.1), to study how well value profiles transfer across inputs
+//! (Table V.5). An [`InputSet`] is our equivalent: a named, finite stream
+//! of 64-bit values a program consumes through the `getinput` syscall.
+
+use std::fmt;
+
+/// A named input data set: the sequence of values `sys getinput` returns.
+///
+/// ```
+/// use vp_sim::InputSet;
+///
+/// let input = InputSet::named("test", vec![1, 2, 3]);
+/// assert_eq!(input.name(), "test");
+/// assert_eq!(input.values(), &[1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSet {
+    name: String,
+    values: Vec<u64>,
+}
+
+impl InputSet {
+    /// An empty, anonymous input.
+    pub fn empty() -> InputSet {
+        InputSet { name: String::new(), values: Vec::new() }
+    }
+
+    /// Creates a named input set from a value sequence.
+    pub fn named(name: impl Into<String>, values: Vec<u64>) -> InputSet {
+        InputSet { name: name.into(), values }
+    }
+
+    /// The data-set name (`"test"`, `"train"`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value stream.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Default for InputSet {
+    fn default() -> Self {
+        InputSet::empty()
+    }
+}
+
+impl fmt::Display for InputSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} values)", if self.name.is_empty() { "<anon>" } else { &self.name }, self.values.len())
+    }
+}
+
+impl FromIterator<u64> for InputSet {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        InputSet { name: String::new(), values: iter.into_iter().collect() }
+    }
+}
+
+/// Cursor over an [`InputSet`] during one run. Returns 0 once exhausted,
+/// which programs use as an end-of-input sentinel alongside an explicit
+/// length prefix.
+#[derive(Debug, Clone)]
+pub struct InputCursor {
+    values: Vec<u64>,
+    pos: usize,
+}
+
+impl InputCursor {
+    /// Starts a cursor at the beginning of `input`.
+    pub fn new(input: &InputSet) -> InputCursor {
+        InputCursor { values: input.values.clone(), pos: 0 }
+    }
+
+    /// Next input value; 0 when exhausted.
+    pub fn next_value(&mut self) -> u64 {
+        let v = self.values.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        v
+    }
+
+    /// How many values have been consumed (including reads past the end).
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_exhaustion() {
+        let mut c = InputCursor::new(&InputSet::named("t", vec![7, 8]));
+        assert_eq!(c.next_value(), 7);
+        assert_eq!(c.next_value(), 8);
+        assert_eq!(c.next_value(), 0);
+        assert_eq!(c.next_value(), 0);
+        assert_eq!(c.consumed(), 4);
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let s: InputSet = (1u64..4).collect();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.to_string().contains("3 values"));
+        assert!(InputSet::default().is_empty());
+    }
+}

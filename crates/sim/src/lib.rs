@@ -1,0 +1,57 @@
+//! # vp-sim — the VP64 emulator
+//!
+//! Executes [`vp_asm::Program`]s and streams per-instruction
+//! [`InstrEvent`]s to observers. This crate is the hardware substrate of
+//! the Value Profiling reproduction: where the paper ran Alpha binaries
+//! under ATOM, we run VP64 programs under this emulator, whose
+//! [`Machine::run_with`] hook delivers exactly the information ATOM's
+//! instrumentation points delivered (destination values, effective
+//! addresses, load/store values, branch outcomes).
+//!
+//! The crate also provides:
+//!
+//! * [`Cfg`] — static basic-block discovery (ATOM's program hierarchy),
+//! * [`ExecStats`] / [`stats::quantile_table`] — dynamic counts feeding the
+//!   paper's basic-block quantile table (Table IV.1),
+//! * [`InputSet`] — the test/train *data sets* of the paper's methodology.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use vp_sim::{Machine, MachineConfig};
+//!
+//! let program = vp_asm::assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   r1, 4
+//!         mul  r1, r1, r1
+//!         mov  a0, r1
+//!         sys  exit
+//!     "#,
+//! )?;
+//! let mut machine = Machine::new(program, MachineConfig::new())?;
+//! let mut loads = 0u64;
+//! let outcome = machine.run_with(10_000, |_, event| {
+//!     if event.instr.is_load() {
+//!         loads += 1;
+//!     }
+//! })?;
+//! assert_eq!(outcome.exit_code, 16);
+//! assert_eq!(loads, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg;
+pub mod input;
+pub mod machine;
+pub mod memory;
+pub mod stats;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use input::{InputCursor, InputSet};
+pub use machine::{alu_eval, fp_eval, InstrEvent, Machine, MachineConfig, MemAccess, RunOutcome, SimError};
+pub use memory::{MemFault, Memory};
+pub use stats::{ExecStats, QuantileRow};

@@ -1,0 +1,115 @@
+//! Property tests: the emulator's memory against a byte-array reference
+//! model, for arbitrary access sequences.
+
+use proptest::prelude::*;
+use vp_isa::MemWidth;
+use vp_sim::Memory;
+
+const SIZE: usize = 256;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, width: MemWidth, value: u64 },
+    Read { addr: u64, width: MemWidth },
+    ReadSigned { addr: u64, width: MemWidth },
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    (0usize..4).prop_map(|i| MemWidth::ALL[i])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Addresses mostly in range, occasionally far out to exercise faults.
+    let addr = prop_oneof![4 => 0u64..(SIZE as u64 + 8), 1 => any::<u64>()];
+    prop_oneof![
+        (addr.clone(), arb_width(), any::<u64>())
+            .prop_map(|(addr, width, value)| Op::Write { addr, width, value }),
+        (addr.clone(), arb_width()).prop_map(|(addr, width)| Op::Read { addr, width }),
+        (addr, arb_width()).prop_map(|(addr, width)| Op::ReadSigned { addr, width }),
+    ]
+}
+
+/// Reference model: a plain byte array with open-coded little-endian
+/// accesses.
+struct Model {
+    bytes: [u8; SIZE],
+}
+
+impl Model {
+    fn in_range(addr: u64, width: MemWidth) -> bool {
+        addr.checked_add(width.bytes()).is_some_and(|end| end <= SIZE as u64)
+    }
+
+    fn read(&self, addr: u64, width: MemWidth) -> Option<u64> {
+        if !Self::in_range(addr, width) {
+            return None;
+        }
+        let mut v = 0u64;
+        for i in (0..width.bytes()).rev() {
+            v = (v << 8) | u64::from(self.bytes[(addr + i) as usize]);
+        }
+        Some(v)
+    }
+
+    fn write(&mut self, addr: u64, width: MemWidth, value: u64) -> bool {
+        if !Self::in_range(addr, width) {
+            return false;
+        }
+        for i in 0..width.bytes() {
+            self.bytes[(addr + i) as usize] = (value >> (8 * i)) as u8;
+        }
+        true
+    }
+}
+
+fn sign_extend(v: u64, width: MemWidth) -> u64 {
+    let bits = width.bytes() * 8;
+    if bits == 64 {
+        return v;
+    }
+    let shift = 64 - bits;
+    (((v << shift) as i64) >> shift) as u64
+}
+
+proptest! {
+    #[test]
+    fn memory_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut mem = Memory::new(SIZE);
+        let mut model = Model { bytes: [0; SIZE] };
+        for op in ops {
+            match op {
+                Op::Write { addr, width, value } => {
+                    let ok = model.write(addr, width, value);
+                    prop_assert_eq!(mem.write(addr, width, value).is_ok(), ok);
+                }
+                Op::Read { addr, width } => {
+                    match model.read(addr, width) {
+                        Some(expected) => prop_assert_eq!(mem.read(addr, width).unwrap(), expected),
+                        None => prop_assert!(mem.read(addr, width).is_err()),
+                    }
+                }
+                Op::ReadSigned { addr, width } => {
+                    match model.read(addr, width) {
+                        Some(expected) => prop_assert_eq!(
+                            mem.read_signed(addr, width).unwrap(),
+                            sign_extend(expected, width)
+                        ),
+                        None => prop_assert!(mem.read_signed(addr, width).is_err()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Failed accesses leave memory untouched.
+    #[test]
+    fn faults_have_no_side_effects(addr in (SIZE as u64 - 7)..(SIZE as u64 + 64)) {
+        let mut mem = Memory::new(SIZE);
+        mem.write(0, MemWidth::D, 0x0102_0304_0506_0708).unwrap();
+        if mem.write(addr, MemWidth::D, u64::MAX).is_err() {
+            prop_assert_eq!(mem.read(0, MemWidth::D).unwrap(), 0x0102_0304_0506_0708);
+            // Bytes near the boundary also unchanged.
+            prop_assert_eq!(mem.read(SIZE as u64 - 1, MemWidth::B).unwrap(), 0);
+        }
+    }
+}

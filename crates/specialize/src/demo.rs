@@ -1,0 +1,127 @@
+//! The specialization demonstration kernel used by experiment E13 and the
+//! `specialize_dispatch` example.
+//!
+//! Modelled on the paper's m88ksim case study: a simulator-style loop
+//! reloads a configuration word from memory on every iteration and decodes
+//! against it through a chain of pure ALU operations. The input stream can
+//! occasionally rewrite the configuration, making the load *semi*-invariant
+//! with a controllable invariance level.
+
+use vp_asm::Program;
+use vp_sim::InputSet;
+
+/// The kernel's assembly source.
+pub fn source() -> String {
+    r#"
+    .data
+    config: .quad 0x1234
+    .text
+    .proc main
+    main:
+        la   r10, config
+        sys  getinput             # N = iterations
+        mov  r9, v0
+        li   r18, 0               # checksum
+    loop:
+        bz   r9, done
+        sys  getinput             # 0 = keep config, else new config value
+        bz   v0, keep
+        std  v0, 0(r10)
+    keep:
+        ldd  r2, 0(r10)           # the semi-invariant configuration load
+        srli r3, r2, 3            # ... feeding a pure decode chain
+        andi r3, r3, 1023
+        muli r4, r3, 37
+        addi r4, r4, 11
+        xori r5, r4, 0x5a
+        slli r6, r5, 2
+        add  r7, r6, r4
+        srli r8, r7, 1
+        add  r18, r18, r8         # accumulate (r18 varies)
+        addi r9, r9, -1
+        j    loop
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// Assembles the kernel.
+///
+/// # Panics
+///
+/// Panics if the built-in source fails to assemble (covered by tests).
+pub fn program() -> Program {
+    vp_asm::assemble(&source()).expect("demo kernel assembles")
+}
+
+/// Builds an input with `iterations` loop trips where the configuration is
+/// *perturbed* every `change_period` iterations (0 = never): set to a fresh
+/// value for one iteration, then restored to the base configuration.
+/// Smaller periods mean lower load invariance (roughly `1 - 1/period`).
+pub fn input(iterations: u64, change_period: u64) -> InputSet {
+    const BASE_CONFIG: u64 = 0x1234;
+    let mut values = vec![iterations];
+    for i in 0..iterations {
+        if change_period != 0 && i > 0 && i % change_period == 0 {
+            values.push(0x4000 + i); // transient perturbation
+        } else if change_period != 0 && i > 0 && i % change_period == 1 {
+            values.push(BASE_CONFIG); // restore the base configuration
+        } else {
+            values.push(0); // keep
+        }
+    }
+    InputSet::named(format!("demo-p{change_period}"), values)
+}
+
+/// Instruction index of the configuration load in [`program`].
+///
+/// # Panics
+///
+/// Panics if the kernel unexpectedly has no load (covered by tests).
+pub fn config_load_index(program: &Program) -> u32 {
+    program.code().iter().position(|i| i.is_load()).expect("kernel has a load") as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn kernel_runs() {
+        let p = program();
+        let cfg = MachineConfig::new().input(input(500, 0));
+        let out = Machine::new(p, cfg).unwrap().run(1_000_000).unwrap();
+        assert!(out.instructions > 500 * 10);
+    }
+
+    #[test]
+    fn change_period_controls_invariance() {
+        use vp_core::{track::TrackerConfig, InstructionProfiler};
+        use vp_instrument::{Instrumenter, Selection};
+        let p = program();
+        let idx = config_load_index(&p);
+        let inv_of = |period: u64| {
+            let mut prof = InstructionProfiler::new(TrackerConfig::with_full());
+            Instrumenter::new()
+                .select(Selection::LoadsOnly)
+                .run(
+                    &p,
+                    MachineConfig::new().input(input(2_000, period)),
+                    10_000_000,
+                    &mut prof,
+                )
+                .unwrap();
+            prof.metrics_for(idx).unwrap().inv_all1.unwrap()
+        };
+        let never = inv_of(0);
+        let rare = inv_of(200);
+        let often = inv_of(5);
+        assert!(never > 0.999, "never: {never}");
+        assert!(rare > 0.95 && rare < never, "rare: {rare}");
+        assert!(often < rare, "often: {often}, rare: {rare}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Specialization speedup evaluation.
+
+use vp_asm::Program;
+use vp_sim::{InputSet, Machine, MachineConfig, SimError};
+
+/// Side-by-side result of running the original and specialized programs on
+/// the same input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReport {
+    /// Dynamic instructions of the original program.
+    pub base_instructions: u64,
+    /// Dynamic instructions of the specialized program.
+    pub specialized_instructions: u64,
+    /// Whether exit codes and outputs matched (they must).
+    pub equivalent: bool,
+}
+
+impl SpeedupReport {
+    /// Speedup in dynamic instructions (>1 means the specialization won).
+    pub fn speedup(&self) -> f64 {
+        if self.specialized_instructions == 0 {
+            return 0.0;
+        }
+        self.base_instructions as f64 / self.specialized_instructions as f64
+    }
+
+    /// Percentage of dynamic instructions removed (negative if the guard
+    /// overhead dominated).
+    pub fn reduction_pct(&self) -> f64 {
+        if self.base_instructions == 0 {
+            return 0.0;
+        }
+        (self.base_instructions as f64 - self.specialized_instructions as f64)
+            / self.base_instructions as f64
+            * 100.0
+    }
+}
+
+/// Runs `original` and `specialized` on `input` and reports the dynamic
+/// instruction counts plus an output-equivalence check.
+///
+/// # Errors
+///
+/// Propagates emulator faults from either run.
+pub fn evaluate(
+    original: &Program,
+    specialized: &Program,
+    input: &InputSet,
+    budget: u64,
+) -> Result<SpeedupReport, SimError> {
+    let cfg = MachineConfig::new().input(input.clone());
+    let mut base = Machine::new(original.clone(), cfg.clone())?;
+    let base_out = base.run(budget)?;
+    let mut fast = Machine::new(specialized.clone(), cfg)?;
+    let fast_out = fast.run(budget)?;
+    Ok(SpeedupReport {
+        base_instructions: base_out.instructions,
+        specialized_instructions: fast_out.instructions,
+        equivalent: base_out.exit_code == fast_out.exit_code && base_out.output == fast_out.output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_arithmetic() {
+        let r = SpeedupReport {
+            base_instructions: 200,
+            specialized_instructions: 100,
+            equivalent: true,
+        };
+        assert!((r.speedup() - 2.0).abs() < 1e-12);
+        assert!((r.reduction_pct() - 50.0).abs() < 1e-12);
+        let degenerate =
+            SpeedupReport { base_instructions: 0, specialized_instructions: 0, equivalent: true };
+        assert_eq!(degenerate.speedup(), 0.0);
+        assert_eq!(degenerate.reduction_pct(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_identical_programs() {
+        let p = vp_asm::assemble(".text\nmain: li a0, 1\n sys exit\n").unwrap();
+        let r = evaluate(&p, &p, &InputSet::empty(), 1000).unwrap();
+        assert!(r.equivalent);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Constant folding of the straight-line region following a specialized
+//! load, given that the load's destination register holds a known value.
+
+use std::collections::HashMap;
+
+use vp_isa::{AluOp, Instruction, Reg};
+use vp_sim::{alu_eval, fp_eval};
+
+use crate::liveness::RegSet;
+
+/// Emits the canonical instruction sequence materializing `value` into
+/// `rd` (the same expansion the assembler uses for `li`).
+pub fn materialize(rd: Reg, value: u64, out: &mut Vec<Instruction>) {
+    if let Ok(imm) = i16::try_from(value as i64) {
+        out.push(Instruction::AluImm { op: AluOp::Add, rd, rs: Reg::R0, imm });
+    } else if let Ok(v) = u32::try_from(value) {
+        out.push(Instruction::Lui { rd, imm: (v >> 16) as u16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (v & 0xffff) as u16 as i16 });
+    } else {
+        out.push(Instruction::Lui { rd, imm: (value >> 48) as u16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((value >> 32) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((value >> 16) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
+        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (value & 0xffff) as u16 as i16 });
+    }
+}
+
+/// Result of folding a region.
+#[derive(Debug, Clone)]
+pub struct FoldResult {
+    /// Replacement instruction sequence for the fast path.
+    pub emitted: Vec<Instruction>,
+    /// How many original instructions the region covered.
+    pub consumed: usize,
+    /// Original instructions whose execution was avoided (folded).
+    pub folded: usize,
+}
+
+#[derive(Debug)]
+struct FoldState {
+    /// Registers with statically known values.
+    known: HashMap<Reg, u64>,
+    /// Known registers whose value is currently present at run time.
+    materialized: RegSet,
+    emitted: Vec<Instruction>,
+    folded: usize,
+}
+
+impl FoldState {
+    fn value_of(&self, r: Reg) -> Option<u64> {
+        if r.is_zero() {
+            return Some(0);
+        }
+        self.known.get(&r).copied()
+    }
+
+    fn is_available(&self, r: Reg) -> bool {
+        r.is_zero() || !self.known.contains_key(&r) || self.materialized.contains(r)
+    }
+
+    /// Ensures a known register's value is present at run time before an
+    /// emitted instruction reads it.
+    fn ensure_materialized(&mut self, r: Reg) {
+        if r.is_zero() || self.is_available(r) {
+            return;
+        }
+        let value = self.known[&r];
+        materialize(r, value, &mut self.emitted);
+        self.materialized.insert(r);
+    }
+
+    /// Records that an emitted instruction wrote `r` at run time: its
+    /// static value (if any) is no longer valid.
+    fn clobber(&mut self, r: Reg) {
+        self.known.remove(&r);
+        self.materialized.remove(r);
+    }
+
+    /// Records a folded (not emitted) write of a known value.
+    fn fold_write(&mut self, r: Reg, value: u64) {
+        if r.is_zero() {
+            return;
+        }
+        self.known.insert(r, value);
+        self.materialized.remove(r);
+        self.folded += 1;
+    }
+
+    fn emit(&mut self, instr: Instruction) {
+        for r in instr.source_registers() {
+            self.ensure_materialized(r);
+        }
+        if let Some(rd) = instr.dest_register() {
+            self.clobber(rd);
+        }
+        self.emitted.push(instr);
+    }
+}
+
+/// Folds the straight-line region of `code` starting at `start`, assuming
+/// `seed_reg` holds `seed_value`. The region ends at the first
+/// control-transfer or syscall instruction (exclusive). Registers still
+/// known-but-unmaterialized at the end are materialized only if they are
+/// in `live_at_resume`.
+pub fn fold_region(
+    code: &[Instruction],
+    start: usize,
+    seed_reg: Reg,
+    seed_value: u64,
+    live_at_resume: RegSet,
+) -> FoldResult {
+    let mut state = FoldState {
+        known: HashMap::new(),
+        materialized: RegSet::EMPTY,
+        emitted: Vec::new(),
+        folded: 0,
+    };
+    state.known.insert(seed_reg, seed_value);
+    state.materialized.insert(seed_reg); // the guard verified it at run time
+
+    let mut consumed = 0usize;
+    for &instr in &code[start..] {
+        if instr.is_control_transfer() || matches!(instr, Instruction::Sys { .. }) {
+            break;
+        }
+        match instr {
+            Instruction::Nop => {}
+            Instruction::Alu { op, rd, rs, rt } => {
+                match (state.value_of(rs), state.value_of(rt)) {
+                    (Some(a), Some(b)) => state.fold_write(rd, alu_eval(op, a, b)),
+                    _ => state.emit(instr),
+                }
+            }
+            Instruction::AluImm { op, rd, rs, imm } => {
+                let b = match op {
+                    AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Nor => imm as u16 as u64,
+                    _ => imm as i64 as u64,
+                };
+                match state.value_of(rs) {
+                    Some(a) => state.fold_write(rd, alu_eval(op, a, b)),
+                    None => state.emit(instr),
+                }
+            }
+            Instruction::Lui { rd, imm } => state.fold_write(rd, u64::from(imm) << 16),
+            Instruction::Fp { op, rd, rs, rt } => {
+                let b = if op.uses_rt() { state.value_of(rt) } else { Some(0) };
+                match (state.value_of(rs), b) {
+                    (Some(a), Some(b)) => state.fold_write(rd, fp_eval(op, a, b)),
+                    _ => state.emit(instr),
+                }
+            }
+            // Memory contents are not static: loads and stores always run.
+            Instruction::Load { .. } | Instruction::LoadSigned { .. } | Instruction::Store { .. } => {
+                state.emit(instr)
+            }
+            // Control transfers were handled by the loop break above.
+            _ => state.emit(instr),
+        }
+        consumed += 1;
+    }
+
+    // Materialize live leftovers, in register order for determinism.
+    let pending: Vec<(Reg, u64)> = {
+        let mut v: Vec<(Reg, u64)> = state
+            .known
+            .iter()
+            .filter(|(r, _)| !state.materialized.contains(**r) && live_at_resume.contains(**r))
+            .map(|(&r, &v)| (r, v))
+            .collect();
+        v.sort_by_key(|(r, _)| r.index());
+        v
+    };
+    for (r, v) in pending {
+        materialize(r, v, &mut state.emitted);
+    }
+
+    FoldResult { emitted: state.emitted, consumed, folded: state.folded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_isa::MemWidth;
+
+    fn r(i: usize) -> Reg {
+        Reg::from_index(i).unwrap()
+    }
+
+    #[test]
+    fn materialize_sizes() {
+        let mut out = Vec::new();
+        materialize(r(1), 7, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        materialize(r(1), 0x12345, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        materialize(r(1), u64::MAX - 5, &mut out);
+        assert_eq!(out.len(), 1, "negative-representable values fit one addi");
+        out.clear();
+        materialize(r(1), 0x1234_5678_9abc_def0, &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn pure_chain_folds_to_live_materializations() {
+        // r2 known; chain r3 = r2>>3, r4 = r3*5, r5 = r4+1; only r5 live.
+        let code = vec![
+            Instruction::AluImm { op: AluOp::Srl, rd: r(3), rs: r(2), imm: 3 },
+            Instruction::AluImm { op: AluOp::Mul, rd: r(4), rs: r(3), imm: 5 },
+            Instruction::AluImm { op: AluOp::Add, rd: r(5), rs: r(4), imm: 1 },
+        ];
+        let mut live = RegSet::EMPTY;
+        live.insert(r(5));
+        let result = fold_region(&code, 0, r(2), 80, live);
+        assert_eq!(result.consumed, 3);
+        assert_eq!(result.folded, 3);
+        // 80>>3 = 10; 10*5 = 50; 50+1 = 51 -> one addi r5, r0, 51.
+        assert_eq!(
+            result.emitted,
+            vec![Instruction::AluImm { op: AluOp::Add, rd: r(5), rs: r(0), imm: 51 }]
+        );
+    }
+
+    #[test]
+    fn unknown_source_forces_emission_with_materialization() {
+        // r3 = r2 + 4 folds; r5 = r3 + r9 (r9 unknown) must emit, first
+        // materializing r3.
+        let code = vec![
+            Instruction::AluImm { op: AluOp::Add, rd: r(3), rs: r(2), imm: 4 },
+            Instruction::Alu { op: AluOp::Add, rd: r(5), rs: r(3), rt: r(9) },
+        ];
+        let result = fold_region(&code, 0, r(2), 10, RegSet::EMPTY);
+        assert_eq!(
+            result.emitted,
+            vec![
+                Instruction::AluImm { op: AluOp::Add, rd: r(3), rs: r(0), imm: 14 },
+                Instruction::Alu { op: AluOp::Add, rd: r(5), rs: r(3), rt: r(9) },
+            ]
+        );
+        assert_eq!(result.folded, 1);
+    }
+
+    #[test]
+    fn region_stops_at_control_transfer() {
+        let code = vec![
+            Instruction::AluImm { op: AluOp::Add, rd: r(3), rs: r(2), imm: 1 },
+            Instruction::Jump { target: 0 },
+            Instruction::AluImm { op: AluOp::Add, rd: r(4), rs: r(2), imm: 2 },
+        ];
+        let result = fold_region(&code, 0, r(2), 1, RegSet::EMPTY);
+        assert_eq!(result.consumed, 1);
+    }
+
+    #[test]
+    fn loads_and_stores_always_emit() {
+        let code = vec![
+            Instruction::Load { rd: r(3), base: r(2), offset: 0, width: MemWidth::D },
+            Instruction::Store { rs: r(3), base: r(2), offset: 8, width: MemWidth::D },
+        ];
+        // The seed register was verified by the guard, so it already holds
+        // its value at run time: no materialization needed before the load.
+        let result = fold_region(&code, 0, r(2), 0x2000, RegSet::EMPTY);
+        assert_eq!(result.emitted.len(), 2); // ld + st, no li
+        assert_eq!(result.folded, 0);
+        assert!(matches!(result.emitted[0], Instruction::Load { .. }));
+    }
+
+    #[test]
+    fn dead_known_registers_are_not_materialized() {
+        let code = vec![Instruction::AluImm { op: AluOp::Add, rd: r(3), rs: r(2), imm: 1 }];
+        let result = fold_region(&code, 0, r(2), 5, RegSet::EMPTY);
+        assert!(result.emitted.is_empty(), "r3 is dead: nothing to emit");
+        let mut live = RegSet::EMPTY;
+        live.insert(r(3));
+        let result = fold_region(&code, 0, r(2), 5, live);
+        assert_eq!(result.emitted.len(), 1);
+    }
+
+    #[test]
+    fn emitted_write_invalidates_known_value() {
+        // r3 folds to 6, then an emitted load overwrites r3, then r4 = r3+1
+        // must be emitted (r3 no longer known).
+        let code = vec![
+            Instruction::AluImm { op: AluOp::Add, rd: r(3), rs: r(2), imm: 1 },
+            Instruction::Load { rd: r(3), base: r(9), offset: 0, width: MemWidth::D },
+            Instruction::AluImm { op: AluOp::Add, rd: r(4), rs: r(3), imm: 1 },
+        ];
+        let result = fold_region(&code, 0, r(2), 5, RegSet::EMPTY);
+        assert!(matches!(result.emitted[0], Instruction::Load { .. }));
+        assert!(matches!(result.emitted[1], Instruction::AluImm { rd, .. } if rd == r(4)));
+    }
+
+    #[test]
+    fn fp_folding_matches_machine_semantics() {
+        use vp_isa::FpOp;
+        // r2 = bits of 2.0; r3 = r2 * r2 = 4.0 (folded); r3 live.
+        let code = vec![Instruction::Fp { op: FpOp::FMul, rd: r(3), rs: r(2), rt: r(2) }];
+        let mut live = RegSet::EMPTY;
+        live.insert(r(3));
+        let result = fold_region(&code, 0, r(2), 2.0f64.to_bits(), live);
+        assert_eq!(result.folded, 1);
+        // 4.0's bit pattern doesn't fit i16/u32 -> 6-instruction materialization.
+        assert_eq!(result.emitted.len(), 6);
+    }
+}

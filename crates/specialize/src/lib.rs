@@ -1,0 +1,66 @@
+//! # vp-specialize — profile-guided code specialization
+//!
+//! The Value Profiling paper's end-to-end payoff (thesis Chapter X):
+//! identify a *semi-invariant* value with the profiler, clone the code
+//! that consumes it, constant-fold the clone against the dominant value,
+//! and guard entry to the clone with a cheap run-time comparison.
+//!
+//! The transform here works on assembled [`vp_asm::Program`]s:
+//!
+//! * [`find_candidates`] — pick specializable loads from a value profile,
+//! * [`specialize`] / [`specialize_all`] — build the guarded fast path
+//!   (see [`transform`] for the trampoline layout),
+//! * [`fold`] — the constant folder, backed by a real backward
+//!   [`liveness`] analysis over the CFG so dead folded registers are never
+//!   materialized,
+//! * [`evaluate`] — measure the dynamic-instruction speedup and verify
+//!   output equivalence,
+//! * [`multiway`] — multi-way specialization on the top *k* TNV values
+//!   (the reason the table keeps N values, not one),
+//! * [`demo`] — the m88ksim-style kernel used by experiment E13.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use vp_core::{track::TrackerConfig, InstructionProfiler};
+//! use vp_instrument::{Instrumenter, Selection};
+//! use vp_sim::MachineConfig;
+//! use vp_specialize::{demo, evaluate, find_candidates, specialize_all, CandidateOptions};
+//!
+//! let program = demo::program();
+//! let input = demo::input(2_000, 0); // fully invariant configuration
+//!
+//! // 1. Profile.
+//! let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+//! Instrumenter::new().select(Selection::LoadsOnly).run(
+//!     &program,
+//!     MachineConfig::new().input(input.clone()),
+//!     10_000_000,
+//!     &mut profiler,
+//! )?;
+//!
+//! // 2. Specialize on what the profile found.
+//! let candidates = find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+//! let specialized = specialize_all(&program, &candidates)?;
+//!
+//! // 3. Measure.
+//! let report = evaluate(&program, &specialized, &input, 10_000_000)?;
+//! assert!(report.equivalent);
+//! assert!(report.speedup() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod demo;
+pub mod eval;
+pub mod fold;
+pub mod liveness;
+pub mod multiway;
+pub mod transform;
+
+pub use eval::{evaluate, SpeedupReport};
+pub use liveness::{Liveness, RegSet};
+pub use multiway::{specialize_multi, MultiCandidate};
+pub use transform::{
+    estimate, find_candidates, specialize, specialize_all, Candidate, CandidateOptions,
+    FoldEstimate, SpecializeError, SCRATCH,
+};

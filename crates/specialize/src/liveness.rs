@@ -1,0 +1,272 @@
+//! Backward register liveness over the basic-block CFG.
+//!
+//! The specializer's constant folder must materialize a folded register at
+//! the end of its fast path only if that register is *live* at the resume
+//! point. This module computes classic iterative backward liveness.
+//!
+//! Conservatism: indirect jumps (`jr`/`jalr`) and calls (`jal`) are treated
+//! as reading every register (their continuation is unknown or belongs to
+//! another procedure), so nothing live across them is ever lost.
+
+use vp_asm::Program;
+use vp_isa::{Instruction, Reg, Syscall};
+use vp_sim::Cfg;
+
+/// A set of registers, as a 32-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(pub u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// Every register.
+    pub const ALL: RegSet = RegSet(u32::MAX);
+
+    /// Whether `r` is in the set.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Adds `r`.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+}
+
+/// Registers an instruction reads, with the conservative treatment of
+/// calls, indirect jumps and syscalls described in the module docs.
+pub fn uses(instr: Instruction) -> RegSet {
+    let mut set = RegSet::EMPTY;
+    match instr {
+        Instruction::Jal { .. } | Instruction::Jalr { .. } | Instruction::Jr { .. } => {
+            return RegSet::ALL;
+        }
+        Instruction::Sys { call } => {
+            set.insert(Reg::A0);
+            if call == Syscall::Exit {
+                // Exit terminates: nothing else matters, but A0 is read.
+            }
+            return set;
+        }
+        _ => {}
+    }
+    for r in instr.source_registers() {
+        set.insert(r);
+    }
+    set
+}
+
+/// Register an instruction writes (architecturally).
+pub fn defs(instr: Instruction) -> RegSet {
+    let mut set = RegSet::EMPTY;
+    if let Some(r) = instr.dest_register() {
+        if !r.is_zero() {
+            set.insert(r);
+        }
+    }
+    set
+}
+
+/// Liveness query results for a program.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live-in set per instruction index.
+    live_in: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `program`.
+    pub fn compute(program: &Program) -> Liveness {
+        let code = program.code();
+        let n = code.len();
+        let cfg = Cfg::build(program);
+        let blocks = cfg.blocks();
+
+        // Successor block leaders for each block.
+        let successors: Vec<Vec<u32>> = blocks
+            .iter()
+            .map(|b| {
+                if b.range.end == 0 {
+                    return Vec::new();
+                }
+                let last_idx = b.range.end - 1;
+                let last = code[last_idx as usize];
+                let mut succ = Vec::new();
+                match last {
+                    Instruction::Branch { disp, .. } => {
+                        let target = i64::from(last_idx) + 1 + i64::from(disp);
+                        if (0..n as i64).contains(&target) {
+                            succ.push(target as u32);
+                        }
+                        if (last_idx + 1) < n as u32 {
+                            succ.push(last_idx + 1);
+                        }
+                    }
+                    Instruction::Jump { target } => {
+                        if (target as usize) < n {
+                            succ.push(target);
+                        }
+                    }
+                    Instruction::Sys { call: Syscall::Exit } => {}
+                    // Indirect control flow and calls: uses() already makes
+                    // everything live, so successors can stay empty.
+                    Instruction::Jr { .. } | Instruction::Jal { .. } | Instruction::Jalr { .. } => {}
+                    _ => {
+                        if (last_idx + 1) < n as u32 {
+                            succ.push(last_idx + 1);
+                        }
+                    }
+                }
+                succ
+            })
+            .collect();
+
+        let mut live_in = vec![RegSet::EMPTY; n];
+        let mut live_out_block = vec![RegSet::EMPTY; blocks.len()];
+        // Iterate to fixpoint.
+        loop {
+            let mut changed = false;
+            for (bi, block) in blocks.iter().enumerate().rev() {
+                let mut out = RegSet::EMPTY;
+                for &succ_leader in &successors[bi] {
+                    out = out.union(live_in[succ_leader as usize]);
+                }
+                if out != live_out_block[bi] {
+                    live_out_block[bi] = out;
+                    changed = true;
+                }
+                let mut live = out;
+                for idx in block.range.clone().rev() {
+                    let instr = code[idx as usize];
+                    let mut next = live;
+                    for r in Reg::all() {
+                        if defs(instr).contains(r) {
+                            next.remove(r);
+                        }
+                    }
+                    next = next.union(uses(instr));
+                    if next != live_in[idx as usize] {
+                        live_in[idx as usize] = next;
+                        changed = true;
+                    }
+                    live = next;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Liveness { live_in }
+    }
+
+    /// Registers live immediately before the instruction at `index`.
+    /// Out-of-range indices conservatively report everything live.
+    pub fn live_at(&self, index: u32) -> RegSet {
+        self.live_in.get(index as usize).copied().unwrap_or(RegSet::ALL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn liveness(src: &str) -> (Program, Liveness) {
+        let p = vp_asm::assemble(src).unwrap();
+        let l = Liveness::compute(&p);
+        (p, l)
+    }
+
+    #[test]
+    fn dead_after_last_read() {
+        let (_, l) = liveness(
+            r#"
+            .text
+            main:
+                addi r2, r0, 5      # 0: defines r2
+                add  r3, r2, r2     # 1: last read of r2
+                mov  a0, r3         # 2
+                sys  exit           # 3
+            "#,
+        );
+        assert!(l.live_at(1).contains(Reg::R2));
+        assert!(!l.live_at(2).contains(Reg::R2), "r2 dead after its last read");
+        assert!(l.live_at(2).contains(Reg::R3));
+        assert!(l.live_at(3).contains(Reg::A0));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        let (_, l) = liveness(
+            r#"
+            .text
+            main:
+                addi r9, r0, 10     # 0
+            loop:
+                addi r9, r9, -1     # 1: reads and writes r9
+                bnz  r9, loop       # 2
+                sys  exit           # 3
+            "#,
+        );
+        assert!(l.live_at(1).contains(Reg::R9));
+        assert!(l.live_at(2).contains(Reg::R9), "r9 live around the back edge");
+    }
+
+    #[test]
+    fn calls_keep_everything_live() {
+        let (_, l) = liveness(
+            r#"
+            .text
+            main:
+                addi r20, r0, 1     # 0: r20 never read afterwards...
+                call f              # 1: ...but the call is conservative
+                sys  exit
+            .proc f
+            f:
+                ret
+            .endp
+            "#,
+        );
+        assert!(l.live_at(1).contains(Reg::R20));
+    }
+
+    #[test]
+    fn regset_operations() {
+        let mut s = RegSet::EMPTY;
+        assert!(!s.contains(Reg::R5));
+        s.insert(Reg::R5);
+        assert!(s.contains(Reg::R5));
+        s.remove(Reg::R5);
+        assert!(!s.contains(Reg::R5));
+        assert!(RegSet::ALL.contains(Reg::R31));
+        let mut a = RegSet::EMPTY;
+        a.insert(Reg::R1);
+        let mut b = RegSet::EMPTY;
+        b.insert(Reg::R2);
+        let u = a.union(b);
+        assert!(u.contains(Reg::R1) && u.contains(Reg::R2));
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        use vp_isa::{AluOp, MemWidth};
+        let st = Instruction::Store { rs: Reg::R3, base: Reg::R4, offset: 0, width: MemWidth::D };
+        assert!(uses(st).contains(Reg::R3) && uses(st).contains(Reg::R4));
+        assert_eq!(defs(st), RegSet::EMPTY);
+        let add = Instruction::Alu { op: AluOp::Add, rd: Reg::R2, rs: Reg::R3, rt: Reg::R4 };
+        assert!(defs(add).contains(Reg::R2));
+        let to_zero = Instruction::AluImm { op: AluOp::Add, rd: Reg::R0, rs: Reg::R1, imm: 0 };
+        assert_eq!(defs(to_zero), RegSet::EMPTY);
+        assert_eq!(uses(Instruction::Jr { rs: Reg::RA }), RegSet::ALL);
+        assert!(uses(Instruction::Sys { call: Syscall::PutInt }).contains(Reg::A0));
+    }
+}

@@ -1,0 +1,323 @@
+//! Multi-way specialization: guarded fast paths for the top *k* values.
+//!
+//! The TNV table keeps the top **N** values of an entity precisely so an
+//! optimizer can act on more than the single most frequent one. When a
+//! load's value distribution is, say, 50/40/10, a one-way guard covers
+//! only half the executions; a two-way dispatch covers 90%. This module
+//! generalizes [`specialize`](crate::specialize) to a chain of guards:
+//!
+//! ```text
+//! site i:   j trampoline
+//! tramp:    ld rD, off(rB)
+//!           li r31, V1 ; beq rD, r31, fast1
+//!           li r31, V2 ; beq rD, r31, fast2
+//!           ...
+//!           j  i+1                  (slow path)
+//! fast1:    <region folded with rD = V1> ; j resume
+//! fast2:    <region folded with rD = V2> ; j resume
+//! ```
+
+use vp_asm::Program;
+use vp_core::EntityMetrics;
+use vp_isa::{BranchCond, Instruction};
+
+use crate::fold::{fold_region, materialize};
+use crate::liveness::Liveness;
+use crate::transform::{Candidate, SpecializeError, SCRATCH};
+
+/// A multi-way candidate: one load site, the top `values` to specialize on
+/// (most frequent first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCandidate {
+    /// Instruction index of the load.
+    pub load_index: u32,
+    /// Values to build fast paths for, most frequent first.
+    pub values: Vec<u64>,
+    /// Combined profiled invariance of those values (`Inv-Top(k)`).
+    pub invariance: f64,
+    /// Profiled execution count of the load.
+    pub executions: u64,
+}
+
+impl MultiCandidate {
+    /// Builds a multi-way candidate from a profiled load's TNV metrics,
+    /// taking the top values resident in `tracker`.
+    pub fn from_metrics(
+        metrics: &EntityMetrics,
+        top_values: &[u64],
+        k: usize,
+    ) -> MultiCandidate {
+        MultiCandidate {
+            load_index: metrics.id as u32,
+            values: top_values.iter().take(k).copied().collect(),
+            invariance: metrics.inv_topn,
+            executions: metrics.executions,
+        }
+    }
+
+    /// The equivalent one-way candidate for the most frequent value.
+    pub fn primary(&self) -> Option<Candidate> {
+        self.values.first().map(|&value| Candidate {
+            load_index: self.load_index,
+            value,
+            invariance: self.invariance,
+            executions: self.executions,
+        })
+    }
+}
+
+/// Applies a multi-way specialization.
+///
+/// # Errors
+///
+/// Same failure conditions as [`specialize`](crate::specialize); also
+/// fails with [`SpecializeError::NotALoad`] when `values` is empty (there
+/// is nothing to guard).
+pub fn specialize_multi(
+    program: &Program,
+    candidate: &MultiCandidate,
+) -> Result<Program, SpecializeError> {
+    if candidate.values.is_empty() {
+        return Err(SpecializeError::NotALoad { index: candidate.load_index });
+    }
+    let code = program.code();
+    let index = candidate.load_index as usize;
+    let load = *code.get(index).ok_or(SpecializeError::NotALoad { index: candidate.load_index })?;
+    let rd = match load {
+        Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
+        _ => return Err(SpecializeError::NotALoad { index: candidate.load_index }),
+    };
+    if program.code().iter().any(|i| {
+        i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH)
+    }) {
+        return Err(SpecializeError::ScratchInUse);
+    }
+
+    let liveness = Liveness::compute(program);
+    let mut region_len = 0u32;
+    for &instr in &code[index + 1..] {
+        if instr.is_control_transfer() || matches!(instr, Instruction::Sys { .. }) {
+            break;
+        }
+        region_len += 1;
+    }
+    let resume = candidate.load_index + 1 + region_len;
+    let live = liveness.live_at(resume);
+
+    // Fold the region once per guarded value.
+    let folds: Vec<Vec<Instruction>> = candidate
+        .values
+        .iter()
+        .map(|&v| fold_region(code, index + 1, rd, v, live).emitted)
+        .collect();
+
+    let mut new_code = code.to_vec();
+    let trampoline = new_code.len() as u32;
+    new_code.push(load);
+
+    // Guard chain. Branch displacements depend on downstream sizes, so lay
+    // out the guards first with placeholder displacements, then the fast
+    // paths, then patch.
+    let mut guard_starts = Vec::new();
+    for &value in &candidate.values {
+        let mut constant = Vec::new();
+        materialize(SCRATCH, value, &mut constant);
+        new_code.extend_from_slice(&constant);
+        guard_starts.push(new_code.len());
+        new_code.push(Instruction::Branch { cond: BranchCond::Eq, rs: rd, rt: SCRATCH, disp: 0 });
+    }
+    new_code.push(Instruction::Jump { target: candidate.load_index + 1 }); // slow path
+
+    let mut fast_starts = Vec::new();
+    for fold in &folds {
+        fast_starts.push(new_code.len() as u32);
+        new_code.extend_from_slice(fold);
+        new_code.push(Instruction::Jump { target: resume });
+    }
+    // Patch the guard displacements to their fast paths.
+    for (guard_at, fast_at) in guard_starts.iter().zip(&fast_starts) {
+        let disp = i64::from(*fast_at) - (*guard_at as i64 + 1);
+        let disp = i16::try_from(disp).map_err(|_| SpecializeError::ProgramTooLarge)?;
+        if let Instruction::Branch { cond, rs, rt, .. } = new_code[*guard_at] {
+            new_code[*guard_at] = Instruction::Branch { cond, rs, rt, disp };
+        }
+    }
+
+    if new_code.len() >= (1 << 26) {
+        return Err(SpecializeError::ProgramTooLarge);
+    }
+    new_code[index] = Instruction::Jump { target: trampoline };
+
+    Ok(Program::from_parts(
+        new_code,
+        program.data().to_vec(),
+        program.symbols().clone(),
+        program.procedures().to_vec(),
+        program.entry(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::{InputSet, Machine, MachineConfig};
+
+    /// A kernel whose load cycles between two dominant values (60/40), so
+    /// one-way specialization covers 60% of executions but two-way covers
+    /// all of them.
+    fn kernel() -> Program {
+        vp_asm::assemble(
+            r#"
+            .data
+            which: .quad 0
+            vals:  .quad 80, 120
+            .text
+            main:
+                la  r10, which
+                la  r11, vals
+                li  r9, 1000
+                li  r18, 0
+            loop:
+                # flip `which` with duty cycle 3:2
+                ldd  r12, 0(r10)
+                addi r12, r12, 1
+                remi r12, r12, 5
+                std  r12, 0(r10)
+                slti r13, r12, 3
+                xori r13, r13, 1
+                slli r13, r13, 3
+                add  r13, r13, r11
+                ldd  r2, 0(r13)      # the bimodal load (80 or 120)
+                srli r3, r2, 2
+                muli r3, r3, 7
+                addi r3, r3, 3
+                xori r3, r3, 44
+                slli r4, r3, 1
+                add  r5, r4, r3
+                srli r5, r5, 1
+                andi r5, r5, 2047
+                muli r5, r5, 13
+                addi r5, r5, 29
+                xori r5, r5, 333
+                srli r5, r5, 1
+                add  r18, r18, r5
+                addi r9, r9, -1
+                bnz  r9, loop
+                andi a0, r18, 255
+                sys  exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn bimodal_load_index(p: &Program) -> u32 {
+        // The second load in the loop body (after the `which` load).
+        p.code()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_load())
+            .map(|(i, _)| i as u32)
+            .nth(1)
+            .unwrap()
+    }
+
+    fn run(p: &Program) -> (i64, u64) {
+        let mut m = Machine::new(p.clone(), MachineConfig::new().input(InputSet::empty()))
+            .unwrap();
+        let out = m.run(10_000_000).unwrap();
+        (out.exit_code, out.instructions)
+    }
+
+    #[test]
+    fn two_way_beats_one_way_on_bimodal_loads() {
+        let program = kernel();
+        let load = bimodal_load_index(&program);
+        let (base_code, base_n) = run(&program);
+
+        let one_way = crate::specialize(
+            &program,
+            &Candidate { load_index: load, value: 80, invariance: 0.6, executions: 1000 },
+        )
+        .unwrap();
+        let (one_code, one_n) = run(&one_way);
+        assert_eq!(base_code, one_code);
+
+        let two_way = specialize_multi(
+            &program,
+            &MultiCandidate {
+                load_index: load,
+                values: vec![80, 120],
+                invariance: 1.0,
+                executions: 1000,
+            },
+        )
+        .unwrap();
+        let (two_code, two_n) = run(&two_way);
+        assert_eq!(base_code, two_code, "two-way must preserve behaviour");
+
+        assert!(one_n < base_n, "one-way should win: {one_n} vs {base_n}");
+        assert!(two_n < one_n, "two-way should beat one-way: {two_n} vs {one_n}");
+    }
+
+    #[test]
+    fn unmatched_values_fall_through_to_slow_path() {
+        let program = kernel();
+        let load = bimodal_load_index(&program);
+        let (base_code, base_n) = run(&program);
+        let wrong = specialize_multi(
+            &program,
+            &MultiCandidate {
+                load_index: load,
+                values: vec![1, 2, 3],
+                invariance: 0.0,
+                executions: 1000,
+            },
+        )
+        .unwrap();
+        let (code, n) = run(&wrong);
+        assert_eq!(base_code, code);
+        assert!(n > base_n, "three dead guards cost instructions");
+    }
+
+    #[test]
+    fn empty_values_rejected_and_primary_projection() {
+        let program = kernel();
+        let load = bimodal_load_index(&program);
+        let empty = MultiCandidate {
+            load_index: load,
+            values: vec![],
+            invariance: 0.0,
+            executions: 0,
+        };
+        assert!(specialize_multi(&program, &empty).is_err());
+        assert!(empty.primary().is_none());
+        let mc = MultiCandidate {
+            load_index: load,
+            values: vec![9, 8],
+            invariance: 0.5,
+            executions: 10,
+        };
+        assert_eq!(mc.primary().unwrap().value, 9);
+    }
+
+    #[test]
+    fn from_metrics_takes_top_k() {
+        use vp_core::EntityMetrics;
+        let m = EntityMetrics {
+            id: 12,
+            executions: 100,
+            lvp: 0.0,
+            inv_top1: 0.5,
+            inv_topn: 0.9,
+            inv_all1: None,
+            inv_alln: None,
+            pct_zero: 0.0,
+            distinct: None,
+            top_value: Some(7),
+        };
+        let mc = MultiCandidate::from_metrics(&m, &[7, 9, 11, 13], 2);
+        assert_eq!(mc.load_index, 12);
+        assert_eq!(mc.values, vec![7, 9]);
+        assert!((mc.invariance - 0.9).abs() < 1e-12);
+    }
+}

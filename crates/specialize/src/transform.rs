@@ -1,0 +1,433 @@
+//! The specialization transform: guarded fast paths for semi-invariant
+//! loads.
+//!
+//! For a candidate load `ld rD, off(rB)` whose profiled top value is `V`:
+//!
+//! ```text
+//! original site:            i: j trampoline          (replaces the load)
+//!
+//! appended trampoline:      t+0: ld rD, off(rB)      (the original load)
+//!                           t+1: li r31, V           (guard constant)
+//!                           t+k: beq rD, r31, fast
+//!                                j  i+1               (slow path: resume)
+//!                           fast: <folded fast path>
+//!                                j  resume            (after the region)
+//! ```
+//!
+//! The fast path is the load's basic-block suffix constant-folded against
+//! `V` (see [`crate::fold`]), materializing only registers that are live
+//! at the resume point. Cold/slow executions pay the guard; hot executions
+//! skip the folded computation — the paper's specialization trade-off,
+//! measurable in dynamic instructions.
+
+use std::fmt;
+
+use vp_asm::Program;
+use vp_core::EntityMetrics;
+use vp_isa::{BranchCond, Instruction, Reg};
+
+use crate::fold::{fold_region, materialize};
+use crate::liveness::Liveness;
+
+/// The register the generated guard uses for its comparison constant.
+/// Programs to be specialized must not use it (checked by
+/// [`specialize`]).
+pub const SCRATCH: Reg = Reg::R31;
+
+/// A specialization candidate: a load site and its dominant value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Instruction index of the load.
+    pub load_index: u32,
+    /// The profiled top value to specialize on.
+    pub value: u64,
+    /// Profiled `Inv-Top(1)` of the load.
+    pub invariance: f64,
+    /// Profiled execution count of the load.
+    pub executions: u64,
+}
+
+/// Options controlling candidate selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateOptions {
+    /// Minimum `Inv-Top(1)` for a load to qualify (the paper specializes
+    /// on *semi-invariant* entities; 0.8–0.99 is the useful band).
+    pub min_invariance: f64,
+    /// Minimum dynamic executions (don't specialize cold code).
+    pub min_executions: u64,
+    /// Minimum number of instructions the fold must eliminate for the
+    /// guard to pay for itself.
+    pub min_folded: usize,
+}
+
+impl Default for CandidateOptions {
+    fn default() -> Self {
+        CandidateOptions { min_invariance: 0.85, min_executions: 100, min_folded: 2 }
+    }
+}
+
+/// Errors of the specialization transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecializeError {
+    /// The candidate index does not hold a load instruction.
+    NotALoad {
+        /// The offending instruction index.
+        index: u32,
+    },
+    /// The program already uses the scratch register the guard needs.
+    ScratchInUse,
+    /// The program is too large to append a trampoline.
+    ProgramTooLarge,
+}
+
+impl fmt::Display for SpecializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecializeError::NotALoad { index } => {
+                write!(f, "instruction {index} is not a load")
+            }
+            SpecializeError::ScratchInUse => {
+                write!(f, "program uses the scratch register {SCRATCH}")
+            }
+            SpecializeError::ProgramTooLarge => write!(f, "program too large to specialize"),
+        }
+    }
+}
+
+impl std::error::Error for SpecializeError {}
+
+/// Cost estimate of specializing one load site (see [`estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldEstimate {
+    /// Original instructions the foldable region covers.
+    pub consumed: usize,
+    /// Instructions the fast path would execute instead.
+    pub emitted: usize,
+    /// Original instructions whose execution the fast path avoids.
+    pub folded: usize,
+}
+
+impl FoldEstimate {
+    /// Instructions saved per fast-path execution: the slow path runs the
+    /// region plus a jump back; the fast path runs the emitted sequence
+    /// plus a resume jump.
+    pub fn net_gain(&self) -> i64 {
+        self.consumed as i64 - self.emitted as i64
+    }
+}
+
+/// Estimates the cost/benefit of specializing the load at `load_index` on
+/// `value`, without transforming anything. Returns `None` if the index
+/// does not hold a load.
+pub fn estimate(program: &Program, load_index: u32, value: u64) -> Option<FoldEstimate> {
+    let instr = *program.code().get(load_index as usize)?;
+    let rd = match instr {
+        Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
+        _ => return None,
+    };
+    let liveness = Liveness::compute(program);
+    let resume = load_index + 1 + probe_region_len(program, load_index);
+    let fold = fold_region(
+        program.code(),
+        load_index as usize + 1,
+        rd,
+        value,
+        liveness.live_at(resume),
+    );
+    Some(FoldEstimate { consumed: fold.consumed, emitted: fold.emitted.len(), folded: fold.folded })
+}
+
+/// Selects specialization candidates from a load-value profile.
+///
+/// `metrics` must come from an
+/// [`InstructionProfiler`](vp_core::InstructionProfiler) run (entity ids
+/// are instruction indices). Candidates are returned hottest-first.
+pub fn find_candidates(
+    program: &Program,
+    metrics: &[EntityMetrics],
+    options: CandidateOptions,
+) -> Vec<Candidate> {
+    let liveness = Liveness::compute(program);
+    let mut out: Vec<Candidate> = metrics
+        .iter()
+        .filter(|m| m.executions >= options.min_executions)
+        .filter(|m| m.inv_top1 >= options.min_invariance)
+        .filter_map(|m| {
+            let index = m.load_index()?;
+            let instr = *program.code().get(index as usize)?;
+            let rd = match instr {
+                Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
+                _ => return None,
+            };
+            let value = m.top_value?;
+            // Dry-run the fold: it must remove enough instructions AND the
+            // fast path must be strictly shorter than the slow path (wide
+            // constants can make materialization outweigh the fold).
+            let resume_region_start = index as usize + 1;
+            let result = fold_region(
+                program.code(),
+                resume_region_start,
+                rd,
+                value,
+                liveness.live_at(index + 1 + probe_region_len(program, index)),
+            );
+            (result.folded >= options.min_folded && result.emitted.len() < result.consumed)
+                .then_some(Candidate {
+                    load_index: index,
+                    value,
+                    invariance: m.inv_top1,
+                    executions: m.executions,
+                })
+        })
+        .collect();
+    out.sort_by(|a, b| b.executions.cmp(&a.executions).then(a.load_index.cmp(&b.load_index)));
+    out
+}
+
+trait LoadIndex {
+    fn load_index(&self) -> Option<u32>;
+}
+
+impl LoadIndex for EntityMetrics {
+    fn load_index(&self) -> Option<u32> {
+        u32::try_from(self.id).ok()
+    }
+}
+
+/// Length of the foldable region following the load at `index`.
+fn probe_region_len(program: &Program, index: u32) -> u32 {
+    let code = program.code();
+    let mut len = 0u32;
+    for &instr in &code[(index as usize + 1)..] {
+        if instr.is_control_transfer() || matches!(instr, Instruction::Sys { .. }) {
+            break;
+        }
+        len += 1;
+    }
+    len
+}
+
+/// Applies one specialization, returning the transformed program.
+///
+/// # Errors
+///
+/// Fails when the candidate is not a load, the program uses the scratch
+/// register [`SCRATCH`], or jump targets would overflow.
+pub fn specialize(program: &Program, candidate: &Candidate) -> Result<Program, SpecializeError> {
+    if uses_scratch(program) {
+        return Err(SpecializeError::ScratchInUse);
+    }
+    specialize_unchecked(program, candidate)
+}
+
+/// [`specialize`] without the scratch-register check — used internally by
+/// [`specialize_all`], whose own trampolines legitimately use the scratch
+/// register (each one writes it before its only read).
+fn specialize_unchecked(
+    program: &Program,
+    candidate: &Candidate,
+) -> Result<Program, SpecializeError> {
+    let code = program.code();
+    let index = candidate.load_index as usize;
+    let load = *code.get(index).ok_or(SpecializeError::NotALoad { index: candidate.load_index })?;
+    let rd = match load {
+        Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
+        _ => return Err(SpecializeError::NotALoad { index: candidate.load_index }),
+    };
+
+    let liveness = Liveness::compute(program);
+    let region_len = probe_region_len(program, candidate.load_index);
+    let resume = candidate.load_index + 1 + region_len;
+    let fold = fold_region(code, index + 1, rd, candidate.value, liveness.live_at(resume));
+
+    let mut new_code = code.to_vec();
+    let trampoline = new_code.len() as u32;
+
+    // Trampoline: original load, guard, slow jump, fast path, resume jump.
+    new_code.push(load);
+    let mut guard = Vec::new();
+    materialize(SCRATCH, candidate.value, &mut guard);
+    new_code.extend_from_slice(&guard);
+    new_code.push(Instruction::Branch { cond: BranchCond::Eq, rs: rd, rt: SCRATCH, disp: 1 });
+    new_code.push(Instruction::Jump { target: candidate.load_index + 1 }); // slow path
+    new_code.extend_from_slice(&fold.emitted); // fast path
+    new_code.push(Instruction::Jump { target: resume });
+
+    if new_code.len() >= (1 << 26) {
+        return Err(SpecializeError::ProgramTooLarge);
+    }
+    // Redirect the load site into the trampoline.
+    new_code[index] = Instruction::Jump { target: trampoline };
+
+    Ok(Program::from_parts(
+        new_code,
+        program.data().to_vec(),
+        program.symbols().clone(),
+        program.procedures().to_vec(),
+        program.entry(),
+    ))
+}
+
+/// Applies a list of candidates in order (each on the result of the
+/// previous transform). Candidates at the same load site are rejected by
+/// the `NotALoad` check, since the first transform replaces the load.
+///
+/// # Errors
+///
+/// Same conditions as [`specialize`].
+pub fn specialize_all(
+    program: &Program,
+    candidates: &[Candidate],
+) -> Result<Program, SpecializeError> {
+    if !candidates.is_empty() && uses_scratch(program) {
+        return Err(SpecializeError::ScratchInUse);
+    }
+    let mut current = program.clone();
+    for c in candidates {
+        current = specialize_unchecked(&current, c)?;
+    }
+    Ok(current)
+}
+
+fn uses_scratch(program: &Program) -> bool {
+    program.code().iter().any(|i| {
+        i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::{Machine, MachineConfig};
+
+    /// A kernel with a semi-invariant load feeding a foldable chain.
+    fn kernel() -> Program {
+        vp_asm::assemble(
+            r#"
+            .data
+            config: .quad 80
+            .text
+            main:
+                la  r10, config
+                li  r9, 1000
+                li  r18, 0
+            loop:
+                ldd  r2, 0(r10)      # semi-invariant load
+                srli r3, r2, 3
+                andi r3, r3, 1023
+                muli r4, r3, 37
+                addi r4, r4, 11
+                xori r5, r4, 90
+                slli r6, r5, 2
+                add  r7, r6, r4
+                srli r8, r7, 1
+                add  r18, r18, r8    # r18 unknown: chain ends here
+                addi r9, r9, -1
+                bnz  r9, loop
+                andi a0, r18, 255
+                sys  exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn load_index(p: &Program) -> u32 {
+        p.code().iter().position(|i| i.is_load()).unwrap() as u32
+    }
+
+    #[test]
+    fn specialized_program_is_equivalent_and_faster() {
+        let program = kernel();
+        let candidate = Candidate {
+            load_index: load_index(&program),
+            value: 80,
+            invariance: 1.0,
+            executions: 1000,
+        };
+        let specialized = specialize(&program, &candidate).unwrap();
+
+        let mut base = Machine::new(program, MachineConfig::new()).unwrap();
+        let base_out = base.run(10_000_000).unwrap();
+        let mut fast = Machine::new(specialized, MachineConfig::new()).unwrap();
+        let fast_out = fast.run(10_000_000).unwrap();
+
+        assert_eq!(base_out.exit_code, fast_out.exit_code);
+        assert_eq!(base_out.output, fast_out.output);
+        assert!(
+            fast_out.instructions < base_out.instructions,
+            "specialized {} should beat base {}",
+            fast_out.instructions,
+            base_out.instructions
+        );
+    }
+
+    #[test]
+    fn guard_falls_back_when_value_changes() {
+        // Specialize on the WRONG value: the guard must route every
+        // iteration through the slow path, and results must still match.
+        let program = kernel();
+        let candidate = Candidate {
+            load_index: load_index(&program),
+            value: 9999,
+            invariance: 1.0,
+            executions: 1000,
+        };
+        let specialized = specialize(&program, &candidate).unwrap();
+        let mut base = Machine::new(program, MachineConfig::new()).unwrap();
+        let base_out = base.run(10_000_000).unwrap();
+        let mut slow = Machine::new(specialized, MachineConfig::new()).unwrap();
+        let slow_out = slow.run(10_000_000).unwrap();
+        assert_eq!(base_out.exit_code, slow_out.exit_code);
+        assert!(slow_out.instructions > base_out.instructions, "guard adds overhead");
+    }
+
+    #[test]
+    fn rejects_non_loads_and_scratch_users() {
+        let program = kernel();
+        let c = Candidate { load_index: 0, value: 1, invariance: 1.0, executions: 1 };
+        assert_eq!(
+            specialize(&program, &c).unwrap_err(),
+            SpecializeError::NotALoad { index: 0 }
+        );
+
+        let scratchy = vp_asm::assemble(
+            ".data\nx: .quad 1\n.text\nmain: la r31, x\n ldd r2, 0(r31)\n sys exit\n",
+        )
+        .unwrap();
+        let idx = load_index(&scratchy);
+        let c = Candidate { load_index: idx, value: 1, invariance: 1.0, executions: 1 };
+        assert_eq!(specialize(&scratchy, &c).unwrap_err(), SpecializeError::ScratchInUse);
+    }
+
+    #[test]
+    fn find_candidates_filters() {
+        use vp_core::{track::TrackerConfig, InstructionProfiler};
+        use vp_instrument::{Instrumenter, Selection};
+        let program = kernel();
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(&program, MachineConfig::new(), 10_000_000, &mut profiler)
+            .unwrap();
+        let candidates =
+            find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].load_index, load_index(&program));
+        assert_eq!(candidates[0].value, 80);
+        assert!(candidates[0].invariance > 0.99);
+
+        // Raising the invariance bar above 1.0 rejects everything.
+        let none = find_candidates(
+            &program,
+            &profiler.metrics(),
+            CandidateOptions { min_invariance: 1.1, ..CandidateOptions::default() },
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SpecializeError::NotALoad { index: 3 }.to_string().contains("3"));
+        assert!(SpecializeError::ScratchInUse.to_string().contains("r31"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Seeded input-data-set generation.
+//!
+//! Each workload gets a `test` and a `train` input that differ in seed,
+//! length and mixture parameters — distinct runs of "the same program on
+//! different data", which is what the paper's cross-input experiments
+//! (Table V.5) need. Generation is fully deterministic.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vp_sim::InputSet;
+
+use crate::DataSet;
+
+/// Generates the input data set for `workload` (by name) and `ds`.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name (the public entry points only pass
+/// names from [`crate::programs::ALL`]).
+pub fn generate(workload: &str, ds: DataSet) -> InputSet {
+    let mut rng = rng_for(workload, ds);
+    let values = match workload {
+        "compress" => compress(&mut rng, ds),
+        "gcc" => gcc(&mut rng, ds),
+        "li" => li(&mut rng, ds),
+        "ijpeg" => ijpeg(&mut rng, ds),
+        "go" => go(&mut rng, ds),
+        "m88ksim" => m88ksim(&mut rng, ds),
+        "perl" => perl(&mut rng, ds),
+        "vortex" => vortex(&mut rng, ds),
+        "hydro2d" => hydro2d(&mut rng, ds),
+        "applu" => applu(&mut rng, ds),
+        other => panic!("unknown workload `{other}`"),
+    };
+    InputSet::named(ds.name(), values)
+}
+
+fn rng_for(workload: &str, ds: DataSet) -> StdRng {
+    let mut seed = match ds {
+        DataSet::Test => 0x5eed_0001u64,
+        DataSet::Train => 0x5eed_0002u64,
+    };
+    for b in workload.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+fn sized(ds: DataSet, test: u64, train: u64) -> u64 {
+    match ds {
+        DataSet::Test => test,
+        DataSet::Train => train,
+    }
+}
+
+fn compress(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let n = sized(ds, 4_000, 5_000);
+    // A small, skewed symbol alphabet: repeated substrings hash alike.
+    let symbols: Vec<u64> = (0..48).collect();
+    let weights: Vec<u32> = (0..48).map(|i| 1 + (48 - i) * (48 - i) / 16).collect();
+    let dist = WeightedIndex::new(&weights).expect("weights");
+    let mut values = vec![n];
+    values.extend((0..n).map(|_| symbols[dist.sample(rng)]));
+    values
+}
+
+fn gcc(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let per_phase = sized(ds, 1_500, 1_900);
+    // Identifier tokens from a skewed dictionary (keywords dominate).
+    let dict: Vec<u64> = (1..=64).collect();
+    let weights: Vec<u32> = (0..64).map(|i| 1 + (64 - i) * (64 - i) / 32).collect();
+    let dist = WeightedIndex::new(&weights).expect("weights");
+    let mut values = vec![per_phase];
+    values.extend((0..per_phase).map(|_| dict[dist.sample(rng)]));
+    values
+}
+
+fn li(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let n = sized(ds, 6_000, 7_500);
+    // Opcode mix: add-heavy, like real interpreter traces. The train set
+    // shifts the mix slightly.
+    let weights: [u32; 6] = match ds {
+        DataSet::Test => [40, 10, 15, 10, 5, 20],
+        DataSet::Train => [35, 12, 18, 10, 6, 19],
+    };
+    let dist = WeightedIndex::new(weights).expect("weights");
+    let mut values = vec![n];
+    values.extend((0..n).map(|_| dist.sample(rng) as u64));
+    values
+}
+
+fn ijpeg(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let blocks = sized(ds, 80, 100);
+    let mut values = vec![blocks];
+    values.extend((0..blocks).map(|_| rng.gen_range(1..=u64::from(u32::MAX))));
+    values
+}
+
+fn go(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let stones = sized(ds, 40, 55);
+    let scans = sized(ds, 30, 35);
+    let mut values = vec![stones];
+    values.extend((0..stones).map(|_| rng.gen_range(0..10_000)));
+    values.push(scans);
+    values
+}
+
+fn m88ksim(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let n = sized(ds, 5_000, 6_500);
+    // Simulated opcode field is skewed toward op 1 (add).
+    let op_weights: [u32; 8] = [5, 50, 15, 10, 8, 5, 4, 3];
+    let dist = WeightedIndex::new(op_weights).expect("weights");
+    let config = rng.gen_range(1..=0xffff_ffffu64);
+    let mut values = vec![config, n];
+    values.extend((0..n).map(|_| {
+        let op = dist.sample(rng) as u64;
+        let dest = rng.gen_range(0..16u64);
+        (op << 8) | dest
+    }));
+    values
+}
+
+fn perl(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let n = sized(ds, 1_500, 2_000);
+    // Words drawn from a modest dictionary: hashing revisits values.
+    let dict: Vec<u64> = (0..96).map(|_| rng.gen::<u64>()).collect();
+    let mut values = vec![n];
+    values.extend((0..n).map(|_| dict[rng.gen_range(0..dict.len())]));
+    values
+}
+
+fn vortex(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let queries = sized(ds, 60, 75);
+    let hot_tag_pct = sized(ds, 90, 85);
+    let mut values = Vec::with_capacity(130);
+    for _ in 0..64 {
+        let tag = if rng.gen_range(0..100) < hot_tag_pct { 1 } else { rng.gen_range(2..6) };
+        values.push(tag);
+        values.push(rng.gen_range(0..1_000_000));
+    }
+    values.push(queries);
+    values
+}
+
+fn hydro2d(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let iters = sized(ds, 15, 18);
+    vec![rng.gen_range(50..150), iters]
+}
+
+fn applu(rng: &mut StdRng, ds: DataSet) -> Vec<u64> {
+    let n = sized(ds, 5_000, 6_000);
+    let mut values: Vec<u64> = (0..4).map(|_| rng.gen_range(0..1_000)).collect();
+    values.push(n);
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for (name, _, _) in crate::programs::ALL {
+            let a = generate(name, DataSet::Test);
+            let b = generate(name, DataSet::Test);
+            assert_eq!(a, b, "{name}");
+        }
+    }
+
+    #[test]
+    fn test_and_train_have_different_seeds() {
+        for (name, _, _) in crate::programs::ALL {
+            let t = generate(name, DataSet::Test);
+            let r = generate(name, DataSet::Train);
+            assert_ne!(t.values(), r.values(), "{name}");
+            assert_eq!(t.name(), "test");
+            assert_eq!(r.name(), "train");
+        }
+    }
+
+    #[test]
+    fn li_opcodes_in_range() {
+        let input = generate("li", DataSet::Test);
+        for &op in &input.values()[1..] {
+            assert!(op < 6);
+        }
+    }
+
+    #[test]
+    fn vortex_tags_are_skewed() {
+        let input = generate("vortex", DataSet::Test);
+        let hot = input.values()[..128].chunks(2).filter(|c| c[0] == 1).count();
+        assert!(hot > 64 * 7 / 10, "hot tags: {hot}/64");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        let _ = generate("nonesuch", DataSet::Test);
+    }
+}

@@ -1,0 +1,236 @@
+//! # vp-workloads — the benchmark suite
+//!
+//! The paper profiled SPEC95 binaries (compress, gcc, li, ijpeg, go,
+//! m88ksim, perl, vortex, hydro2d, applu, …), each with a *test* and a
+//! *train* input (Table III.1). SPEC95 binaries and inputs are not
+//! available to this reproduction, so this crate provides ten synthetic
+//! VP64 programs, one per SPEC program family, engineered to exhibit the
+//! value-locality phenomenology the paper reports for its counterpart:
+//!
+//! | workload | models | value behaviour exercised |
+//! |---|---|---|
+//! | `compress` | compress95 | hash-table loads, counts growing from zero (%zero decays) |
+//! | `gcc` | gcc | three compile phases; a phase-changing mode load (0→1→2) |
+//! | `li` | xlisp | interpreter: jump-table dispatch on skewed opcodes |
+//! | `ijpeg` | ijpeg | quantization-table loads cycling few values |
+//! | `go` | go | board scan: mostly-empty byte loads (high %zero) |
+//! | `m88ksim` | m88ksim | simulator: fully invariant config loads + decode dispatch |
+//! | `perl` | perl | string hashing + opcode dispatch |
+//! | `vortex` | vortex | DB record walk: semi-invariant type tags |
+//! | `hydro2d` | hydro2d | FP stencil converging toward uniform values |
+//! | `applu` | applu | FP solver: repeated coefficients |
+//!
+//! Each workload carries seeded `test` and `train` [`InputSet`]s that
+//! differ in seed, size and mixture parameters, supporting the paper's
+//! cross-input experiments.
+//!
+//! The [`micro`] module additionally provides *oracle* workloads whose
+//! metric values are known in closed form, used to validate the profiler.
+//!
+//! ```
+//! use vp_workloads::{DataSet, Workload};
+//!
+//! let w = Workload::by_name("compress").unwrap();
+//! let outcome = w.run(DataSet::Test, 10_000_000).unwrap();
+//! assert!(outcome.instructions > 1_000);
+//! ```
+
+pub mod inputs;
+pub mod micro;
+pub mod programs;
+
+use vp_asm::Program;
+use vp_sim::{InputSet, Machine, MachineConfig, RunOutcome, SimError};
+
+/// Which input data set to run — the paper's test/train methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSet {
+    /// The `test` input.
+    Test,
+    /// The `train` input.
+    Train,
+}
+
+impl DataSet {
+    /// Data-set name as used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataSet::Test => "test",
+            DataSet::Train => "train",
+        }
+    }
+}
+
+/// A benchmark: an assembled program plus its two input data sets.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: &'static str,
+    description: &'static str,
+    program: Program,
+    test: InputSet,
+    train: InputSet,
+}
+
+impl Workload {
+    /// Builds one workload by name (see the crate docs for the list).
+    pub fn by_name(name: &str) -> Option<Workload> {
+        suite().into_iter().find(|w| w.name == name)
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The assembled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The input for a data set.
+    pub fn input(&self, ds: DataSet) -> &InputSet {
+        match ds {
+            DataSet::Test => &self.test,
+            DataSet::Train => &self.train,
+        }
+    }
+
+    /// Machine configuration for running this workload with `ds`.
+    pub fn machine_config(&self, ds: DataSet) -> MachineConfig {
+        MachineConfig::new().input(self.input(ds).clone())
+    }
+
+    /// Runs the workload to completion (uninstrumented).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator faults, including budget exhaustion.
+    pub fn run(&self, ds: DataSet, budget: u64) -> Result<RunOutcome, SimError> {
+        let mut machine = Machine::new(self.program.clone(), self.machine_config(ds))?;
+        machine.run(budget)
+    }
+}
+
+/// The full ten-workload suite, in canonical order.
+///
+/// # Panics
+///
+/// Panics if a built-in program fails to assemble (a bug in this crate,
+/// covered by tests).
+pub fn suite() -> Vec<Workload> {
+    programs::ALL
+        .iter()
+        .map(|&(name, description, source_fn)| {
+            let source = source_fn();
+            let program = vp_asm::assemble(&source)
+                .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
+            Workload {
+                name,
+                description,
+                program,
+                test: inputs::generate(name, DataSet::Test),
+                train: inputs::generate(name, DataSet::Train),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: u64 = 50_000_000;
+
+    #[test]
+    fn all_workloads_assemble_and_run_on_both_inputs() {
+        for w in suite() {
+            for ds in [DataSet::Test, DataSet::Train] {
+                let out = w
+                    .run(ds, BUDGET)
+                    .unwrap_or_else(|e| panic!("{} [{}] failed: {e}", w.name(), ds.name()));
+                assert!(
+                    out.instructions > 10_000,
+                    "{} [{}] ran only {} instructions",
+                    w.name(),
+                    ds.name(),
+                    out.instructions
+                );
+                assert!(
+                    out.instructions < 10_000_000,
+                    "{} [{}] is too long for the experiment harness: {}",
+                    w.name(),
+                    ds.name(),
+                    out.instructions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Workload::by_name("li").unwrap();
+        let a = w.run(DataSet::Test, BUDGET).unwrap();
+        let b = w.run(DataSet::Test, BUDGET).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn test_and_train_differ() {
+        for w in suite() {
+            assert_ne!(
+                w.input(DataSet::Test),
+                w.input(DataSet::Train),
+                "{}: inputs must differ",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique_and_lookup_works() {
+        let s = suite();
+        assert_eq!(s.len(), 10);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        assert!(Workload::by_name("go").is_some());
+        assert!(Workload::by_name("nonesuch").is_none());
+        for w in &s {
+            assert!(!w.description().is_empty());
+            assert!(!w.program().is_empty());
+        }
+    }
+
+    #[test]
+    fn gcc_mode_load_is_phase_changing() {
+        // The gcc stand-in's defining feature: its mode load sees exactly
+        // three values, one per compile phase.
+        use vp_instrument::{Instrumenter, Selection};
+        let w = Workload::by_name("gcc").unwrap();
+        let mut profiler =
+            vp_core::InstructionProfiler::new(vp_core::TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(w.program(), w.machine_config(DataSet::Test), BUDGET, &mut profiler)
+            .unwrap();
+        let mode_load = profiler
+            .metrics()
+            .into_iter()
+            .find(|m| m.distinct == Some(3))
+            .expect("a load seeing exactly the three phase values");
+        // Each phase is one third of the run.
+        assert!((mode_load.inv_all1.unwrap() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(DataSet::Test.name(), "test");
+        assert_eq!(DataSet::Train.name(), "train");
+    }
+}

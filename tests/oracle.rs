@@ -1,0 +1,113 @@
+//! Oracle tests: the complete pipeline (assembler → emulator →
+//! instrumentation → profiler) against micro-workloads whose metrics have
+//! closed-form expectations.
+
+use value_profiling::core::{track::TrackerConfig, InstructionProfiler};
+use value_profiling::instrument::{Instrumenter, Selection};
+use value_profiling::sim::MachineConfig;
+use value_profiling::workloads::micro;
+
+const EPS: f64 = 1e-9;
+
+fn profile(w: &micro::MicroWorkload, selection: Selection) -> InstructionProfiler {
+    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new()
+        .select(selection)
+        .run(&w.program, MachineConfig::new(), 50_000_000, &mut profiler)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    profiler
+}
+
+#[test]
+fn constant_load_metrics() {
+    let w = micro::constant_load(1000);
+    let p = profile(&w, Selection::LoadsOnly);
+    let m = p.metrics_for(w.target_index).expect("target profiled");
+    assert_eq!(m.executions, w.executions);
+    assert!((m.inv_top1 - w.inv_top1).abs() < EPS, "inv {}", m.inv_top1);
+    assert!((m.inv_all1.unwrap() - w.inv_top1).abs() < EPS);
+    assert!((m.lvp - w.lvp).abs() < EPS, "lvp {}", m.lvp);
+    assert!((m.pct_zero - w.pct_zero).abs() < EPS);
+    assert_eq!(m.distinct, Some(1));
+    assert_eq!(m.top_value, Some(77));
+}
+
+#[test]
+fn alternating_load_metrics() {
+    let w = micro::alternating_load(1000);
+    let p = profile(&w, Selection::LoadsOnly);
+    let m = p.metrics_for(w.target_index).expect("target profiled");
+    assert_eq!(m.executions, 1000);
+    assert!((m.inv_top1 - 0.5).abs() < EPS);
+    assert!((m.inv_topn - 1.0).abs() < EPS, "both values fit the table");
+    assert!((m.lvp - 0.0).abs() < EPS);
+    assert!((m.pct_zero - 0.5).abs() < EPS);
+    assert_eq!(m.distinct, Some(2));
+}
+
+#[test]
+fn counter_metrics() {
+    let w = micro::counter(1000);
+    let p = profile(&w, Selection::RegisterDefining);
+    let m = p.metrics_for(w.target_index).expect("target profiled");
+    assert_eq!(m.executions, 1000);
+    assert!((m.inv_all1.unwrap() - 0.001).abs() < EPS);
+    assert!((m.lvp - 0.0).abs() < EPS);
+    assert!((m.pct_zero - 0.001).abs() < EPS);
+    assert_eq!(m.distinct, Some(1000));
+}
+
+#[test]
+fn phase_change_metrics() {
+    let w = micro::phase_change_load(1000);
+    let p = profile(&w, Selection::LoadsOnly);
+    let m = p.metrics_for(w.target_index).expect("target profiled");
+    assert_eq!(m.executions, 1000);
+    assert!((m.inv_all1.unwrap() - 0.5).abs() < EPS);
+    assert!((m.lvp - w.lvp).abs() < EPS);
+    assert_eq!(m.distinct, Some(2));
+}
+
+#[test]
+fn semi_invariant_metrics() {
+    let w = micro::semi_invariant_load(1000);
+    let p = profile(&w, Selection::LoadsOnly);
+    let m = p.metrics_for(w.target_index).expect("target profiled");
+    assert_eq!(m.executions, 900);
+    assert!((m.inv_top1 - 1.0).abs() < EPS, "the common path always loads 21");
+    // The rare-path load is a different static instruction.
+    let rare = p
+        .metrics()
+        .into_iter()
+        .find(|x| x.id != u64::from(w.target_index))
+        .expect("rare load profiled");
+    assert_eq!(rare.executions, 100);
+    assert_eq!(rare.top_value, Some(4));
+}
+
+#[test]
+fn tnv_estimate_never_exceeds_exact_invariance() {
+    // Structural invariant: the TNV table under-counts (evicted residency
+    // counts are lost), so Inv-Top <= Inv-All always.
+    for w in [
+        micro::constant_load(500),
+        micro::alternating_load(500),
+        micro::counter(500),
+        micro::phase_change_load(500),
+    ] {
+        let p = profile(&w, Selection::RegisterDefining);
+        for m in p.metrics() {
+            assert!(
+                m.inv_top1 <= m.inv_all1.unwrap() + EPS,
+                "{}: instr {} inv_top1 {} > inv_all1 {}",
+                w.name,
+                m.id,
+                m.inv_top1,
+                m.inv_all1.unwrap()
+            );
+            assert!(m.inv_topn <= m.inv_alln.unwrap() + EPS);
+            assert!(m.inv_top1 <= m.inv_topn + EPS);
+            assert!(m.inv_alln.unwrap() <= 1.0 + EPS);
+        }
+    }
+}

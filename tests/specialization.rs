@@ -1,0 +1,160 @@
+//! End-to-end specialization safety: the guarded fast path must preserve
+//! observable behaviour on every workload it is applied to, whether the
+//! specialized value is right, stale or plain wrong.
+
+use value_profiling::core::{track::TrackerConfig, InstructionProfiler};
+use value_profiling::instrument::{Instrumenter, Selection};
+use value_profiling::sim::MachineConfig;
+use value_profiling::specialize::{
+    demo, evaluate, find_candidates, specialize, specialize_all, Candidate, CandidateOptions,
+};
+use value_profiling::workloads::{suite, DataSet, Workload};
+
+const BUDGET: u64 = 100_000_000;
+
+fn load_metrics(w: &Workload, ds: DataSet) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new()
+        .select(Selection::LoadsOnly)
+        .run(w.program(), w.machine_config(ds), BUDGET, &mut p)
+        .unwrap();
+    p
+}
+
+#[test]
+fn profile_guided_specialization_is_exact_suite_wide() {
+    for w in suite() {
+        let profiler = load_metrics(&w, DataSet::Test);
+        let candidates =
+            find_candidates(w.program(), &profiler.metrics(), CandidateOptions::default());
+        let Ok(specialized) = specialize_all(w.program(), &candidates) else {
+            continue; // e.g. scratch register in use — allowed to refuse
+        };
+        for ds in [DataSet::Test, DataSet::Train] {
+            let report =
+                evaluate(w.program(), &specialized, w.input(ds), BUDGET).unwrap();
+            assert!(
+                report.equivalent,
+                "{} [{}]: specialization changed behaviour",
+                w.name(),
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_value_specialization_is_still_exact() {
+    // Force-specialize every foldable load on a value it will never see:
+    // the guard must route everything down the slow path unchanged.
+    for w in suite() {
+        let profiler = load_metrics(&w, DataSet::Test);
+        let loose = CandidateOptions { min_invariance: 0.0, min_executions: 1, min_folded: 1 };
+        let mut candidates = find_candidates(w.program(), &profiler.metrics(), loose);
+        for c in &mut candidates {
+            c.value = 0xdead_beef_dead_beef;
+        }
+        let Ok(specialized) = specialize_all(w.program(), &candidates) else {
+            continue;
+        };
+        let report = evaluate(w.program(), &specialized, w.input(DataSet::Test), BUDGET).unwrap();
+        assert!(report.equivalent, "{}: wrong-value guard broke behaviour", w.name());
+        assert!(
+            report.specialized_instructions >= report.base_instructions,
+            "{}: wrong-value specialization cannot be faster",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn demo_kernel_speedup_monotone_in_invariance() {
+    let program = demo::program();
+    let mut last_speedup = f64::INFINITY;
+    for period in [0u64, 100, 10] {
+        let input = demo::input(10_000, period);
+        let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(&program, MachineConfig::new().input(input.clone()), BUDGET, &mut profiler)
+            .unwrap();
+        let candidates =
+            find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+        assert_eq!(candidates.len(), 1, "period {period}");
+        let specialized = specialize(&program, &candidates[0]).unwrap();
+        let report = evaluate(&program, &specialized, &input, BUDGET).unwrap();
+        assert!(report.equivalent);
+        assert!(
+            report.speedup() <= last_speedup + 1e-9,
+            "period {period}: speedup should not grow as invariance falls"
+        );
+        last_speedup = report.speedup();
+    }
+    assert!(last_speedup > 1.0, "even at period 10 the fast path should win");
+}
+
+#[test]
+fn double_specialization_of_distinct_sites() {
+    // Two foldable loads in one program: both can be specialized, and the
+    // result remains exact.
+    let program = value_profiling::asm::assemble(
+        r#"
+        .data
+        a: .quad 6
+        b: .quad 9
+        .text
+        main:
+            la r10, a
+            la r11, b
+            li r9, 500
+            li r18, 0
+        loop:
+            ldd  r2, 0(r10)
+            muli r3, r2, 3
+            addi r3, r3, 1
+            xori r3, r3, 85
+            slli r3, r3, 2
+            srli r3, r3, 1
+            andi r3, r3, 1023
+            muli r3, r3, 7
+            addi r3, r3, 13
+            add  r18, r18, r3
+            ldd  r4, 0(r11)
+            xori r5, r4, 60
+            muli r5, r5, 7
+            addi r5, r5, 29
+            slli r5, r5, 3
+            srli r5, r5, 2
+            andi r5, r5, 2047
+            muli r5, r5, 11
+            add  r18, r18, r5
+            addi r9, r9, -1
+            bnz  r9, loop
+            andi a0, r18, 255
+            sys  exit
+        "#,
+    )
+    .unwrap();
+    let loads: Vec<u32> = program
+        .code()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.is_load())
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(loads.len(), 2);
+    let candidates = vec![
+        Candidate { load_index: loads[0], value: 6, invariance: 1.0, executions: 500 },
+        Candidate { load_index: loads[1], value: 9, invariance: 1.0, executions: 500 },
+    ];
+    let specialized = specialize_all(&program, &candidates).unwrap();
+    let report = evaluate(
+        &program,
+        &specialized,
+        &value_profiling::sim::InputSet::empty(),
+        BUDGET,
+    )
+    .unwrap();
+    assert!(report.equivalent);
+    assert!(report.speedup() > 1.0, "speedup {}", report.speedup());
+}

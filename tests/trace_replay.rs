@@ -1,0 +1,70 @@
+//! Trace-driven profiling must be indistinguishable from live profiling:
+//! recording a workload's event stream and replaying it into the value
+//! profiler yields bit-identical metrics.
+
+use value_profiling::core::{track::TrackerConfig, InstructionProfiler, MemoryProfiler};
+use value_profiling::instrument::{Instrumenter, Selection, Trace};
+use value_profiling::workloads::{suite, DataSet};
+
+const BUDGET: u64 = 100_000_000;
+
+#[test]
+fn replayed_instruction_profiles_match_live() {
+    for w in suite() {
+        let mut live = InstructionProfiler::new(TrackerConfig::with_full());
+        Instrumenter::new()
+            .select(Selection::LoadsOnly)
+            .run(w.program(), w.machine_config(DataSet::Test), BUDGET, &mut live)
+            .unwrap();
+
+        let trace = Trace::record(
+            w.program(),
+            w.machine_config(DataSet::Test),
+            BUDGET,
+            Selection::LoadsOnly,
+        )
+        .unwrap();
+        let mut replayed = InstructionProfiler::new(TrackerConfig::with_full());
+        trace.replay(&mut replayed).unwrap();
+
+        assert_eq!(live.metrics(), replayed.metrics(), "{}", w.name());
+    }
+}
+
+#[test]
+fn replayed_memory_profiles_match_live() {
+    let w = suite().into_iter().find(|w| w.name() == "gcc").unwrap();
+    let mut live = MemoryProfiler::new(TrackerConfig::with_full());
+    Instrumenter::new()
+        .select(Selection::MemoryOps)
+        .run(w.program(), w.machine_config(DataSet::Test), BUDGET, &mut live)
+        .unwrap();
+    let trace = Trace::record(
+        w.program(),
+        w.machine_config(DataSet::Test),
+        BUDGET,
+        Selection::MemoryOps,
+    )
+    .unwrap();
+    let mut replayed = MemoryProfiler::new(TrackerConfig::with_full());
+    trace.replay(&mut replayed).unwrap();
+    assert_eq!(live.metrics(), replayed.metrics());
+}
+
+#[test]
+fn serialized_trace_replays_identically() {
+    let w = suite().into_iter().find(|w| w.name() == "li").unwrap();
+    let trace = Trace::record(
+        w.program(),
+        w.machine_config(DataSet::Test),
+        BUDGET,
+        Selection::LoadsOnly,
+    )
+    .unwrap();
+    let restored = Trace::from_bytes(&trace.to_bytes()).unwrap();
+    let mut a = InstructionProfiler::new(TrackerConfig::with_full());
+    let mut b = InstructionProfiler::new(TrackerConfig::with_full());
+    trace.replay(&mut a).unwrap();
+    restored.replay(&mut b).unwrap();
+    assert_eq!(a.metrics(), b.metrics());
+}
