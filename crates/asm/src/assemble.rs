@@ -101,10 +101,9 @@ impl Assembler {
 
         // Data fixups that reference labels (e.g. jump tables).
         for fix in std::mem::take(&mut self.fixups) {
-            let sym = self
-                .symbols
-                .get(&fix.label)
-                .ok_or_else(|| AsmError::new(fix.line, format!("undefined label `{}`", fix.label)))?;
+            let sym = self.symbols.get(&fix.label).ok_or_else(|| {
+                AsmError::new(fix.line, format!("undefined label `{}`", fix.label))
+            })?;
             self.data[fix.offset..fix.offset + 8].copy_from_slice(&sym.address.to_le_bytes());
         }
 
@@ -156,7 +155,9 @@ impl Assembler {
         }
         let sym = match self.seg {
             Seg::Text => Symbol { section: Section::Text, address: u64::from(self.text_len) * 4 },
-            Seg::Data => Symbol { section: Section::Data, address: DATA_BASE + self.data.len() as u64 },
+            Seg::Data => {
+                Symbol { section: Section::Data, address: DATA_BASE + self.data.len() as u64 }
+            }
         };
         match self.symbols.insert(label.to_owned(), sym) {
             // `.proc f` followed by `f:` at the same address is idiomatic;
@@ -224,7 +225,7 @@ impl Assembler {
                 if n < 0 {
                     return Err(AsmError::new(line, "negative .space size".to_string()));
                 }
-                self.data.extend(std::iter::repeat(0u8).take(n as usize));
+                self.data.extend(std::iter::repeat_n(0u8, n as usize));
             }
             "align" => {
                 self.require_data(line, name)?;
@@ -233,7 +234,7 @@ impl Assembler {
                 if n <= 0 || (n & (n - 1)) != 0 {
                     return Err(AsmError::new(line, ".align needs a power of two".to_string()));
                 }
-                while self.data.len() % n as usize != 0 {
+                while !self.data.len().is_multiple_of(n as usize) {
                     self.data.push(0);
                 }
             }
@@ -487,11 +488,26 @@ fn emit_li(rd: Reg, value: i64, out: &mut Vec<Instruction>) {
     } else {
         let v = value as u64;
         out.push(Instruction::Lui { rd, imm: (v >> 48) as u16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((v >> 32) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: ((v >> 32) & 0xffff) as u16 as i16,
+        });
         out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((v >> 16) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: ((v >> 16) & 0xffff) as u16 as i16,
+        });
         out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (v & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: (v & 0xffff) as u16 as i16,
+        });
     }
 }
 
@@ -700,7 +716,10 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert_eq!(p.entry(), 0);
         assert_eq!(p.procedures().len(), 1);
-        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 5 });
+        assert_eq!(
+            p.code()[0],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 5 }
+        );
     }
 
     #[test]
@@ -774,14 +793,17 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(&p.data()[..24], {
-            let mut v = Vec::new();
-            for x in [1u64, 2, 3] {
-                v.extend_from_slice(&x.to_le_bytes());
+        assert_eq!(
+            &p.data()[..24],
+            {
+                let mut v = Vec::new();
+                for x in [1u64, 2, 3] {
+                    v.extend_from_slice(&x.to_le_bytes());
+                }
+                v
             }
-            v
-        }
-        .as_slice());
+            .as_slice()
+        );
         assert_eq!(&p.data()[24..28], b"hi\n\0");
         assert_eq!(p.data().len(), 28 + 16);
         let sym = p.symbol("table").unwrap();
@@ -845,17 +867,17 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1, imm: 0 });
+        assert_eq!(
+            p.code()[0],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R1, imm: 0 }
+        );
         assert_eq!(p.code()[4], Instruction::Jr { rs: Reg::RA });
         assert!(matches!(p.code()[3], Instruction::Jal { .. }));
     }
 
     #[test]
     fn comments_and_strings() {
-        let p = assemble(
-            ".data\nmsg: .ascii \"a#b;c\" # trailing\n.text\nnop ; c2\n",
-        )
-        .unwrap();
+        let p = assemble(".data\nmsg: .ascii \"a#b;c\" # trailing\n.text\nnop ; c2\n").unwrap();
         assert_eq!(p.data(), b"a#b;c");
         assert_eq!(p.len(), 1);
     }
@@ -878,8 +900,17 @@ mod tests {
     #[test]
     fn hex_and_char_literals() {
         let p = assemble(".text\nli r1, 0xff\nli r2, 'A'\nli r3, '\\n'\n").unwrap();
-        assert_eq!(p.code()[0], Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 255 });
-        assert_eq!(p.code()[1], Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R0, imm: 65 });
-        assert_eq!(p.code()[2], Instruction::AluImm { op: AluOp::Add, rd: Reg::R3, rs: Reg::R0, imm: 10 });
+        assert_eq!(
+            p.code()[0],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::R1, rs: Reg::R0, imm: 255 }
+        );
+        assert_eq!(
+            p.code()[1],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::R2, rs: Reg::R0, imm: 65 }
+        );
+        assert_eq!(
+            p.code()[2],
+            Instruction::AluImm { op: AluOp::Add, rd: Reg::R3, rs: Reg::R0, imm: 10 }
+        );
     }
 }

@@ -238,10 +238,7 @@ mod tests {
         // Overwrite the first code word with an invalid opcode (63).
         let code_off = 4 + 4 + 4 + 4 + 4 + 4;
         bytes[code_off..code_off + 4].copy_from_slice(&(63u32 << 26).to_le_bytes());
-        assert!(matches!(
-            Program::from_bytes(&bytes),
-            Err(ObjectError::BadInstruction(_))
-        ));
+        assert!(matches!(Program::from_bytes(&bytes), Err(ObjectError::BadInstruction(_))));
     }
 
     #[test]

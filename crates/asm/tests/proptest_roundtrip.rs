@@ -20,12 +20,7 @@ fn arb_width() -> impl Strategy<Value = MemWidth> {
 fn arb_printable_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         Just(Instruction::Nop),
-        (
-            (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i]),
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
+        ((0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i]), arb_reg(), arb_reg(), arb_reg())
             .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
         (
             (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i]),
@@ -35,12 +30,7 @@ fn arb_printable_instruction() -> impl Strategy<Value = Instruction> {
         )
             .prop_map(|(op, rd, rs, imm)| Instruction::AluImm { op, rd, rs, imm }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (
-            (0usize..FpOp::ALL.len()).prop_map(|i| FpOp::ALL[i]),
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
+        ((0usize..FpOp::ALL.len()).prop_map(|i| FpOp::ALL[i]), arb_reg(), arb_reg(), arb_reg())
             .prop_map(|(op, rd, rs, rt)| {
                 // Conversions print without rt; normalize it to r0 so the
                 // round-trip comparison is well-defined.
@@ -49,13 +39,9 @@ fn arb_printable_instruction() -> impl Strategy<Value = Instruction> {
             }),
         (arb_reg(), arb_reg(), any::<i16>(), arb_width())
             .prop_map(|(rd, base, offset, width)| Instruction::Load { rd, base, offset, width }),
-        (arb_reg(), arb_reg(), any::<i16>(), (0usize..3).prop_map(|i| MemWidth::ALL[i]))
-            .prop_map(|(rd, base, offset, width)| Instruction::LoadSigned {
-                rd,
-                base,
-                offset,
-                width
-            }),
+        (arb_reg(), arb_reg(), any::<i16>(), (0usize..3).prop_map(|i| MemWidth::ALL[i])).prop_map(
+            |(rd, base, offset, width)| Instruction::LoadSigned { rd, base, offset, width }
+        ),
         (arb_reg(), arb_reg(), any::<i16>(), arb_width())
             .prop_map(|(rs, base, offset, width)| Instruction::Store { rs, base, offset, width }),
         (
@@ -69,8 +55,7 @@ fn arb_printable_instruction() -> impl Strategy<Value = Instruction> {
         (0u32..3).prop_map(|target| Instruction::Jal { target }),
         arb_reg().prop_map(|rs| Instruction::Jr { rs }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instruction::Jalr { rd, rs }),
-        (0usize..Syscall::ALL.len())
-            .prop_map(|i| Instruction::Sys { call: Syscall::ALL[i] }),
+        (0usize..Syscall::ALL.len()).prop_map(|i| Instruction::Sys { call: Syscall::ALL[i] }),
     ]
 }
 

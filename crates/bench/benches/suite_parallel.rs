@@ -1,0 +1,26 @@
+//! Criterion bench: wall-clock of profiling the whole workload suite
+//! serially versus fanned out over worker threads (the parallel suite
+//! runner). The parallel run produces bit-identical per-workload profiles
+//! — this bench measures what the fan-out buys in elapsed time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vp_bench::SuiteRunner;
+use vp_workloads::DataSet;
+
+fn bench_suite(c: &mut Criterion) {
+    let instrs = SuiteRunner::new().run(DataSet::Test).total_instructions();
+    let mut group = c.benchmark_group("suite_profile");
+    group.throughput(Throughput::Elements(instrs));
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                black_box(SuiteRunner::new().jobs(jobs).run(DataSet::Test).total_instructions())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

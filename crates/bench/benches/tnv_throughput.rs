@@ -21,20 +21,16 @@ fn bench_tnv(c: &mut Criterion) {
     group.throughput(Throughput::Elements(values.len() as u64));
 
     for capacity in [4usize, 8, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("lfu_clear", capacity),
-            &capacity,
-            |b, &cap| {
-                b.iter(|| {
-                    let mut t =
-                        TnvTable::new(cap, Policy::LfuClear { steady: cap / 2, clear_interval: 2000 });
-                    for &v in &values {
-                        t.observe(black_box(v));
-                    }
-                    black_box(t.inv_top(1))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lfu_clear", capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let mut t =
+                    TnvTable::new(cap, Policy::LfuClear { steady: cap / 2, clear_interval: 2000 });
+                for &v in &values {
+                    t.observe(black_box(v));
+                }
+                black_box(t.inv_top(1))
+            })
+        });
         group.bench_with_input(BenchmarkId::new("lfu", capacity), &capacity, |b, &cap| {
             b.iter(|| {
                 let mut t = TnvTable::new(cap, Policy::Lfu);

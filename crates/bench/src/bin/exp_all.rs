@@ -32,9 +32,8 @@ fn main() {
     let bin_dir = current.parent().expect("bin dir");
     for exp in EXPERIMENTS {
         let path = bin_dir.join(exp);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        let status =
+            Command::new(&path).status().unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
         assert!(status.success(), "{exp} failed");
         println!();
     }

@@ -19,5 +19,8 @@ fn main() {
             aggregate: all_instr_profile(w, DataSet::Test).aggregate(),
         })
         .collect();
-    println!("{}", render_metric_table("all defining instructions, execution-weighted (values in %)", &rows));
+    println!(
+        "{}",
+        render_metric_table("all defining instructions, execution-weighted (values in %)", &rows)
+    );
 }

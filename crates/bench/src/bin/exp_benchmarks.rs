@@ -4,18 +4,33 @@
 //! instruction count of each run (in millions); ours reports the same for
 //! the SPEC-stand-in suite (counts in thousands — the workloads are scaled
 //! to keep the full experiment matrix fast).
+//!
+//! Pass `--jobs N` to fan the workload runs out over N worker threads
+//! (0 = available parallelism); the table is identical either way.
 
+use vp_instrument::parallel_map;
 use vp_workloads::{suite, DataSet};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("bad --jobs value"));
+
     vp_bench::heading("E1", "benchmark programs and data sets (Table III.1)");
     println!(
-        "{:<10} {:>12} {:>14} {:>14} {}",
-        "program", "static size", "test Kinstrs", "train Kinstrs", "description"
+        "{:<10} {:>12} {:>14} {:>14} description",
+        "program", "static size", "test Kinstrs", "train Kinstrs"
     );
-    for w in suite() {
+    let workloads = suite();
+    let rows = parallel_map(jobs, &workloads, |w| {
         let test = w.run(DataSet::Test, vp_bench::BUDGET).expect("test run").instructions;
         let train = w.run(DataSet::Train, vp_bench::BUDGET).expect("train run").instructions;
+        (test, train)
+    });
+    for (w, (test, train)) in workloads.iter().zip(rows) {
         println!(
             "{:<10} {:>12} {:>14.1} {:>14.1} {}",
             w.name(),

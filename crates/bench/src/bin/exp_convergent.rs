@@ -46,15 +46,36 @@ fn main() {
     }
 
     println!("\nsampler sweep (suite means): burst length x backoff aggressiveness");
-    println!(
-        "{:<26} {:>12} {:>12}",
-        "configuration", "profiled%", "mean|diff|"
-    );
+    println!("{:<26} {:>12} {:>12}", "configuration", "profiled%", "mean|diff|");
     let sweeps = [
-        ("burst 500, skip 1k, x2", ConvergentConfig { burst: 500, initial_skip: 1_000, backoff: 2.0, ..ConvergentConfig::default() }),
+        (
+            "burst 500, skip 1k, x2",
+            ConvergentConfig {
+                burst: 500,
+                initial_skip: 1_000,
+                backoff: 2.0,
+                ..ConvergentConfig::default()
+            },
+        ),
         ("burst 200, skip 2k, x4", ConvergentConfig::default()),
-        ("burst 100, skip 4k, x8", ConvergentConfig { burst: 100, initial_skip: 4_000, backoff: 8.0, ..ConvergentConfig::default() }),
-        ("burst 50, skip 8k, x16", ConvergentConfig { burst: 50, initial_skip: 8_000, backoff: 16.0, ..ConvergentConfig::default() }),
+        (
+            "burst 100, skip 4k, x8",
+            ConvergentConfig {
+                burst: 100,
+                initial_skip: 4_000,
+                backoff: 8.0,
+                ..ConvergentConfig::default()
+            },
+        ),
+        (
+            "burst 50, skip 8k, x16",
+            ConvergentConfig {
+                burst: 50,
+                initial_skip: 8_000,
+                backoff: 16.0,
+                ..ConvergentConfig::default()
+            },
+        ),
     ];
     for (name, config) in sweeps {
         let mut profiled = 0.0;

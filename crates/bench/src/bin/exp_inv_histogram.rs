@@ -15,7 +15,12 @@ fn print_histogram(title: &str, buckets: [f64; 10]) {
     println!("{title}");
     for (i, weight) in buckets.iter().enumerate() {
         let bar = "#".repeat((weight * 60.0).round() as usize);
-        println!("  {:>3}-{:<4} {:>6.1}% {bar}", i * 10, format!("{}%", (i + 1) * 10), weight * 100.0);
+        println!(
+            "  {:>3}-{:<4} {:>6.1}% {bar}",
+            i * 10,
+            format!("{}%", (i + 1) * 10),
+            weight * 100.0
+        );
     }
     println!();
 }

@@ -27,12 +27,7 @@ fn main() {
             .hottest(3)
             .into_iter()
             .map(|m| {
-                format!(
-                    "{:#x} (stores {}, inv {:.0}%)",
-                    m.id,
-                    m.executions,
-                    m.inv_top1 * 100.0
-                )
+                format!("{:#x} (stores {}, inv {:.0}%)", m.id, m.executions, m.inv_top1 * 100.0)
             })
             .collect();
         hot_lines.push(format!(

@@ -16,7 +16,6 @@ use vp_instrument::{Analysis, Instrumenter, Selection};
 use vp_sim::Machine;
 use vp_workloads::{suite, DataSet, Workload};
 
-
 fn timed<F: FnOnce() -> u64>(f: F) -> (u64, f64) {
     let start = Instant::now();
     let value = f();
@@ -42,7 +41,15 @@ fn main() {
     vp_bench::heading("E12", "profiling overhead: events per instruction and wall-clock slowdown");
     println!(
         "{:<10} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>10}",
-        "program", "instrs", "ld ev/i", "ld slow", "all ev/i", "all slow", "conv ev/i", "conv slow", "conv prof%"
+        "program",
+        "instrs",
+        "ld ev/i",
+        "ld slow",
+        "all ev/i",
+        "all slow",
+        "conv ev/i",
+        "conv slow",
+        "conv prof%"
     );
     for w in suite() {
         // Warm up and baseline.
@@ -57,7 +64,8 @@ fn main() {
             let mut p = InstructionProfiler::new(TrackerConfig::default());
             run_with(&w, Selection::RegisterDefining, &mut p)
         });
-        let mut conv = ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
+        let mut conv =
+            ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
         let (conv_events, conv_t) = timed(|| run_with(&w, Selection::RegisterDefining, &mut conv));
 
         let per = |e: u64| e as f64 / instrs as f64;

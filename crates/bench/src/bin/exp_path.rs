@@ -38,10 +38,7 @@ const KERNEL: &str = r#"
 
 fn main() {
     vp_bench::heading("E15", "path-sensitive last-value prediction (extension)");
-    println!(
-        "{:<22} {:>10} {:>10} {:>10}",
-        "program", "events", "lvp hit%", "path hit%"
-    );
+    println!("{:<22} {:>10} {:>10} {:>10}", "program", "events", "lvp hit%", "path hit%");
 
     // The motivating kernel: one procedure, two call sites, site-constant
     // arguments.

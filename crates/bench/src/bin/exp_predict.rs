@@ -20,7 +20,15 @@ fn main() {
     vp_bench::heading("E14", "value predictors on load streams; profile-guided filtering");
     println!(
         "{:<10} {:>7} {:>8} {:>8} {:>9} {:>9} | {:>9} {:>9} {:>10}",
-        "program", "lvp%", "stride%", "2level%", "hyb(l,s)%", "hyb(s,2)%", "lvp-misp%", "filt-misp%", "filt-hit%"
+        "program",
+        "lvp%",
+        "stride%",
+        "2level%",
+        "hyb(l,s)%",
+        "hyb(s,2)%",
+        "lvp-misp%",
+        "filt-misp%",
+        "filt-hit%"
     );
 
     let mut sums = [0.0f64; 8];
@@ -29,7 +37,8 @@ fn main() {
         let stream = value_stream(w, DataSet::Test, Selection::LoadsOnly);
         let profile: InstructionProfiler = load_profile(w, DataSet::Train);
 
-        let stats = |p: &mut dyn Predictor| -> PredictorStats { evaluate(p, stream.iter().copied()) };
+        let stats =
+            |p: &mut dyn Predictor| -> PredictorStats { evaluate(p, stream.iter().copied()) };
         let lvp = stats(&mut LastValuePredictor::new(1024));
         let stride = stats(&mut StridePredictor::new(1024));
         let two = stats(&mut TwoLevelPredictor::new());
@@ -37,10 +46,8 @@ fn main() {
             LastValuePredictor::new(1024),
             StridePredictor::new(1024),
         ));
-        let hyb_s2 = stats(&mut HybridPredictor::new(
-            StridePredictor::new(1024),
-            TwoLevelPredictor::new(),
-        ));
+        let hyb_s2 =
+            stats(&mut HybridPredictor::new(StridePredictor::new(1024), TwoLevelPredictor::new()));
         let filt = stats(&mut FilteredPredictor::from_profile(
             LastValuePredictor::new(1024),
             &profile.metrics(),

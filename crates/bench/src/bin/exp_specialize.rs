@@ -28,15 +28,27 @@ fn main() {
         let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
         Instrumenter::new()
             .select(Selection::LoadsOnly)
-            .run(&program, MachineConfig::new().input(input.clone()), vp_bench::BUDGET, &mut profiler)
+            .run(
+                &program,
+                MachineConfig::new().input(input.clone()),
+                vp_bench::BUDGET,
+                &mut profiler,
+            )
             .expect("profile");
-        let inv = profiler
-            .metrics_for(demo::config_load_index(&program))
-            .map_or(0.0, |m| m.inv_top1);
-        let candidates = find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
+        let inv =
+            profiler.metrics_for(demo::config_load_index(&program)).map_or(0.0, |m| m.inv_top1);
+        let candidates =
+            find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
         let label = if period == 0 { "never".into() } else { format!("1/{period}") };
         if candidates.is_empty() {
-            println!("{label:>10} {:>10.1} {:>12} {:>12} {:>9} {:>6}", inv * 100.0, "-", "-", "skipped", "-");
+            println!(
+                "{label:>10} {:>10.1} {:>12} {:>12} {:>9} {:>6}",
+                inv * 100.0,
+                "-",
+                "-",
+                "skipped",
+                "-"
+            );
             continue;
         }
         let specialized = specialize_all(&program, &candidates).expect("specialize");
@@ -78,13 +90,9 @@ fn main() {
                 continue;
             }
             let specialized = specialize_all(w.program(), &candidates).expect("specialize");
-            let report = evaluate(
-                w.program(),
-                &specialized,
-                w.input(DataSet::Test),
-                vp_bench::BUDGET,
-            )
-            .expect("evaluate");
+            let report =
+                evaluate(w.program(), &specialized, w.input(DataSet::Test), vp_bench::BUDGET)
+                    .expect("evaluate");
             exact &= report.equivalent;
             speedups.push(Some(report.speedup()));
         }

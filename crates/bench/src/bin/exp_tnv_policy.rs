@@ -50,13 +50,15 @@ fn main() {
         }
         streams.extend(per_pc.into_values());
     }
-    println!("{} load value streams, {} total values\n", streams.len(), streams.iter().map(Vec::len).sum::<usize>());
-
     println!(
-        "{:<26} {:>8} {:>8} {:>8} {:>8}",
-        "policy", "N=2", "N=4", "N=8", "N=16"
+        "{} load value streams, {} total values\n",
+        streams.len(),
+        streams.iter().map(Vec::len).sum::<usize>()
     );
-    let configs: Vec<(String, Box<dyn Fn(usize) -> Policy>)> = vec![
+
+    println!("{:<26} {:>8} {:>8} {:>8} {:>8}", "policy", "N=2", "N=4", "N=8", "N=16");
+    type PolicyFactory = Box<dyn Fn(usize) -> Policy>;
+    let configs: Vec<(String, PolicyFactory)> = vec![
         (
             "lfu-clear (paper)".to_string(),
             Box::new(|cap: usize| Policy::LfuClear { steady: cap / 2, clear_interval: 2000 }),
@@ -67,7 +69,10 @@ fn main() {
         ),
         (
             "lfu-clear (steady 1/4)".to_string(),
-            Box::new(|cap: usize| Policy::LfuClear { steady: (cap / 4).max(1), clear_interval: 2000 }),
+            Box::new(|cap: usize| Policy::LfuClear {
+                steady: (cap / 4).max(1),
+                clear_interval: 2000,
+            }),
         ),
         ("lfu".to_string(), Box::new(|_| Policy::Lfu)),
         ("lru".to_string(), Box::new(|_| Policy::Lru)),

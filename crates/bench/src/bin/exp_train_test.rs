@@ -5,20 +5,34 @@
 //! metrics are very similar across inputs, per-instruction invariance is
 //! strongly correlated, and the profiled top value usually agrees — which
 //! is what makes profile-guided specialization on a training input sound.
+//!
+//! Pass `--jobs N` to run the per-workload profiling across N worker
+//! threads (0 = available parallelism). Results are identical to serial:
+//! each workload/input profile is produced by one profiler instance.
 
-use vp_bench::{all_instr_profile, load_profile};
+use vp_bench::{all_instr_profile, load_profile, SuiteRunner};
 use vp_core::{compare, correlation, render_metric_table, report::row};
+use vp_instrument::parallel_map;
 use vp_workloads::{suite, DataSet};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map_or(1, |v| v.parse().expect("bad --jobs value"));
+
     vp_bench::heading("E8", "test vs train data sets (Table V.5)");
 
-    for w in suite() {
-        let train = load_profile(&w, DataSet::Train).metrics();
-        let test = load_profile(&w, DataSet::Test).metrics();
-        let rows = [row("train", &train), row("test", &test)];
+    let workloads = suite();
+    let per_workload = parallel_map(jobs, &workloads, |w| {
+        (load_profile(w, DataSet::Train).metrics(), load_profile(w, DataSet::Test).metrics())
+    });
+    for (w, (train, test)) in workloads.iter().zip(&per_workload) {
+        let rows = [row("train", train), row("test", test)];
         println!("{}", render_metric_table(&format!("{}: loads by data set", w.name()), &rows));
-        let c = compare(&train, &test);
+        let c = compare(train, test);
         println!(
             "  common sites {}  inv-corr {:+.3}  lvp-corr {:+.3}  mean|inv diff| {:.4}  top-value agreement {:.0}%\n",
             c.common,
@@ -36,9 +50,12 @@ fn main() {
     let mut train_inv = Vec::new();
     let mut test_inv = Vec::new();
     let mut agree = 0usize;
-    for w in suite() {
-        let train = all_instr_profile(&w, DataSet::Train).metrics();
-        let test = all_instr_profile(&w, DataSet::Test).metrics();
+    let full = parallel_map(jobs, &workloads, |w| {
+        (all_instr_profile(w, DataSet::Train), all_instr_profile(w, DataSet::Test))
+    });
+    for (train_p, test_p) in &full {
+        let train = train_p.metrics();
+        let test = test_p.metrics();
         let test_by_id: std::collections::HashMap<u64, _> =
             test.iter().map(|m| (m.id, m)).collect();
         for m in &train {
@@ -56,15 +73,36 @@ fn main() {
     println!("  inv-top1 correlation   {:+.3}", correlation(&train_inv, &test_inv));
     println!(
         "  mean |inv diff|        {:.4}",
-        train_inv
-            .iter()
-            .zip(&test_inv)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
+        train_inv.iter().zip(&test_inv).map(|(a, b)| (a - b).abs()).sum::<f64>()
             / train_inv.len().max(1) as f64
     );
     println!(
         "  top-value agreement    {:.1}%",
         agree as f64 / train_inv.len().max(1) as f64 * 100.0
+    );
+
+    // Combined-input profile: merging the train profiler into the test
+    // profiler gives one profile describing both runs — the shard-merge
+    // semantics of `InstructionProfiler::merge` (exact scalar counters,
+    // TNV under-estimates). The suite runner reports both data sets with
+    // the same machinery.
+    println!("\ncombined train+test load profiles (merged shards):");
+    let combined_rows: Vec<_> = full
+        .into_iter()
+        .zip(&workloads)
+        .map(|((train_p, test_p), w)| {
+            let mut merged = test_p;
+            merged.merge(train_p);
+            row(w.name(), &merged.metrics())
+        })
+        .collect();
+    println!("{}", render_metric_table("all register-defining sites, both inputs", &combined_rows));
+
+    let suite_profile = SuiteRunner::new().jobs(jobs).run(DataSet::Test);
+    let (pool, agg) = suite_profile.pooled();
+    println!(
+        "suite runner cross-check [test loads]: {} sites pooled, inv-top1 {:.1}%",
+        pool.len(),
+        agg.inv_top1 * 100.0
     );
 }

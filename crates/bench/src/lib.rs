@@ -8,9 +8,13 @@
 //! Run an experiment with e.g. `cargo run --release -p vp-bench --bin
 //! exp_loads`, or everything with `--bin exp_all`.
 
+pub mod suite;
+
 use vp_core::{track::TrackerConfig, InstructionProfiler};
 use vp_instrument::{Instrumenter, Selection};
 use vp_workloads::{DataSet, Workload};
+
+pub use suite::{ProfileMode, SuiteProfile, SuiteRunner, WorkloadProfile};
 
 /// Instruction budget for experiment runs (far above any workload's need).
 pub const BUDGET: u64 = 100_000_000;

@@ -1,0 +1,267 @@
+//! Suite-profiling driver: profile every workload of the benchmark suite
+//! and render one table, serially or fanned out across worker threads.
+//!
+//! Parallelism is *per workload* — each worker profiles whole workloads,
+//! so a workload's profile is produced by exactly one profiler instance
+//! and `--jobs N` output is identical to a serial run by construction.
+//! Only the order in which workloads *finish* varies; results are
+//! reassembled in canonical suite order.
+
+use vp_core::{
+    aggregate, merge_entity_metrics, render_metric_table, report::row, track::TrackerConfig,
+    Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics, InstructionProfiler, ReportRow,
+    SampleStrategy, SampledProfiler,
+};
+use vp_instrument::{parallel_map, Instrumenter, Selection};
+use vp_workloads::{suite, DataSet, Workload};
+
+use crate::BUDGET;
+
+/// Which profiler the runner attaches to each workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProfileMode {
+    /// Full profiling: every selected execution observed
+    /// ([`InstructionProfiler`]).
+    Full,
+    /// The paper's convergent profiler (bursts with adaptive back-off).
+    Convergent(ConvergentConfig),
+    /// The CPI-style sampling baseline.
+    Sampled(SampleStrategy),
+}
+
+/// One workload's profiling result.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: &'static str,
+    /// Per-entity metrics, ordered by entity id.
+    pub metrics: Vec<EntityMetrics>,
+    /// Execution-weighted aggregate of `metrics`.
+    pub aggregate: Aggregate,
+    /// Fraction of selected executions actually profiled (1.0 in
+    /// [`ProfileMode::Full`]).
+    pub profile_fraction: f64,
+    /// Dynamic instructions the run executed.
+    pub instructions: u64,
+}
+
+/// The whole suite's profiling results, in canonical suite order.
+#[derive(Debug, Clone)]
+pub struct SuiteProfile {
+    /// One entry per workload.
+    pub workloads: Vec<WorkloadProfile>,
+}
+
+impl SuiteProfile {
+    /// Report rows (one per workload), ready for
+    /// [`render_metric_table`].
+    pub fn rows(&self) -> Vec<ReportRow> {
+        self.workloads.iter().map(|w| row(w.name, &w.metrics)).collect()
+    }
+
+    /// Renders the per-workload metric table.
+    pub fn render(&self, title: &str) -> String {
+        render_metric_table(title, &self.rows())
+    }
+
+    /// Pools every workload's entities into one metric set, re-keying ids
+    /// as `workload_index << 32 | entity_id` so sites from different
+    /// workloads never collide, and returns the suite-wide aggregate.
+    ///
+    /// Uses [`merge_entity_metrics`], so pooling two disjoint shards is
+    /// exact (no entity is shared across workloads).
+    pub fn pooled(&self) -> (Vec<EntityMetrics>, Aggregate) {
+        let mut pool: Vec<EntityMetrics> = Vec::new();
+        for (wi, w) in self.workloads.iter().enumerate() {
+            let rekeyed: Vec<EntityMetrics> = w
+                .metrics
+                .iter()
+                .map(|m| {
+                    let mut m = m.clone();
+                    m.id |= (wi as u64) << 32;
+                    m
+                })
+                .collect();
+            pool = merge_entity_metrics(&pool, &rekeyed);
+        }
+        let agg = aggregate(&pool);
+        (pool, agg)
+    }
+
+    /// Total dynamic instructions across the suite.
+    pub fn total_instructions(&self) -> u64 {
+        self.workloads.iter().map(|w| w.instructions).sum()
+    }
+}
+
+/// Profiles the workload suite, optionally in parallel.
+///
+/// ```
+/// use vp_bench::suite::SuiteRunner;
+/// use vp_workloads::DataSet;
+///
+/// let profile = SuiteRunner::new().jobs(2).run(DataSet::Test);
+/// assert_eq!(profile.workloads.len(), vp_workloads::suite().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuiteRunner {
+    jobs: usize,
+    selection: Selection,
+    tracker: TrackerConfig,
+    budget: u64,
+    mode: ProfileMode,
+}
+
+impl Default for SuiteRunner {
+    fn default() -> SuiteRunner {
+        SuiteRunner::new()
+    }
+}
+
+impl SuiteRunner {
+    /// A serial runner profiling loads with exact ground truth.
+    pub fn new() -> SuiteRunner {
+        SuiteRunner {
+            jobs: 1,
+            selection: Selection::LoadsOnly,
+            tracker: TrackerConfig::with_full(),
+            budget: BUDGET,
+            mode: ProfileMode::Full,
+        }
+    }
+
+    /// Sets the worker count (0 = available parallelism, 1 = serial).
+    pub fn jobs(mut self, jobs: usize) -> SuiteRunner {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets which instructions are profiled.
+    pub fn selection(mut self, selection: Selection) -> SuiteRunner {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the per-entity tracker configuration.
+    pub fn tracker(mut self, tracker: TrackerConfig) -> SuiteRunner {
+        self.tracker = tracker;
+        self
+    }
+
+    /// Sets the instruction budget per workload run.
+    pub fn budget(mut self, budget: u64) -> SuiteRunner {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the profiling mode.
+    pub fn mode(mut self, mode: ProfileMode) -> SuiteRunner {
+        self.mode = mode;
+        self
+    }
+
+    /// Profiles the whole built-in suite on `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload run faults (a harness bug, as in the
+    /// experiment binaries).
+    pub fn run(&self, ds: DataSet) -> SuiteProfile {
+        self.run_workloads(&suite(), ds)
+    }
+
+    /// Profiles an explicit workload list on `ds`, one workload per
+    /// worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload run faults.
+    pub fn run_workloads(&self, workloads: &[Workload], ds: DataSet) -> SuiteProfile {
+        let workloads = parallel_map(self.jobs, workloads, |w| self.profile_one(w, ds));
+        SuiteProfile { workloads }
+    }
+
+    fn profile_one(&self, w: &Workload, ds: DataSet) -> WorkloadProfile {
+        let fail = |e| panic!("{} [{}]: {e}", w.name(), ds.name());
+        let instrumenter = Instrumenter::new().select(self.selection.clone());
+        let cfg = w.machine_config(ds);
+        let (metrics, profile_fraction, instructions) = match self.mode {
+            ProfileMode::Full => {
+                let mut p = InstructionProfiler::new(self.tracker);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                (p.metrics(), 1.0, run.outcome.instructions)
+            }
+            ProfileMode::Convergent(config) => {
+                let mut p = ConvergentProfiler::new(self.tracker, config);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                (p.metrics(), p.overall_profile_fraction(), run.outcome.instructions)
+            }
+            ProfileMode::Sampled(strategy) => {
+                let mut p = SampledProfiler::new(self.tracker, strategy);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                (p.metrics(), p.overall_profile_fraction(), run.outcome.instructions)
+            }
+        };
+        WorkloadProfile {
+            name: w.name(),
+            aggregate: aggregate(&metrics),
+            metrics,
+            profile_fraction,
+            instructions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_profiles_whole_suite() {
+        let profile = SuiteRunner::new().run(DataSet::Test);
+        assert_eq!(profile.workloads.len(), suite().len());
+        for w in &profile.workloads {
+            assert!(w.aggregate.executions > 0, "{} profiled nothing", w.name);
+            assert!((w.profile_fraction - 1.0).abs() < 1e-12);
+        }
+        assert!(profile.total_instructions() > 0);
+        assert!(profile.render("suite").contains(profile.workloads[0].name));
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial = SuiteRunner::new().jobs(1).run(DataSet::Test);
+        let parallel = SuiteRunner::new().jobs(4).run(DataSet::Test);
+        assert_eq!(serial.workloads.len(), parallel.workloads.len());
+        for (s, p) in serial.workloads.iter().zip(&parallel.workloads) {
+            assert_eq!(s.name, p.name, "canonical order preserved");
+            assert_eq!(s.metrics, p.metrics);
+            assert_eq!(s.instructions, p.instructions);
+        }
+    }
+
+    #[test]
+    fn convergent_mode_profiles_a_fraction() {
+        let runner = SuiteRunner::new()
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Convergent(ConvergentConfig::default()));
+        let profile = runner.run_workloads(&suite()[..2], DataSet::Test);
+        for w in &profile.workloads {
+            assert!(w.profile_fraction <= 1.0);
+            assert!(w.aggregate.executions > 0);
+        }
+    }
+
+    #[test]
+    fn pooled_rekeys_and_sums() {
+        let profile = SuiteRunner::new().run_workloads(&suite()[..3], DataSet::Test);
+        let (pool, agg) = profile.pooled();
+        let per_workload: usize = profile.workloads.iter().map(|w| w.metrics.len()).sum();
+        assert_eq!(pool.len(), per_workload, "disjoint shards pool without collisions");
+        let execs: u64 = profile.workloads.iter().map(|w| w.aggregate.executions).sum();
+        assert_eq!(agg.executions, execs);
+    }
+}

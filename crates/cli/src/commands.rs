@@ -21,6 +21,7 @@ const USAGE: &str = "usage:
   vprof assemble <file.s> -o <file.vpo>
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
+  vprof profile-suite [--train] [--all] [--convergent] [--jobs N]
   vprof histogram <target> [--train] [--all]
   vprof trace <target> -o <file.vpt> [--train] [--all]
   vprof compare <workload>
@@ -39,6 +40,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("assemble") => assemble_cmd(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
         Some("profile") => profile(&args[1..]),
+        Some("profile-suite") => profile_suite(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
@@ -74,20 +76,17 @@ fn resolve(target: &str, ds: DataSet) -> Result<(Program, InputSet), String> {
         return Ok((w.program().clone(), w.input(ds).clone()));
     }
     if target.ends_with(".s") {
-        let src = std::fs::read_to_string(target)
-            .map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let src =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
         let program = vp_asm::assemble(&src).map_err(|e| e.to_string())?;
         return Ok((program, InputSet::empty()));
     }
     if target.ends_with(".vpo") {
-        let bytes =
-            std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let bytes = std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
         let program = Program::from_bytes(&bytes).map_err(|e| e.to_string())?;
         return Ok((program, InputSet::empty()));
     }
-    Err(format!(
-        "`{target}` is neither a workload (try `vprof list`) nor a .s/.vpo file"
-    ))
+    Err(format!("`{target}` is neither a workload (try `vprof list`) nor a .s/.vpo file"))
 }
 
 fn target_arg(args: &[String]) -> Result<&str, String> {
@@ -98,7 +97,7 @@ fn target_arg(args: &[String]) -> Result<&str, String> {
 }
 
 fn list() -> Result<(), String> {
-    println!("{:<10} {:>8} {}", "name", "instrs", "description");
+    println!("{:<10} {:>8} description", "name", "instrs");
     for w in suite() {
         println!("{:<10} {:>8} {}", w.name(), w.program().len(), w.description());
     }
@@ -108,8 +107,8 @@ fn list() -> Result<(), String> {
 fn run(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let (program, input) = resolve(target_arg(args)?, ds)?;
-    let mut machine = Machine::new(program, MachineConfig::new().input(input))
-        .map_err(|e| e.to_string())?;
+    let mut machine =
+        Machine::new(program, MachineConfig::new().input(input)).map_err(|e| e.to_string())?;
     let out = machine.run(BUDGET).map_err(|e| e.to_string())?;
     if !out.output.is_empty() {
         print!("{}", out.output_text());
@@ -158,9 +157,8 @@ fn profile(args: &[String]) -> Result<(), String> {
     }
     let (program, input) = resolve(target, ds)?;
     let cfg = MachineConfig::new().input(input);
-    let top: usize = option_value(args, "--top").map_or(Ok(10), |v| {
-        v.parse().map_err(|_| format!("bad --top value `{v}`"))
-    })?;
+    let top: usize = option_value(args, "--top")
+        .map_or(Ok(10), |v| v.parse().map_err(|_| format!("bad --top value `{v}`")))?;
 
     if flag(args, "--memory") {
         let mut profiler = MemoryProfiler::new(TrackerConfig::with_full());
@@ -203,11 +201,8 @@ fn profile(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let selection = if flag(args, "--all") {
-        Selection::RegisterDefining
-    } else {
-        Selection::LoadsOnly
-    };
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
     let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
 
     if flag(args, "--convergent") {
@@ -219,10 +214,7 @@ fn profile(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let rows = [row(target, &profiler.metrics())];
         println!("{}", render_metric_table(&format!("convergent profile: {what}"), &rows));
-        println!(
-            "profiled {:.2}% of executions",
-            profiler.overall_profile_fraction() * 100.0
-        );
+        println!("profiled {:.2}% of executions", profiler.overall_profile_fraction() * 100.0);
         return Ok(());
     }
 
@@ -239,7 +231,7 @@ fn profile(args: &[String]) -> Result<(), String> {
     let rows = [row(target, &profiler.metrics())];
     println!("{}", render_metric_table(&format!("value profile: {what}"), &rows));
     let mut ms = profiler.metrics();
-    ms.sort_by(|a, b| b.executions.cmp(&a.executions));
+    ms.sort_by_key(|m| std::cmp::Reverse(m.executions));
     println!("hottest instructions:");
     for m in ms.into_iter().take(top) {
         println!(
@@ -255,6 +247,51 @@ fn profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Profiles the whole workload suite, optionally across worker threads.
+/// One workload per worker, so `--jobs N` output matches a serial run.
+fn profile_suite(args: &[String]) -> Result<(), String> {
+    use vp_bench::{ProfileMode, SuiteRunner};
+
+    let ds = dataset(args);
+    let jobs: usize = option_value(args, "--jobs")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --jobs value `{v}`")))?;
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
+    let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
+
+    let mut runner = SuiteRunner::new().jobs(jobs).selection(selection);
+    if flag(args, "--convergent") {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Convergent(ConvergentConfig::default()));
+    }
+    let profile = runner.run(ds);
+    println!(
+        "{}",
+        profile.render(&format!("suite value profile: {what} [{} data set]", ds.name()))
+    );
+    if flag(args, "--convergent") {
+        println!("profiled fraction per workload:");
+        for w in &profile.workloads {
+            println!("  {:<10} {:6.2}%", w.name, w.profile_fraction * 100.0);
+        }
+    }
+    let (pool, agg) = profile.pooled();
+    println!(
+        "pooled: {} sites, {} executions, inv-top1 {:.1}%, lvp {:.1}%",
+        pool.len(),
+        agg.executions,
+        agg.inv_top1 * 100.0,
+        agg.lvp * 100.0
+    );
+    println!(
+        "{} workloads, {} dynamic instructions total",
+        profile.workloads.len(),
+        profile.total_instructions()
+    );
+    Ok(())
+}
+
 fn profile_trace(path: &str, args: &[String]) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let trace = vp_instrument::Trace::from_bytes(&bytes).map_err(|e| e.to_string())?;
@@ -267,7 +304,10 @@ fn profile_trace(path: &str, args: &[String]) -> Result<(), String> {
     let rows = [row(path, &profiler.metrics())];
     println!(
         "{}",
-        render_metric_table(&format!("value profile replayed from {path} ({} events)", trace.len()), &rows)
+        render_metric_table(
+            &format!("value profile replayed from {path} ({} events)", trace.len()),
+            &rows
+        )
     );
     Ok(())
 }
@@ -276,14 +316,10 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let target = target_arg(args)?;
     let (program, input) = resolve(target, ds)?;
-    let selection = if flag(args, "--all") {
-        Selection::RegisterDefining
-    } else {
-        Selection::LoadsOnly
-    };
-    let out = option_value(args, "-o")
-        .map(str::to_owned)
-        .unwrap_or_else(|| format!("{target}.vpt"));
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
+    let out =
+        option_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{target}.vpt"));
     let trace = vp_instrument::Trace::record(
         &program,
         MachineConfig::new().input(input),
@@ -300,11 +336,8 @@ fn histogram(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let target = target_arg(args)?;
     let (program, input) = resolve(target, ds)?;
-    let selection = if flag(args, "--all") {
-        Selection::RegisterDefining
-    } else {
-        Selection::LoadsOnly
-    };
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
     let mut profiler = InstructionProfiler::new(TrackerConfig::default());
     Instrumenter::new()
         .select(selection)
@@ -465,6 +498,16 @@ mod tests {
     }
 
     #[test]
+    fn profile_suite_serial_and_parallel() {
+        assert!(dispatch(&args(&["profile-suite"])).is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--jobs", "4", "--train"])).is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--all", "--convergent", "--jobs", "2"])).is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--jobs", "many"]))
+            .unwrap_err()
+            .contains("bad --jobs"));
+    }
+
+    #[test]
     fn compare_predict_specialize() {
         assert!(dispatch(&args(&["compare", "vortex"])).is_ok());
         assert!(dispatch(&args(&["predict", "vortex"])).is_ok());
@@ -480,7 +523,9 @@ mod tests {
             .unwrap_err()
             .contains("bad --top"));
         assert!(dispatch(&args(&["compare", "nonesuch"])).is_err());
-        assert!(dispatch(&args(&["specialize", "bogus"])).unwrap_err().contains("bad change period"));
+        assert!(dispatch(&args(&["specialize", "bogus"]))
+            .unwrap_err()
+            .contains("bad change period"));
         assert!(dispatch(&args(&["assemble", "notasm.txt"])).unwrap_err().contains("expects a .s"));
     }
 
@@ -491,13 +536,7 @@ mod tests {
         let dir = std::env::temp_dir().join("vprof-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("profile.tsv");
-        assert!(dispatch(&args(&[
-            "profile",
-            "vortex",
-            "--save",
-            out.to_str().unwrap()
-        ]))
-        .is_ok());
+        assert!(dispatch(&args(&["profile", "vortex", "--save", out.to_str().unwrap()])).is_ok());
         let text = std::fs::read_to_string(&out).unwrap();
         let parsed = vp_core::parse_profile(&text).unwrap();
         assert!(!parsed.is_empty());
@@ -521,13 +560,8 @@ mod tests {
         let src = dir.join("prog.s");
         let obj = dir.join("prog.vpo");
         std::fs::write(&src, ".text\nmain: li a0, 9\n sys exit\n").unwrap();
-        assert!(dispatch(&args(&[
-            "assemble",
-            src.to_str().unwrap(),
-            "-o",
-            obj.to_str().unwrap()
-        ]))
-        .is_ok());
+        assert!(dispatch(&args(&["assemble", src.to_str().unwrap(), "-o", obj.to_str().unwrap()]))
+            .is_ok());
         assert!(dispatch(&args(&["run", obj.to_str().unwrap()])).is_ok());
         assert!(dispatch(&args(&["disasm", obj.to_str().unwrap()])).is_ok());
         // Corrupt object is rejected cleanly.

@@ -155,12 +155,26 @@ impl ConvergentProfiler {
         self.config
     }
 
-    /// Metric snapshots from the (sampled) trackers, ordered by index.
+    /// Metric snapshots from the (sampled) trackers, ordered by index,
+    /// with execution counts reweighted to the *true* totals each
+    /// instruction had — the same convention as
+    /// [`SampledProfiler::metrics`](crate::sampled::SampledProfiler::metrics),
+    /// so these rows are directly comparable to (and mixable with) a full
+    /// profiler's. Profiled-only counts remain available via
+    /// [`stats`](ConvergentProfiler::stats).
     pub fn metrics(&self) -> Vec<EntityMetrics> {
         let mut out: Vec<EntityMetrics> = self
             .states
             .iter()
-            .map(|(&i, s)| EntityMetrics::from_tracker(u64::from(i), &s.tracker, self.tracker_config.capacity))
+            .map(|(&i, s)| {
+                let mut m = EntityMetrics::from_tracker(
+                    u64::from(i),
+                    &s.tracker,
+                    self.tracker_config.capacity,
+                );
+                m.executions = s.total;
+                m
+            })
             .collect();
         out.sort_by_key(|m| m.id);
         out
@@ -170,18 +184,7 @@ impl ConvergentProfiler {
     /// *total* executions each instruction had (so the aggregate is
     /// comparable to a full profile's).
     pub fn aggregate(&self) -> Aggregate {
-        let metrics: Vec<EntityMetrics> = self
-            .metrics()
-            .into_iter()
-            .map(|mut m| {
-                // Reweight by true execution counts, not profiled counts.
-                if let Some(s) = self.states.get(&(m.id as u32)) {
-                    m.executions = s.total;
-                }
-                m
-            })
-            .collect();
-        aggregate(&metrics)
+        aggregate(&self.metrics())
     }
 
     /// Per-instruction overhead statistics, ordered by index.
@@ -211,6 +214,47 @@ impl ConvergentProfiler {
     pub fn tracker(&self, index: u32) -> Option<&ValueTracker> {
         self.states.get(&index).map(|s| &s.tracker)
     }
+
+    /// Merges the state of another convergent profiler (e.g. one that ran
+    /// over a different shard of the workload) into this one, treating
+    /// `other` as the *later* shard.
+    ///
+    /// Per instruction, trackers merge via [`ValueTracker::merge`] and the
+    /// profiled/total counters sum, so [`stats`](ConvergentProfiler::stats)
+    /// and [`overall_profile_fraction`](ConvergentProfiler::overall_profile_fraction)
+    /// reflect the union of both runs. Of the sampling state machine this
+    /// profiler keeps its own phase and convergence history (it is the
+    /// survivor that may keep profiling), except the skip interval, which
+    /// takes the maximum — if either run already backed off that far, the
+    /// merged profile has had at least that much evidence of convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profilers' tracker or sampler configurations differ.
+    pub fn merge(&mut self, other: ConvergentProfiler) {
+        assert_eq!(
+            self.tracker_config, other.tracker_config,
+            "cannot merge convergent profilers with different tracker configs"
+        );
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge convergent profilers with different sampler configs"
+        );
+        for (index, theirs) in other.states {
+            match self.states.entry(index) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.tracker.merge(&theirs.tracker);
+                    mine.profiled += theirs.profiled;
+                    mine.total += theirs.total;
+                    mine.skip = mine.skip.max(theirs.skip);
+                }
+            }
+        }
+    }
 }
 
 impl Analysis for ConvergentProfiler {
@@ -230,17 +274,22 @@ impl Analysis for ConvergentProfiler {
                 if *in_burst >= config.burst {
                     *in_burst = 0;
                     let inv = state.tracker.inv_top(1);
-                    let stable_now = state
-                        .prev_inv
-                        .is_some_and(|prev| (inv - prev).abs() < config.delta);
+                    let stable_now =
+                        state.prev_inv.is_some_and(|prev| (inv - prev).abs() < config.delta);
                     state.prev_inv = Some(inv);
                     if stable_now {
                         state.stable += 1;
                         if state.stable >= config.stable_checks {
                             state.stable = 0;
-                            state.phase = Phase::Skipping { remaining: state.skip };
-                            let next = (state.skip as f64 * config.backoff) as u64;
-                            state.skip = next.min(config.max_skip);
+                            // A zero skip interval (initial_skip: 0) means
+                            // "never back off": entering the skipping phase
+                            // with 0 remaining would underflow below, so
+                            // keep profiling instead.
+                            if state.skip > 0 {
+                                state.phase = Phase::Skipping { remaining: state.skip };
+                                let next = (state.skip as f64 * config.backoff) as u64;
+                                state.skip = next.min(config.max_skip);
+                            }
                         }
                     } else {
                         state.stable = 0;
@@ -293,7 +342,7 @@ mod tests {
     #[test]
     fn constant_stream_converges_and_skips() {
         let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
-        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        feed(&mut p, 0, std::iter::repeat_n(7, 10_000));
         let stats = &p.stats()[0];
         assert_eq!(stats.total, 10_000);
         // Must have skipped the overwhelming majority.
@@ -320,7 +369,7 @@ mod tests {
         feed(&mut p, 3, values);
 
         let mut q = ConvergentProfiler::new(TrackerConfig::default(), small_config());
-        feed(&mut q, 3, std::iter::repeat(7).take(10_000));
+        feed(&mut q, 3, std::iter::repeat_n(7, 10_000));
         assert!(
             p.stats()[0].profiled >= q.stats()[0].profiled,
             "random stream should be profiled at least as much as a constant one"
@@ -331,7 +380,7 @@ mod tests {
     fn backoff_grows_and_caps() {
         let cfg = ConvergentConfig { max_skip: 100, ..small_config() };
         let mut p = ConvergentProfiler::new(TrackerConfig::default(), cfg);
-        feed(&mut p, 0, std::iter::repeat(1).take(50_000));
+        feed(&mut p, 0, std::iter::repeat_n(1, 50_000));
         let s = &p.states[&0];
         assert_eq!(s.skip, 100, "skip should cap at max_skip");
     }
@@ -342,7 +391,7 @@ mod tests {
         // re-profiling bursts must pick up the new value.
         let cfg = small_config();
         let mut p = ConvergentProfiler::new(TrackerConfig::default(), cfg);
-        let stream = std::iter::repeat(1).take(5_000).chain(std::iter::repeat(2).take(200_000));
+        let stream = std::iter::repeat_n(1, 5_000).chain(std::iter::repeat_n(2, 200_000));
         feed(&mut p, 0, stream);
         let tnv = p.tracker(0).unwrap().tnv();
         assert_eq!(tnv.top_value(), Some(2), "new dominant value must surface: {tnv}");
@@ -351,7 +400,7 @@ mod tests {
     #[test]
     fn overall_fraction_mixes_instructions() {
         let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
-        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        feed(&mut p, 0, std::iter::repeat_n(7, 10_000));
         feed(&mut p, 1, (0..100u64).cycle().take(10_000));
         let f = p.overall_profile_fraction();
         assert!(f > 0.0 && f < 1.0);
@@ -361,10 +410,77 @@ mod tests {
     #[test]
     fn aggregate_reweights_by_total() {
         let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
-        feed(&mut p, 0, std::iter::repeat(7).take(10_000));
+        feed(&mut p, 0, std::iter::repeat_n(7, 10_000));
         let agg = p.aggregate();
         assert_eq!(agg.executions, 10_000);
         assert!((agg.inv_top1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_initial_skip_profiles_everything() {
+        // Regression: initial_skip 0 used to enter Skipping { remaining: 0 }
+        // and underflow `remaining -= 1` (debug panic; release wrap that
+        // silenced the profiler for ~u64::MAX executions). It now means
+        // "never back off".
+        let cfg = ConvergentConfig { initial_skip: 0, ..small_config() };
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), cfg);
+        feed(&mut p, 0, std::iter::repeat_n(7, 5_000));
+        let stats = &p.stats()[0];
+        assert_eq!(stats.total, 5_000);
+        assert_eq!(stats.profiled, 5_000, "zero skip interval disables backoff");
+        assert!((stats.profile_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_initial_skip_still_backs_off() {
+        // The guard must not change the normal path.
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat_n(7, 5_000));
+        assert!(p.stats()[0].profile_fraction() < 0.5);
+    }
+
+    #[test]
+    fn metrics_reweight_to_true_totals() {
+        // Regression: metrics() used to report profiled-only execution
+        // counts while SampledProfiler::metrics() reported true totals,
+        // silently mixing conventions in downstream reports.
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat_n(7, 10_000));
+        let m = &p.metrics()[0];
+        let s = &p.stats()[0];
+        assert_eq!(m.executions, 10_000, "metrics carry true totals");
+        assert!(s.profiled < s.total, "while profiling skipped most executions");
+    }
+
+    #[test]
+    fn merge_sums_counts_and_unions_instructions() {
+        let mut a = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut a, 0, std::iter::repeat_n(7, 10_000));
+        feed(&mut a, 1, (0..100u64).cycle().take(1_000));
+        let mut b = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut b, 0, std::iter::repeat_n(7, 4_000));
+        feed(&mut b, 2, std::iter::repeat_n(9, 500));
+        let (a_profiled, b_profiled) = (a.stats()[0].profiled, b.stats()[0].profiled);
+        a.merge(b);
+        let stats = a.stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].total, 14_000);
+        assert_eq!(stats[0].profiled, a_profiled + b_profiled);
+        assert_eq!(stats[2].total, 500, "other-only instruction moves over");
+        let m = &a.metrics()[0];
+        assert_eq!(m.executions, 14_000);
+        assert!((m.inv_top1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sampler configs")]
+    fn merge_rejects_mismatched_config() {
+        let mut a = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        let b = ConvergentProfiler::new(
+            TrackerConfig::default(),
+            ConvergentConfig { burst: 11, ..small_config() },
+        );
+        a.merge(b);
     }
 
     #[test]

@@ -88,6 +88,32 @@ impl InstructionProfiler {
         aggregate(&self.metrics())
     }
 
+    /// Merges another instruction profiler (e.g. the same program run on a
+    /// different input, or a later shard of the same run) into this one.
+    ///
+    /// Instructions profiled by only one side move over unchanged; shared
+    /// instructions merge per [`ValueTracker::merge`] with `other` treated
+    /// as the later shard. Scalar counters and full profiles combine
+    /// exactly; TNV estimates remain under-estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker configurations differ.
+    pub fn merge(&mut self, other: InstructionProfiler) {
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge instruction profilers with different tracker configs"
+        );
+        for (index, theirs) in other.trackers {
+            match self.trackers.entry(index) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&theirs),
+            }
+        }
+    }
+
     /// Number of distinct instructions profiled.
     pub fn profiled_instructions(&self) -> usize {
         self.trackers.len()

@@ -73,7 +73,9 @@ pub mod track;
 pub use convergent::{ConvergentConfig, ConvergentProfiler, ConvergentStats};
 pub use instr_profile::InstructionProfiler;
 pub use memory::MemoryProfiler;
-pub use metrics::{aggregate, correlation, invariance_histogram, Aggregate, EntityMetrics};
+pub use metrics::{
+    aggregate, correlation, invariance_histogram, merge_entity_metrics, Aggregate, EntityMetrics,
+};
 pub use params::{ParamMetrics, ParamProfiler, ParamSlot};
 pub use profile_io::{parse_profile, render_profile, ParseProfileError};
 pub use report::{compare, group_by_class, render_metric_table, ProfileComparison, ReportRow};

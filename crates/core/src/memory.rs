@@ -139,6 +139,41 @@ impl MemoryProfiler {
         aggregate(&self.metrics())
     }
 
+    /// Merges another memory profiler (a later shard of the workload) into
+    /// this one. Shared locations merge per [`ValueTracker::merge`];
+    /// locations only `other` saw move over while the tracked-location cap
+    /// still holds — overflowing locations are dropped with their
+    /// executions added to [`dropped`](MemoryProfiler::dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profilers differ in tracker configuration,
+    /// granularity, or load inclusion.
+    pub fn merge(&mut self, other: MemoryProfiler) {
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge memory profilers with different tracker configs"
+        );
+        assert_eq!(
+            self.granularity, other.granularity,
+            "cannot merge memory profilers with different granularity"
+        );
+        assert_eq!(
+            self.include_loads, other.include_loads,
+            "cannot merge memory profilers with different load inclusion"
+        );
+        self.dropped += other.dropped;
+        for (address, theirs) in other.trackers {
+            if let Some(mine) = self.trackers.get_mut(&address) {
+                mine.merge(&theirs);
+            } else if self.trackers.len() < self.max_locations {
+                self.trackers.insert(address, theirs);
+            } else {
+                self.dropped += theirs.executions();
+            }
+        }
+    }
+
     /// The `n` most frequently written locations, hottest first.
     pub fn hottest(&self, n: usize) -> Vec<EntityMetrics> {
         let mut ms = self.metrics();

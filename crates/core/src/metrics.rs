@@ -89,13 +89,17 @@ pub fn aggregate(metrics: &[EntityMetrics]) -> Aggregate {
     let w = |f: &dyn Fn(&EntityMetrics) -> f64| -> f64 {
         live.iter().map(|m| f(m) * m.executions as f64).sum::<f64>() / total as f64
     };
+    // Weighted mean over the entities that have the metric: entities
+    // profiled without a full histogram are skipped, not fatal. `None`
+    // only when no live entity has it.
     let opt_w = |f: &dyn Fn(&EntityMetrics) -> Option<f64>| -> Option<f64> {
         let mut num = 0.0;
         let mut den = 0u64;
         for m in &live {
-            let v = f(m)?;
-            num += v * m.executions as f64;
-            den += m.executions;
+            if let Some(v) = f(m) {
+                num += v * m.executions as f64;
+                den += m.executions;
+            }
         }
         (den > 0).then(|| num / den as f64)
     };
@@ -124,6 +128,59 @@ pub fn aggregate(metrics: &[EntityMetrics]) -> Aggregate {
         pct_zero: w(&|m| m.pct_zero),
         diff_ratio,
     }
+}
+
+/// Merges two metric collections keyed by entity id, for combining
+/// per-shard *snapshots* when the underlying trackers are gone.
+///
+/// Entities present in only one input pass through unchanged. For shared
+/// ids, `executions` sum and every ratio becomes the execution-weighted
+/// mean of the inputs. That is exact for `pct_zero`, but only an
+/// approximation for the invariance metrics and `lvp` (each shard's top
+/// value may differ, and the shard-boundary LVP hit is unobservable here)
+/// — merge the trackers or profilers themselves when exactness matters.
+/// `inv_all*` survive only when both sides have them; `distinct` becomes
+/// an **upper bound** (shards may share values); `top_value` follows the
+/// side with more executions.
+pub fn merge_entity_metrics(a: &[EntityMetrics], b: &[EntityMetrics]) -> Vec<EntityMetrics> {
+    let mut by_id: std::collections::HashMap<u64, EntityMetrics> =
+        a.iter().map(|m| (m.id, m.clone())).collect();
+    for m in b {
+        match by_id.entry(m.id) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m.clone());
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let mine = e.get_mut();
+                let total = mine.executions + m.executions;
+                let wmean = |x: f64, y: f64| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        (x * mine.executions as f64 + y * m.executions as f64) / total as f64
+                    }
+                };
+                let opt_wmean = |x: Option<f64>, y: Option<f64>| Some(wmean(x?, y?));
+                mine.lvp = wmean(mine.lvp, m.lvp);
+                mine.inv_top1 = wmean(mine.inv_top1, m.inv_top1);
+                mine.inv_topn = wmean(mine.inv_topn, m.inv_topn);
+                mine.inv_all1 = opt_wmean(mine.inv_all1, m.inv_all1);
+                mine.inv_alln = opt_wmean(mine.inv_alln, m.inv_alln);
+                mine.pct_zero = wmean(mine.pct_zero, m.pct_zero);
+                mine.distinct = match (mine.distinct, m.distinct) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    _ => None,
+                };
+                if m.executions > mine.executions {
+                    mine.top_value = m.top_value;
+                }
+                mine.executions = total;
+            }
+        }
+    }
+    let mut out: Vec<EntityMetrics> = by_id.into_values().collect();
+    out.sort_by_key(|m| m.id);
+    out
 }
 
 /// An execution-weighted histogram over 10 invariance buckets
@@ -230,6 +287,56 @@ mod tests {
         let a = aggregate(&[m]);
         assert_eq!(a.inv_all1, None);
         assert_eq!(a.diff_ratio, None);
+    }
+
+    #[test]
+    fn aggregate_mixes_full_and_tnv_only_entities() {
+        // Regression: one TNV-only entity must not erase Inv-All for the
+        // whole aggregate — the weighted mean runs over the entities that
+        // have it (here: only entity 0, at invariance 0.8).
+        let full = entity(0, 60, 0.8, 0.5);
+        let mut tnv_only = entity(1, 40, 0.4, 0.5);
+        tnv_only.inv_all1 = None;
+        tnv_only.inv_alln = None;
+        tnv_only.distinct = None;
+        let a = aggregate(&[full, tnv_only]);
+        assert_eq!(a.entities, 2);
+        let inv_all1 = a.inv_all1.expect("full-profile entity still contributes");
+        assert!((inv_all1 - 0.8).abs() < 1e-12, "inv_all1 {inv_all1}");
+        assert_eq!(a.inv_alln, Some(0.8));
+        // Inv-Top spans both entities: (0.8*60 + 0.4*40) / 100.
+        assert!((a.inv_top1 - 0.64).abs() < 1e-12);
+        // diff_ratio stays all-or-nothing: a partial distinct sum over the
+        // full execution total would understate Diff.
+        assert_eq!(a.diff_ratio, None);
+    }
+
+    #[test]
+    fn merge_entity_metrics_weights_shared_ids() {
+        let a = vec![entity(0, 30, 1.0, 1.0), entity(1, 10, 0.5, 0.5)];
+        let b = vec![entity(1, 30, 0.9, 0.1), entity(2, 5, 0.2, 0.2)];
+        let merged = merge_entity_metrics(&a, &b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0], a[0]);
+        assert_eq!(merged[2], b[1]);
+        let shared = &merged[1];
+        assert_eq!(shared.executions, 40);
+        assert!((shared.inv_top1 - 0.8).abs() < 1e-12); // (0.5*10 + 0.9*30)/40
+        assert!((shared.lvp - 0.2).abs() < 1e-12);
+        assert_eq!(shared.distinct, Some(4), "upper bound: shard distincts sum");
+    }
+
+    #[test]
+    fn merge_entity_metrics_drops_inv_all_when_one_side_lacks_it() {
+        let a = vec![entity(0, 10, 0.5, 0.5)];
+        let mut b0 = entity(0, 10, 0.7, 0.7);
+        b0.inv_all1 = None;
+        b0.inv_alln = None;
+        b0.distinct = None;
+        let merged = merge_entity_metrics(&a, &[b0]);
+        assert_eq!(merged[0].inv_all1, None);
+        assert_eq!(merged[0].distinct, None);
+        assert!((merged[0].inv_top1 - 0.6).abs() < 1e-12);
     }
 
     #[test]

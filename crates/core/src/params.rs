@@ -124,6 +124,36 @@ impl ParamProfiler {
             .collect()
     }
 
+    /// Merges another parameter profiler (a later shard of the workload)
+    /// into this one: shared (procedure, slot) trackers merge per
+    /// [`ValueTracker::merge`], others move over. Arity overrides combine
+    /// with this profiler's taking precedence on conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker configurations or default arities differ.
+    pub fn merge(&mut self, other: ParamProfiler) {
+        assert_eq!(
+            self.config, other.config,
+            "cannot merge param profilers with different tracker configs"
+        );
+        assert_eq!(
+            self.default_arity, other.default_arity,
+            "cannot merge param profilers with different default arity"
+        );
+        for (proc_index, arity) in other.arity {
+            self.arity.entry(proc_index).or_insert(arity);
+        }
+        for (key, theirs) in other.trackers {
+            match self.trackers.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&theirs),
+            }
+        }
+    }
+
     /// Execution-weighted aggregate over all argument slots (returns
     /// excluded, matching the paper's parameter table).
     pub fn aggregate_args(&self) -> Aggregate {

@@ -128,20 +128,12 @@ pub fn parse_profile(text: &str) -> Result<Vec<EntityMetrics>, ParseProfileError
                 message: format!("expected 10 columns, got {}", fields.len()),
             });
         }
-        let num =
-            |f: &str| -> Result<u64, ParseProfileError> {
-                f.parse().map_err(|_| ParseProfileError {
-                    line,
-                    message: format!("bad integer `{f}`"),
-                })
-            };
-        let fnum =
-            |f: &str| -> Result<f64, ParseProfileError> {
-                f.parse().map_err(|_| ParseProfileError {
-                    line,
-                    message: format!("bad float `{f}`"),
-                })
-            };
+        let num = |f: &str| -> Result<u64, ParseProfileError> {
+            f.parse().map_err(|_| ParseProfileError { line, message: format!("bad integer `{f}`") })
+        };
+        let fnum = |f: &str| -> Result<f64, ParseProfileError> {
+            f.parse().map_err(|_| ParseProfileError { line, message: format!("bad float `{f}`") })
+        };
         out.push(EntityMetrics {
             id: num(fields[0])?,
             executions: num(fields[1])?,

@@ -96,8 +96,11 @@ impl SampledProfiler {
             .states
             .iter()
             .map(|(&i, s)| {
-                let mut m =
-                    EntityMetrics::from_tracker(u64::from(i), &s.tracker, self.tracker_config.capacity);
+                let mut m = EntityMetrics::from_tracker(
+                    u64::from(i),
+                    &s.tracker,
+                    self.tracker_config.capacity,
+                );
                 m.executions = s.total;
                 m
             })
@@ -122,6 +125,40 @@ impl SampledProfiler {
         }
     }
 
+    /// Merges the state of another sampled profiler (a later shard of the
+    /// same workload) into this one: per-instruction trackers merge via
+    /// [`ValueTracker::merge`] and profiled/total counters sum. This
+    /// profiler keeps its own sampling position (periodic countdown /
+    /// random-generator state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profilers' tracker configurations or sampling
+    /// strategies differ.
+    pub fn merge(&mut self, other: SampledProfiler) {
+        assert_eq!(
+            self.tracker_config, other.tracker_config,
+            "cannot merge sampled profilers with different tracker configs"
+        );
+        assert_eq!(
+            self.strategy, other.strategy,
+            "cannot merge sampled profilers with different strategies"
+        );
+        for (index, theirs) in other.states {
+            match self.states.entry(index) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(theirs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.tracker.merge(&theirs.tracker);
+                    mine.profiled += theirs.profiled;
+                    mine.total += theirs.total;
+                }
+            }
+        }
+    }
+
     fn next_random(&mut self) -> u64 {
         self.rng ^= self.rng << 13;
         self.rng ^= self.rng >> 7;
@@ -137,7 +174,7 @@ impl Analysis for SampledProfiler {
         let config = self.tracker_config;
         // Random draw decided before borrowing the state.
         let random_hit = match strategy {
-            SampleStrategy::Random { period } => self.next_random() % period == 0,
+            SampleStrategy::Random { period } => self.next_random().is_multiple_of(period),
             SampleStrategy::Periodic { .. } => false,
         };
         let state = self.states.entry(event.index).or_insert_with(|| SampleState {
@@ -189,11 +226,9 @@ mod tests {
 
     #[test]
     fn periodic_fraction_is_exact() {
-        let mut p = SampledProfiler::new(
-            TrackerConfig::default(),
-            SampleStrategy::Periodic { period: 10 },
-        );
-        feed(&mut p, 0, std::iter::repeat(7).take(1000));
+        let mut p =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Periodic { period: 10 });
+        feed(&mut p, 0, std::iter::repeat_n(7, 1000));
         assert!((p.overall_profile_fraction() - 0.1).abs() < 1e-12);
         let m = &p.metrics()[0];
         assert_eq!(m.executions, 1000, "metrics reweighted to true totals");
@@ -204,7 +239,7 @@ mod tests {
     fn random_fraction_is_approximate() {
         let mut p =
             SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Random { period: 10 });
-        feed(&mut p, 0, std::iter::repeat(7).take(100_000));
+        feed(&mut p, 0, std::iter::repeat_n(7, 100_000));
         let f = p.overall_profile_fraction();
         assert!((f - 0.1).abs() < 0.01, "fraction {f}");
     }
@@ -212,10 +247,8 @@ mod tests {
     #[test]
     fn sampling_estimates_invariance_of_mixed_stream() {
         // 90/10 mix: a 1-in-10 periodic sampler still sees the mix.
-        let mut p = SampledProfiler::new(
-            TrackerConfig::default(),
-            SampleStrategy::Random { period: 10 },
-        );
+        let mut p =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Random { period: 10 });
         let values = (0..100_000u64).map(|i| if i % 10 == 3 { 5 } else { 1 });
         feed(&mut p, 0, values);
         let inv = p.metrics()[0].inv_top1;
@@ -226,10 +259,8 @@ mod tests {
     fn periodic_sampling_aliases_with_periodic_streams() {
         // The classic sampling hazard motivating CPI's *random* sampling:
         // a period-10 sampler on a period-10 stream sees only one value.
-        let mut p = SampledProfiler::new(
-            TrackerConfig::default(),
-            SampleStrategy::Periodic { period: 10 },
-        );
+        let mut p =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Periodic { period: 10 });
         let values = (0..10_000u64).map(|i| i % 10);
         feed(&mut p, 0, values);
         let m = &p.metrics()[0];
@@ -258,9 +289,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
-        let _ = SampledProfiler::new(
-            TrackerConfig::default(),
-            SampleStrategy::Periodic { period: 0 },
-        );
+        let _ =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Periodic { period: 0 });
     }
 }

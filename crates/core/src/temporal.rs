@@ -124,10 +124,10 @@ impl Analysis for TemporalProfiler {
         let Some((_, value)) = event.dest else { return };
         let config = self.config;
         let window = self.window;
-        let state = self
-            .states
-            .entry(event.index)
-            .or_insert_with(|| TemporalState { current: ValueTracker::new(config), windows: Vec::new() });
+        let state = self.states.entry(event.index).or_insert_with(|| TemporalState {
+            current: ValueTracker::new(config),
+            windows: Vec::new(),
+        });
         state.current.observe(value);
         if state.current.executions() >= window {
             state.windows.push(Self::snapshot(&state.current));
@@ -161,10 +161,9 @@ mod tests {
     fn phases_of_a_three_phase_stream() {
         // 3 phases of 1000 executions, fully invariant within each.
         let mut p = TemporalProfiler::new(TrackerConfig::default(), 100);
-        let stream = std::iter::repeat(1)
-            .take(1000)
-            .chain(std::iter::repeat(2).take(1000))
-            .chain(std::iter::repeat(3).take(1000));
+        let stream = std::iter::repeat_n(1, 1000)
+            .chain(std::iter::repeat_n(2, 1000))
+            .chain(std::iter::repeat_n(3, 1000));
         feed(&mut p, 0, stream);
         assert_eq!(p.windows(0).len(), 30);
         assert_eq!(p.phase_count(0), 3);
@@ -176,7 +175,7 @@ mod tests {
     #[test]
     fn stationary_stream_is_one_phase() {
         let mut p = TemporalProfiler::new(TrackerConfig::default(), 50);
-        feed(&mut p, 4, std::iter::repeat(9).take(500));
+        feed(&mut p, 4, std::iter::repeat_n(9, 500));
         assert_eq!(p.phase_count(4), 1);
         assert!((p.windowed_invariance(4) - 1.0).abs() < 1e-12);
     }
@@ -184,14 +183,14 @@ mod tests {
     #[test]
     fn varying_stream_has_low_windowed_invariance() {
         let mut p = TemporalProfiler::new(TrackerConfig::default(), 50);
-        feed(&mut p, 4, (0..500u64).map(|i| i));
+        feed(&mut p, 4, 0..500u64);
         assert!(p.windowed_invariance(4) < 0.05);
     }
 
     #[test]
     fn partial_trailing_window_is_reported() {
         let mut p = TemporalProfiler::new(TrackerConfig::default(), 100);
-        feed(&mut p, 0, std::iter::repeat(1).take(250));
+        feed(&mut p, 0, std::iter::repeat_n(1, 250));
         let windows = p.windows(0);
         assert_eq!(windows.len(), 3);
         assert_eq!(windows[2].executions, 50);

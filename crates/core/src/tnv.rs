@@ -156,7 +156,7 @@ impl TnvTable {
                         .map(|(i, _)| i)
                         .expect("table is full, so non-empty");
                     self.entries[victim] = TnvEntry { value, count: 1, last_seen: self.clock };
-                    self.entries.sort_by(|a, b| b.count.cmp(&a.count));
+                    self.entries.sort_by_key(|e| std::cmp::Reverse(e.count));
                 }
             }
         }
@@ -167,6 +167,54 @@ impl TnvTable {
                 self.since_clear = 0;
                 self.entries.truncate(steady.min(self.entries.len()));
             }
+        }
+    }
+
+    /// Merges another table (e.g. collected over a different shard of the
+    /// same entity's value stream) into this one: resident `(value, count)`
+    /// pairs are combined, re-ranked by count, and the top `capacity`
+    /// survivors kept.
+    ///
+    /// Counts of values resident in both tables sum exactly, but each
+    /// input count is already an under-estimate of the true frequency
+    /// (evicted residencies are lost), so the merged counts remain an
+    /// **under-estimate** — `inv_top` of the merged table is still a lower
+    /// bound on the exact invariance, exactly like a single-run table's.
+    /// Values dropped at the capacity cut lose their counts, mirroring an
+    /// eviction.
+    ///
+    /// `other` is treated as the *later* shard: its recency stamps are
+    /// rebased after this table's, so LRU replacement stays meaningful.
+    /// The clear countdown of an `LfuClear` policy carries over combined;
+    /// merging itself never triggers a clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables differ in capacity or policy.
+    pub fn merge(&mut self, other: &TnvTable) {
+        assert_eq!(self.capacity, other.capacity, "cannot merge TNV tables of different capacity");
+        assert_eq!(self.policy, other.policy, "cannot merge TNV tables of different policy");
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|s| s.value == e.value) {
+                Some(s) => {
+                    s.count += e.count;
+                    s.last_seen = self.clock + e.last_seen;
+                }
+                None => self.entries.push(TnvEntry {
+                    value: e.value,
+                    count: e.count,
+                    last_seen: self.clock + e.last_seen,
+                }),
+            }
+        }
+        // Re-rank; ties break by value so merging is deterministic
+        // regardless of residency order.
+        self.entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.value.cmp(&b.value)));
+        self.entries.truncate(self.capacity);
+        self.observations += other.observations;
+        self.clock += other.clock;
+        if let Policy::LfuClear { clear_interval, .. } = self.policy {
+            self.since_clear = (self.since_clear + other.since_clear) % clear_interval;
         }
     }
 
@@ -357,6 +405,62 @@ mod tests {
     #[should_panic(expected = "steady part")]
     fn bad_steady_panics() {
         let _ = TnvTable::new(4, Policy::LfuClear { steady: 4, clear_interval: 10 });
+    }
+
+    #[test]
+    fn merge_combines_counts_and_reranks() {
+        let mut a = TnvTable::new(4, Policy::Lfu);
+        for v in [1, 1, 2] {
+            a.observe(v);
+        }
+        let mut b = TnvTable::new(4, Policy::Lfu);
+        for v in [2, 2, 2, 3] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        let pairs: Vec<(u64, u64)> = a.entries().iter().map(|e| (e.value, e.count)).collect();
+        assert_eq!(pairs, vec![(2, 4), (1, 2), (3, 1)]);
+        assert_eq!(a.observations(), 7);
+    }
+
+    #[test]
+    fn merge_truncates_to_capacity_keeping_top_counts() {
+        let mut a = TnvTable::new(2, Policy::Lfu);
+        for v in [1, 1, 1, 2] {
+            a.observe(v);
+        }
+        let mut b = TnvTable::new(2, Policy::Lfu);
+        for v in [3, 3, 4] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.entries().len(), 2);
+        let values: Vec<u64> = a.entries().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![1, 3]);
+        // Observations include those of the dropped entries: still an
+        // under-estimate, never an over-estimate.
+        assert_eq!(a.observations(), 7);
+        assert!(a.inv_top(2) < 1.0);
+    }
+
+    #[test]
+    fn merge_is_deterministic_under_count_ties() {
+        let mut a = TnvTable::new(4, Policy::Lfu);
+        a.observe(9);
+        let mut b = TnvTable::new(4, Policy::Lfu);
+        b.observe(1);
+        a.merge(&b);
+        // Equal counts: smaller value ranks first regardless of merge order.
+        let values: Vec<u64> = a.entries().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![1, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacity")]
+    fn merge_rejects_mismatched_capacity() {
+        let mut a = TnvTable::new(2, Policy::Lfu);
+        let b = TnvTable::new(4, Policy::Lfu);
+        a.merge(&b);
     }
 
     #[test]

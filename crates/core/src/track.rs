@@ -28,6 +28,18 @@ impl FullProfile {
         self.observations += 1;
     }
 
+    /// Merges another profile into this one by summing per-value counts.
+    ///
+    /// Exact: the result equals the profile of the concatenated value
+    /// streams, so all derived metrics (`inv_all`, `distinct`, `top`) match
+    /// an unsharded run bit for bit.
+    pub fn merge(&mut self, other: &FullProfile) {
+        for (&value, &count) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += count;
+        }
+        self.observations += other.observations;
+    }
+
     /// Total observations.
     pub fn observations(&self) -> u64 {
         self.observations
@@ -117,6 +129,7 @@ pub struct ValueTracker {
     executions: u64,
     zeros: u64,
     lvp_hits: u64,
+    first: Option<u64>,
     last: Option<u64>,
 }
 
@@ -129,6 +142,7 @@ impl ValueTracker {
             executions: 0,
             zeros: 0,
             lvp_hits: 0,
+            first: None,
             last: None,
         }
     }
@@ -142,11 +156,47 @@ impl ValueTracker {
         if self.last == Some(value) {
             self.lvp_hits += 1;
         }
+        if self.first.is_none() {
+            self.first = Some(value);
+        }
         self.last = Some(value);
         self.tnv.observe(value);
         if let Some(full) = &mut self.full {
             full.observe(value);
         }
+    }
+
+    /// Merges another tracker into this one, treating `other` as the
+    /// *later* shard of the same entity's value stream.
+    ///
+    /// The scalar counters (executions, zeros, LVP hits) and the exact
+    /// histogram are exact: they match a single tracker fed the
+    /// concatenated stream, including the LVP hit on the shard boundary
+    /// (credited when this shard's last value equals the other's first).
+    /// The TNV table merges per [`TnvTable::merge`], so `inv_top` remains
+    /// an under-estimate. The exact histogram survives only if both shards
+    /// kept one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TNV configurations differ.
+    pub fn merge(&mut self, other: &ValueTracker) {
+        self.executions += other.executions;
+        self.zeros += other.zeros;
+        self.lvp_hits += other.lvp_hits;
+        if self.last.is_some() && self.last == other.first {
+            self.lvp_hits += 1;
+        }
+        self.first = self.first.or(other.first);
+        self.last = other.last.or(self.last);
+        self.tnv.merge(&other.tnv);
+        self.full = match (self.full.take(), &other.full) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.merge(theirs);
+                Some(mine)
+            }
+            _ => None,
+        };
     }
 
     /// Number of observed executions.
@@ -312,6 +362,54 @@ mod tests {
             with_full.footprint_bytes() > base_full + 10_000 * 8,
             "full profile grows with distinct values"
         );
+    }
+
+    #[test]
+    fn full_profile_merge_is_exact() {
+        let stream = [1u64, 2, 2, 3, 3, 3, 2, 1];
+        let mut whole = FullProfile::new();
+        for &v in &stream {
+            whole.observe(v);
+        }
+        let (left, right) = stream.split_at(3);
+        let mut a = FullProfile::new();
+        let mut b = FullProfile::new();
+        left.iter().for_each(|&v| a.observe(v));
+        right.iter().for_each(|&v| b.observe(v));
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn tracker_merge_matches_concatenated_stream() {
+        // The split lands between two equal values, so the shard-boundary
+        // LVP hit is exercised.
+        let stream = [5u64, 5, 0, 7, 7, 7, 0, 5];
+        for split in 0..=stream.len() {
+            let mut whole = ValueTracker::new(TrackerConfig::with_full());
+            stream.iter().for_each(|&v| whole.observe(v));
+            let mut a = ValueTracker::new(TrackerConfig::with_full());
+            let mut b = ValueTracker::new(TrackerConfig::with_full());
+            stream[..split].iter().for_each(|&v| a.observe(v));
+            stream[split..].iter().for_each(|&v| b.observe(v));
+            a.merge(&b);
+            assert_eq!(a.executions(), whole.executions(), "split {split}");
+            assert_eq!(a.lvp(), whole.lvp(), "split {split}");
+            assert_eq!(a.pct_zero(), whole.pct_zero(), "split {split}");
+            assert_eq!(a.last_value(), whole.last_value(), "split {split}");
+            assert_eq!(a.full(), whole.full(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn tracker_merge_drops_full_profile_when_one_side_lacks_it() {
+        let mut a = ValueTracker::new(TrackerConfig::with_full());
+        let mut b = ValueTracker::new(TrackerConfig::default());
+        a.observe(1);
+        b.observe(2);
+        a.merge(&b);
+        assert!(a.full().is_none());
+        assert_eq!(a.executions(), 2);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for the shard-merge semantics: splitting a value stream
+//! at an arbitrary point and merging the two shards' profiles must agree
+//! with profiling the unsplit stream — exactly for scalar counters and
+//! full profiles, within a tolerance for the TNV sketch.
+
+use proptest::prelude::*;
+use vp_core::tnv::TnvTable;
+use vp_core::track::{FullProfile, TrackerConfig, ValueTracker};
+
+/// Streams drawn from a small alphabet (so collisions and invariance
+/// actually occur) mixed with occasional arbitrary values.
+fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(prop_oneof![4 => 0u64..8, 1 => any::<u64>()], 1..400)
+}
+
+fn tracker_over(values: &[u64], config: TrackerConfig) -> ValueTracker {
+    let mut t = ValueTracker::new(config);
+    for &v in values {
+        t.observe(v);
+    }
+    t
+}
+
+proptest! {
+    /// Merging two FullProfile shards is exact: identical observation
+    /// count, distinct-value count, per-value counts and Inv-All.
+    #[test]
+    fn full_profile_shard_merge_is_exact(stream in arb_stream(), cut in any::<u16>()) {
+        let cut = usize::from(cut) % (stream.len() + 1);
+        let (a, b) = stream.split_at(cut);
+        let mut whole = FullProfile::new();
+        for &v in &stream {
+            whole.observe(v);
+        }
+        let mut merged = FullProfile::new();
+        for &v in a {
+            merged.observe(v);
+        }
+        let mut later = FullProfile::new();
+        for &v in b {
+            later.observe(v);
+        }
+        merged.merge(&later);
+        prop_assert_eq!(merged.observations(), whole.observations());
+        prop_assert_eq!(merged.distinct(), whole.distinct());
+        prop_assert_eq!(merged.top(4), whole.top(4));
+        for &v in &stream {
+            prop_assert_eq!(merged.count_of(v), whole.count_of(v));
+        }
+        prop_assert!((merged.inv_all(1) - whole.inv_all(1)).abs() < 1e-12);
+    }
+
+    /// ValueTracker scalar counters (executions, %zero, LVP — including
+    /// the hit across the shard boundary) and full-profile metrics are
+    /// exact under shard merge.
+    #[test]
+    fn tracker_shard_merge_counters_are_exact(stream in arb_stream(), cut in any::<u16>()) {
+        let cut = usize::from(cut) % (stream.len() + 1);
+        let (a, b) = stream.split_at(cut);
+        let whole = tracker_over(&stream, TrackerConfig::with_full());
+        let mut merged = tracker_over(a, TrackerConfig::with_full());
+        merged.merge(&tracker_over(b, TrackerConfig::with_full()));
+
+        prop_assert_eq!(merged.executions(), whole.executions());
+        prop_assert!((merged.pct_zero() - whole.pct_zero()).abs() < 1e-12);
+        prop_assert!((merged.lvp() - whole.lvp()).abs() < 1e-12,
+            "lvp merged {} != whole {}", merged.lvp(), whole.lvp());
+        prop_assert_eq!(merged.last_value(), whole.last_value());
+        prop_assert_eq!(merged.distinct(), whole.distinct());
+        prop_assert_eq!(merged.inv_all(1), whole.inv_all(1));
+    }
+
+    /// The TNV sketch under shard merge is a (bounded) under-estimate:
+    /// never above the unsharded table's Inv-Top(1) estimate plus
+    /// rounding, and within a coarse ε of the truth on small-alphabet
+    /// streams where the table is not thrashing.
+    #[test]
+    fn tnv_shard_merge_is_close(stream in arb_stream(), cut in any::<u16>()) {
+        let cut = usize::from(cut) % (stream.len() + 1);
+        let (a, b) = stream.split_at(cut);
+        let feed = |values: &[u64]| {
+            let mut t = TnvTable::with_default_policy();
+            for &v in values {
+                t.observe(v);
+            }
+            t
+        };
+        let whole = feed(&stream);
+        let mut merged = feed(a);
+        merged.merge(&feed(b));
+
+        prop_assert_eq!(merged.observations(), whole.observations());
+        // Counts in the merged table never exceed the true frequency.
+        let mut truth = std::collections::HashMap::new();
+        for &v in &stream {
+            *truth.entry(v).or_insert(0u64) += 1;
+        }
+        for e in merged.entries() {
+            prop_assert!(e.count <= truth[&e.value],
+                "merged count {} exceeds truth {} for {}", e.count, truth[&e.value], e.value);
+        }
+        // With an alphabet of ≤ 8 hot values and capacity 8, the sketch
+        // estimate stays within ε of the unsharded estimate.
+        let eps = 0.35;
+        prop_assert!(merged.inv_top(1) <= whole.inv_top(1) + 1e-12 + eps);
+        prop_assert!(merged.inv_top(1) + eps >= whole.inv_top(1) - 1e-12,
+            "merged inv_top(1) {} far below unsharded {}", merged.inv_top(1), whole.inv_top(1));
+    }
+
+    /// Merging an empty shard (either side) is the identity.
+    #[test]
+    fn empty_shard_is_identity(stream in arb_stream()) {
+        let whole = tracker_over(&stream, TrackerConfig::with_full());
+        let mut left = tracker_over(&stream, TrackerConfig::with_full());
+        left.merge(&ValueTracker::new(TrackerConfig::with_full()));
+        let mut right = ValueTracker::new(TrackerConfig::with_full());
+        right.merge(&whole);
+        for t in [&left, &right] {
+            prop_assert_eq!(t.executions(), whole.executions());
+            prop_assert_eq!(t.inv_top(1), whole.inv_top(1));
+            prop_assert_eq!(t.lvp(), whole.lvp());
+            prop_assert_eq!(t.last_value(), whole.last_value());
+        }
+    }
+}

@@ -11,20 +11,15 @@ use vp_core::track::{TrackerConfig, ValueTracker};
 /// Streams drawn from a small alphabet (so collisions and invariance
 /// actually occur) mixed with occasional arbitrary values.
 fn arb_stream() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(
-        prop_oneof![4 => 0u64..8, 1 => any::<u64>()],
-        1..400,
-    )
+    prop::collection::vec(prop_oneof![4 => 0u64..8, 1 => any::<u64>()], 1..400)
 }
 
 fn arb_policy() -> impl Strategy<Value = Policy> {
     prop_oneof![
         Just(Policy::Lfu),
         Just(Policy::Lru),
-        (1usize..8, 1u64..500).prop_map(|(steady, clear_interval)| Policy::LfuClear {
-            steady,
-            clear_interval
-        }),
+        (1usize..8, 1u64..500)
+            .prop_map(|(steady, clear_interval)| Policy::LfuClear { steady, clear_interval }),
     ]
 }
 

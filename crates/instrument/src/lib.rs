@@ -48,11 +48,13 @@
 //! # }
 //! ```
 
+pub mod parallel;
 pub mod plan;
 pub mod runner;
 pub mod trace;
 pub mod view;
 
+pub use parallel::{effective_jobs, parallel_map};
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};
 pub use trace::{Trace, TraceError, TraceEvent};

@@ -1,0 +1,114 @@
+//! A minimal work-stealing-free parallel map over a slice, built on
+//! `std::thread::scope` — no external dependencies.
+//!
+//! The suite-profiling driver fans out one workload per worker: each item
+//! is claimed from a shared atomic index and its result written into a
+//! dedicated output slot, so results come back in input order regardless
+//! of which worker ran which item or in what order they finished.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `--jobs` argument: `0` means "use the machine's available
+/// parallelism" (falling back to 1 when that cannot be determined).
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+}
+
+/// Applies `f` to every item of `items` on up to `jobs` worker threads
+/// (`0` = available parallelism) and returns the results in input order.
+///
+/// Items are claimed dynamically, so uneven per-item cost balances across
+/// workers. With `jobs <= 1` (or a single item) everything runs on the
+/// calling thread — no threads are spawned and the result is identical by
+/// construction, which is what makes `--jobs N` output comparable to
+/// serial runs.
+///
+/// A panic in `f` propagates to the caller once all workers have stopped.
+pub fn parallel_map<T, O, F>(jobs: usize, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(4, &items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = parallel_map(1, &items, |&x| x.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        let parallel = parallel_map(8, &items, |&x| x.wrapping_mul(0x9e37_79b9).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(4, &[42], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn zero_jobs_uses_available_parallelism() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+        let items: Vec<u32> = (0..16).collect();
+        assert_eq!(parallel_map(0, &items, |&x| x + 1)[15], 16);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different cost still come back in order.
+        let items: Vec<u64> = (0..20).collect();
+        let out = parallel_map(4, &items, |&x| {
+            let spins = if x % 7 == 0 { 100_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -38,16 +38,12 @@ impl Selection {
         match self {
             Selection::All => vec![true; code.len()],
             Selection::LoadsOnly => code.iter().map(|i| i.is_load()).collect(),
-            Selection::RegisterDefining => {
-                code.iter().map(|i| i.is_register_defining()).collect()
-            }
+            Selection::RegisterDefining => code.iter().map(|i| i.is_register_defining()).collect(),
             Selection::MemoryOps => code
                 .iter()
                 .map(|i| i.is_load() || matches!(i, vp_isa::Instruction::Store { .. }))
                 .collect(),
-            Selection::Custom(set) => {
-                (0..code.len() as u32).map(|i| set.contains(&i)).collect()
-            }
+            Selection::Custom(set) => (0..code.len() as u32).map(|i| set.contains(&i)).collect(),
             Selection::None => vec![false; code.len()],
         }
     }

@@ -61,7 +61,11 @@ pub struct EventCounts {
 impl EventCounts {
     /// Total analysis invocations of any kind.
     pub fn total(&self) -> u64 {
-        self.instr_events + self.load_events + self.store_events + self.entry_events + self.exit_events
+        self.instr_events
+            + self.load_events
+            + self.store_events
+            + self.entry_events
+            + self.exit_events
     }
 }
 
@@ -174,9 +178,7 @@ fn track_procedures<A: Analysis>(
     match event.instr {
         Instruction::Jal { .. } | Instruction::Jalr { .. } => {
             let target = event.next_index;
-            if let Some(pos) =
-                program.procedures().iter().position(|p| p.range.start == target)
-            {
+            if let Some(pos) = program.procedures().iter().position(|p| p.range.start == target) {
                 let args = [
                     machine.reg(Reg::A0),
                     machine.reg(Reg::A1),

@@ -126,12 +126,10 @@ impl Trace {
             Vec::new(),
             0,
         );
-        let machine =
-            Machine::new(program, MachineConfig::new()).expect("parked machine");
+        let machine = Machine::new(program, MachineConfig::new()).expect("parked machine");
         let mut counts = EventCounts::default();
         for ev in &self.events {
-            let instr =
-                Instruction::decode(ev.instr_word).map_err(TraceError::BadInstruction)?;
+            let instr = Instruction::decode(ev.instr_word).map_err(TraceError::BadInstruction)?;
             let event = InstrEvent {
                 index: ev.index,
                 instr,
@@ -282,8 +280,7 @@ mod tests {
     #[test]
     fn record_and_serialize_round_trip() {
         let program = sample_program();
-        let trace =
-            Trace::record(&program, MachineConfig::new(), 100_000, Selection::All).unwrap();
+        let trace = Trace::record(&program, MachineConfig::new(), 100_000, Selection::All).unwrap();
         assert!(!trace.is_empty());
         let bytes = trace.to_bytes();
         let back = Trace::from_bytes(&bytes).unwrap();

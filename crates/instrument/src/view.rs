@@ -41,10 +41,7 @@ impl<'p> ProcView<'p> {
     /// Instructions of the procedure, in order.
     pub fn instructions(&self) -> impl Iterator<Item = InstrRef> + '_ {
         let code = self.program.code();
-        self.proc
-            .range
-            .clone()
-            .map(move |index| InstrRef { index, instr: code[index as usize] })
+        self.proc.range.clone().map(move |index| InstrRef { index, instr: code[index as usize] })
     }
 }
 
@@ -119,10 +116,7 @@ impl<'p> ProgramView<'p> {
     /// Indices of all register-defining instructions (the paper's "all
     /// instructions" profiling universe).
     pub fn register_defining_indices(&self) -> Vec<u32> {
-        self.instructions()
-            .filter(|r| r.instr.is_register_defining())
-            .map(|r| r.index)
-            .collect()
+        self.instructions().filter(|r| r.instr.is_register_defining()).map(|r| r.index).collect()
     }
 }
 

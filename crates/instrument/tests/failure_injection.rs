@@ -16,14 +16,11 @@ impl Analysis for Counter {
 #[test]
 fn memory_fault_mid_run() {
     // Third instruction faults (load far out of bounds via negative base).
-    let program = vp_asm::assemble(
-        ".text\nmain: li r1, 1\n li r2, -8\n ldd r3, 0(r2)\n sys exit\n",
-    )
-    .unwrap();
+    let program =
+        vp_asm::assemble(".text\nmain: li r1, 1\n li r2, -8\n ldd r3, 0(r2)\n sys exit\n").unwrap();
     let mut counter = Counter::default();
-    let err = Instrumenter::new()
-        .run(&program, MachineConfig::new(), 1000, &mut counter)
-        .unwrap_err();
+    let err =
+        Instrumenter::new().run(&program, MachineConfig::new(), 1000, &mut counter).unwrap_err();
     assert!(matches!(err, SimError::Mem(_)), "{err}");
     // The two successful instructions were observed; the faulting one not.
     assert_eq!(counter.0, 2);
@@ -33,9 +30,8 @@ fn memory_fault_mid_run() {
 fn budget_exhaustion_mid_run() {
     let program = vp_asm::assemble(".text\nmain: j main\n").unwrap();
     let mut counter = Counter::default();
-    let err = Instrumenter::new()
-        .run(&program, MachineConfig::new(), 50, &mut counter)
-        .unwrap_err();
+    let err =
+        Instrumenter::new().run(&program, MachineConfig::new(), 50, &mut counter).unwrap_err();
     assert_eq!(err, SimError::BudgetExhausted { budget: 50 });
     assert_eq!(counter.0, 50, "every executed instruction was observed");
 }
@@ -45,9 +41,8 @@ fn pc_escape_is_reported() {
     // Fall off the end of the text section (no sys exit).
     let program = vp_asm::assemble(".text\nmain: li r1, 1\n").unwrap();
     let mut counter = Counter::default();
-    let err = Instrumenter::new()
-        .run(&program, MachineConfig::new(), 1000, &mut counter)
-        .unwrap_err();
+    let err =
+        Instrumenter::new().run(&program, MachineConfig::new(), 1000, &mut counter).unwrap_err();
     assert!(matches!(err, SimError::PcOutOfRange { .. }), "{err}");
 }
 
@@ -55,9 +50,8 @@ fn pc_escape_is_reported() {
 fn bad_indirect_jump_is_reported() {
     let program = vp_asm::assemble(".text\nmain: li r1, 6\n jr r1\n sys exit\n").unwrap();
     let mut counter = Counter::default();
-    let err = Instrumenter::new()
-        .run(&program, MachineConfig::new(), 1000, &mut counter)
-        .unwrap_err();
+    let err =
+        Instrumenter::new().run(&program, MachineConfig::new(), 1000, &mut counter).unwrap_err();
     assert!(matches!(err, SimError::BadJumpTarget { address: 6 }), "{err}");
 }
 

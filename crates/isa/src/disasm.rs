@@ -66,7 +66,12 @@ mod tests {
                 "ldd r3, 8(r29)",
             ),
             (
-                Instruction::LoadSigned { rd: Reg::R3, base: Reg::SP, offset: -8, width: MemWidth::B },
+                Instruction::LoadSigned {
+                    rd: Reg::R3,
+                    base: Reg::SP,
+                    offset: -8,
+                    width: MemWidth::B,
+                },
                 "ldbs r3, -8(r29)",
             ),
             (

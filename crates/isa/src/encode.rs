@@ -100,7 +100,11 @@ fn field_imm(word: u32) -> i16 {
 #[inline]
 fn pack_r(opcode: u32, rd: Reg, rs: Reg, rt: Reg, funct: u32) -> u32 {
     debug_assert!(opcode < 64 && funct < (1 << 11));
-    (opcode << 26) | ((rd.index() as u32) << 21) | ((rs.index() as u32) << 16) | ((rt.index() as u32) << 11) | funct
+    (opcode << 26)
+        | ((rd.index() as u32) << 21)
+        | ((rs.index() as u32) << 16)
+        | ((rt.index() as u32) << 11)
+        | funct
 }
 
 #[inline]
@@ -185,35 +189,70 @@ impl Instruction {
                 let op = *AluOp::ALL
                     .get(funct as usize)
                     .ok_or(DecodeError::UnknownFunct { opcode, funct })?;
-                Ok(Instruction::Alu { op, rd: field_rd(word), rs: field_rs(word), rt: field_rt(word) })
+                Ok(Instruction::Alu {
+                    op,
+                    rd: field_rd(word),
+                    rs: field_rs(word),
+                    rt: field_rt(word),
+                })
             }
             OP_FP => {
                 let funct = word & 0x7ff;
                 let op = *FpOp::ALL
                     .get(funct as usize)
                     .ok_or(DecodeError::UnknownFunct { opcode, funct })?;
-                Ok(Instruction::Fp { op, rd: field_rd(word), rs: field_rs(word), rt: field_rt(word) })
+                Ok(Instruction::Fp {
+                    op,
+                    rd: field_rd(word),
+                    rs: field_rs(word),
+                    rt: field_rt(word),
+                })
             }
             _ if (OP_ALU_IMM_BASE..OP_ALU_IMM_BASE + 16).contains(&opcode) => {
                 let op = AluOp::ALL[(opcode - OP_ALU_IMM_BASE) as usize];
-                Ok(Instruction::AluImm { op, rd: field_rd(word), rs: field_rs(word), imm: field_imm(word) })
+                Ok(Instruction::AluImm {
+                    op,
+                    rd: field_rd(word),
+                    rs: field_rs(word),
+                    imm: field_imm(word),
+                })
             }
             OP_LUI => Ok(Instruction::Lui { rd: field_rd(word), imm: field_imm(word) as u16 }),
             _ if (OP_LOAD_BASE..OP_LOAD_BASE + 4).contains(&opcode) => {
                 let width = MemWidth::ALL[(opcode - OP_LOAD_BASE) as usize];
-                Ok(Instruction::Load { rd: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+                Ok(Instruction::Load {
+                    rd: field_rd(word),
+                    base: field_rs(word),
+                    offset: field_imm(word),
+                    width,
+                })
             }
             _ if (OP_LOAD_SIGNED_BASE..OP_LOAD_SIGNED_BASE + 3).contains(&opcode) => {
                 let width = MemWidth::ALL[(opcode - OP_LOAD_SIGNED_BASE) as usize];
-                Ok(Instruction::LoadSigned { rd: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+                Ok(Instruction::LoadSigned {
+                    rd: field_rd(word),
+                    base: field_rs(word),
+                    offset: field_imm(word),
+                    width,
+                })
             }
             _ if (OP_STORE_BASE..OP_STORE_BASE + 4).contains(&opcode) => {
                 let width = MemWidth::ALL[(opcode - OP_STORE_BASE) as usize];
-                Ok(Instruction::Store { rs: field_rd(word), base: field_rs(word), offset: field_imm(word), width })
+                Ok(Instruction::Store {
+                    rs: field_rd(word),
+                    base: field_rs(word),
+                    offset: field_imm(word),
+                    width,
+                })
             }
             _ if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&opcode) => {
                 let cond = BranchCond::ALL[(opcode - OP_BRANCH_BASE) as usize];
-                Ok(Instruction::Branch { cond, rs: field_rd(word), rt: field_rs(word), disp: field_imm(word) })
+                Ok(Instruction::Branch {
+                    cond,
+                    rs: field_rd(word),
+                    rt: field_rs(word),
+                    disp: field_imm(word),
+                })
             }
             OP_JUMP => Ok(Instruction::Jump { target: word & 0x03ff_ffff }),
             OP_JAL => Ok(Instruction::Jal { target: word & 0x03ff_ffff }),
@@ -272,10 +311,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_opcode() {
-        assert_eq!(
-            Instruction::decode(63 << 26),
-            Err(DecodeError::UnknownOpcode { opcode: 63 })
-        );
+        assert_eq!(Instruction::decode(63 << 26), Err(DecodeError::UnknownOpcode { opcode: 63 }));
     }
 
     #[test]

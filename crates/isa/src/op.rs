@@ -127,15 +127,8 @@ pub enum FpOp {
 
 impl FpOp {
     /// All FP operations, in encoding order.
-    pub const ALL: [FpOp; 7] = [
-        FpOp::FAdd,
-        FpOp::FSub,
-        FpOp::FMul,
-        FpOp::FDiv,
-        FpOp::FCmpLt,
-        FpOp::CvtIF,
-        FpOp::CvtFI,
-    ];
+    pub const ALL: [FpOp; 7] =
+        [FpOp::FAdd, FpOp::FSub, FpOp::FMul, FpOp::FDiv, FpOp::FCmpLt, FpOp::CvtIF, FpOp::CvtFI];
 
     /// Assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
@@ -282,7 +275,8 @@ pub enum Syscall {
 
 impl Syscall {
     /// All syscalls, in encoding order.
-    pub const ALL: [Syscall; 4] = [Syscall::Exit, Syscall::PutInt, Syscall::PutChar, Syscall::GetInput];
+    pub const ALL: [Syscall; 4] =
+        [Syscall::Exit, Syscall::PutInt, Syscall::PutChar, Syscall::GetInput];
 
     /// Assembly mnemonic (used as the `sys` operand).
     pub fn mnemonic(self) -> &'static str {
@@ -402,10 +396,7 @@ mod tests {
 
     #[test]
     fn mem_width_bytes() {
-        assert_eq!(
-            MemWidth::ALL.map(MemWidth::bytes),
-            [1, 2, 4, 8]
-        );
+        assert_eq!(MemWidth::ALL.map(MemWidth::bytes), [1, 2, 4, 8]);
     }
 
     #[test]

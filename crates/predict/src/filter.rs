@@ -113,9 +113,8 @@ mod tests {
         // Two PCs alias in a 1-entry table. PC 0 is constant, PC 1 random.
         // Unfiltered, PC 1 keeps evicting PC 0's entry; filtered on the
         // profile, PC 0 predicts nearly perfectly.
-        let stream: Vec<(u32, u64)> = (0..1000u64)
-            .map(|i| if i % 2 == 0 { (0u32, 7u64) } else { (1u32, i) })
-            .collect();
+        let stream: Vec<(u32, u64)> =
+            (0..1000u64).map(|i| if i % 2 == 0 { (0u32, 7u64) } else { (1u32, i) }).collect();
 
         let mut unfiltered = LastValuePredictor::new(1);
         let u = evaluate(&mut unfiltered, stream.iter().copied());

@@ -104,8 +104,7 @@ mod tests {
         let run = |p: &mut dyn Predictor| -> u64 {
             let mut hits = 0;
             for i in 0..400u64 {
-                let (pc, actual) =
-                    if i % 2 == 0 { (0u32, i * 4) } else { (1u32, 7 + (i / 2) % 2) };
+                let (pc, actual) = if i % 2 == 0 { (0u32, i * 4) } else { (1u32, 7 + (i / 2) % 2) };
                 if p.predict(pc) == Some(actual) {
                     hits += 1;
                 }
@@ -114,8 +113,7 @@ mod tests {
             hits
         };
         let mut stride = StridePredictor::new(64);
-        let mut hybrid =
-            HybridPredictor::new(StridePredictor::new(64), TwoLevelPredictor::new());
+        let mut hybrid = HybridPredictor::new(StridePredictor::new(64), TwoLevelPredictor::new());
         let s = run(&mut stride);
         let h = run(&mut hybrid);
         assert!(h > s, "hybrid {h} should beat stride {s}");

@@ -99,9 +99,7 @@ pub fn collect_pathed_stream(
         events: Vec::new(),
         selected: selection.resolve(program),
     };
-    Instrumenter::new()
-        .select(Selection::All)
-        .run(program, config, budget, &mut collector)?;
+    Instrumenter::new().select(Selection::All).run(program, config, budget, &mut collector)?;
     Ok(collector.events)
 }
 

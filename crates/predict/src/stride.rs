@@ -62,8 +62,7 @@ impl StridePredictor {
 impl Predictor for StridePredictor {
     fn predict(&mut self, pc: u32) -> Option<u64> {
         let e = &self.entries[self.slot(pc)];
-        (e.valid && e.tag == pc && e.confidence >= 2)
-            .then(|| e.last.wrapping_add(e.stride as u64))
+        (e.valid && e.tag == pc && e.confidence >= 2).then(|| e.last.wrapping_add(e.stride as u64))
     }
 
     fn update(&mut self, pc: u32, actual: u64) {
@@ -83,7 +82,14 @@ impl Predictor for StridePredictor {
             }
             e.last = actual;
         } else {
-            *e = StrideEntry { tag: pc, last: actual, stride: 0, candidate: 0, confidence: 0, valid: true };
+            *e = StrideEntry {
+                tag: pc,
+                last: actual,
+                stride: 0,
+                candidate: 0,
+                confidence: 0,
+                valid: true,
+            };
         }
     }
 

@@ -41,9 +41,7 @@ impl PcState {
         } else {
             // Replace the dictionary slot least recently referenced by the
             // outcome history.
-            let victim = (0..VALUES_PER_PC as u8)
-                .find(|i| !self.history.contains(i))
-                .unwrap_or(0);
+            let victim = (0..VALUES_PER_PC as u8).find(|i| !self.history.contains(i)).unwrap_or(0);
             self.values[victim as usize] = value;
             victim
         }

@@ -94,15 +94,11 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Instruction::Jr { .. } | Instruction::Jalr { .. } => {
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+                Instruction::Jr { .. } | Instruction::Jalr { .. } if i + 1 < n => {
+                    leader[i + 1] = true;
                 }
-                Instruction::Sys { call: vp_isa::Syscall::Exit } => {
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+                Instruction::Sys { call: vp_isa::Syscall::Exit } if i + 1 < n => {
+                    leader[i + 1] = true;
                 }
                 _ => {}
             }
@@ -110,6 +106,7 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
+        #[allow(clippy::needless_range_loop)]
         for i in 1..=n {
             if i == n || leader[i] {
                 let id = blocks.len();

@@ -62,7 +62,12 @@ impl Default for InputSet {
 
 impl fmt::Display for InputSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} values)", if self.name.is_empty() { "<anon>" } else { &self.name }, self.values.len())
+        write!(
+            f,
+            "{} ({} values)",
+            if self.name.is_empty() { "<anon>" } else { &self.name },
+            self.values.len()
+        )
     }
 }
 

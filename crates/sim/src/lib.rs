@@ -52,6 +52,8 @@ pub mod stats;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use input::{InputCursor, InputSet};
-pub use machine::{alu_eval, fp_eval, InstrEvent, Machine, MachineConfig, MemAccess, RunOutcome, SimError};
+pub use machine::{
+    alu_eval, fp_eval, InstrEvent, Machine, MachineConfig, MemAccess, RunOutcome, SimError,
+};
 pub use memory::{MemFault, Memory};
 pub use stats::{ExecStats, QuantileRow};

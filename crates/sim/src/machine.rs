@@ -283,11 +283,8 @@ impl Machine {
     /// Propagates memory faults, control-flow violations and PC escapes.
     pub fn step(&mut self) -> Result<InstrEvent, SimError> {
         let index = self.pc;
-        let instr = *self
-            .program
-            .code()
-            .get(index as usize)
-            .ok_or(SimError::PcOutOfRange { index })?;
+        let instr =
+            *self.program.code().get(index as usize).ok_or(SimError::PcOutOfRange { index })?;
         let mut dest = None;
         let mut mem = None;
         let mut taken = None;
@@ -384,7 +381,9 @@ impl Machine {
     }
 
     fn indirect_target(&self, address: u64) -> Result<u32, SimError> {
-        if address % INSTR_BYTES != 0 || address / INSTR_BYTES >= self.program.len() as u64 {
+        if !address.is_multiple_of(INSTR_BYTES)
+            || address / INSTR_BYTES >= self.program.len() as u64
+        {
             return Err(SimError::BadJumpTarget { address });
         }
         Ok((address / INSTR_BYTES) as u32)
@@ -717,10 +716,8 @@ mod tests {
 
     #[test]
     fn run_with_hook_sees_every_event() {
-        let program = vp_asm::assemble(
-            ".text\nmain: li r1, 2\n add r2, r1, r1\n sys exit\n",
-        )
-        .unwrap();
+        let program =
+            vp_asm::assemble(".text\nmain: li r1, 2\n add r2, r1, r1\n sys exit\n").unwrap();
         let mut m = Machine::new(program, MachineConfig::new()).unwrap();
         let mut dests = Vec::new();
         m.run_with(100, |_, ev| {
@@ -734,10 +731,8 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let program = vp_asm::assemble(
-            ".text\nmain: li r1, 2\n add r2, r1, r1\n sys exit\n",
-        )
-        .unwrap();
+        let program =
+            vp_asm::assemble(".text\nmain: li r1, 2\n add r2, r1, r1\n sys exit\n").unwrap();
         let mut m = Machine::new(program, MachineConfig::new()).unwrap();
         let out = m.run(100).unwrap();
         assert_eq!(out.instructions, 3);

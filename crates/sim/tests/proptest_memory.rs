@@ -22,8 +22,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
     // Addresses mostly in range, occasionally far out to exercise faults.
     let addr = prop_oneof![4 => 0u64..(SIZE as u64 + 8), 1 => any::<u64>()];
     prop_oneof![
-        (addr.clone(), arb_width(), any::<u64>())
-            .prop_map(|(addr, width, value)| Op::Write { addr, width, value }),
+        (addr.clone(), arb_width(), any::<u64>()).prop_map(|(addr, width, value)| Op::Write {
+            addr,
+            width,
+            value
+        }),
         (addr.clone(), arb_width()).prop_map(|(addr, width)| Op::Read { addr, width }),
         (addr, arb_width()).prop_map(|(addr, width)| Op::ReadSigned { addr, width }),
     ]

@@ -108,12 +108,7 @@ mod tests {
             let mut prof = InstructionProfiler::new(TrackerConfig::with_full());
             Instrumenter::new()
                 .select(Selection::LoadsOnly)
-                .run(
-                    &p,
-                    MachineConfig::new().input(input(2_000, period)),
-                    10_000_000,
-                    &mut prof,
-                )
+                .run(&p, MachineConfig::new().input(input(2_000, period)), 10_000_000, &mut prof)
                 .unwrap();
             prof.metrics_for(idx).unwrap().inv_all1.unwrap()
         };

@@ -15,14 +15,34 @@ pub fn materialize(rd: Reg, value: u64, out: &mut Vec<Instruction>) {
         out.push(Instruction::AluImm { op: AluOp::Add, rd, rs: Reg::R0, imm });
     } else if let Ok(v) = u32::try_from(value) {
         out.push(Instruction::Lui { rd, imm: (v >> 16) as u16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (v & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: (v & 0xffff) as u16 as i16,
+        });
     } else {
         out.push(Instruction::Lui { rd, imm: (value >> 48) as u16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((value >> 32) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: ((value >> 32) & 0xffff) as u16 as i16,
+        });
         out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: ((value >> 16) & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: ((value >> 16) & 0xffff) as u16 as i16,
+        });
         out.push(Instruction::AluImm { op: AluOp::Sll, rd, rs: rd, imm: 16 });
-        out.push(Instruction::AluImm { op: AluOp::Or, rd, rs: rd, imm: (value & 0xffff) as u16 as i16 });
+        out.push(Instruction::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs: rd,
+            imm: (value & 0xffff) as u16 as i16,
+        });
     }
 }
 
@@ -126,12 +146,10 @@ pub fn fold_region(
         }
         match instr {
             Instruction::Nop => {}
-            Instruction::Alu { op, rd, rs, rt } => {
-                match (state.value_of(rs), state.value_of(rt)) {
-                    (Some(a), Some(b)) => state.fold_write(rd, alu_eval(op, a, b)),
-                    _ => state.emit(instr),
-                }
-            }
+            Instruction::Alu { op, rd, rs, rt } => match (state.value_of(rs), state.value_of(rt)) {
+                (Some(a), Some(b)) => state.fold_write(rd, alu_eval(op, a, b)),
+                _ => state.emit(instr),
+            },
             Instruction::AluImm { op, rd, rs, imm } => {
                 let b = match op {
                     AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Nor => imm as u16 as u64,
@@ -151,9 +169,9 @@ pub fn fold_region(
                 }
             }
             // Memory contents are not static: loads and stores always run.
-            Instruction::Load { .. } | Instruction::LoadSigned { .. } | Instruction::Store { .. } => {
-                state.emit(instr)
-            }
+            Instruction::Load { .. }
+            | Instruction::LoadSigned { .. }
+            | Instruction::Store { .. } => state.emit(instr),
             // Control transfers were handled by the loop break above.
             _ => state.emit(instr),
         }

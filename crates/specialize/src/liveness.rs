@@ -120,7 +120,8 @@ impl Liveness {
                     Instruction::Sys { call: Syscall::Exit } => {}
                     // Indirect control flow and calls: uses() already makes
                     // everything live, so successors can stay empty.
-                    Instruction::Jr { .. } | Instruction::Jal { .. } | Instruction::Jalr { .. } => {}
+                    Instruction::Jr { .. } | Instruction::Jal { .. } | Instruction::Jalr { .. } => {
+                    }
                     _ => {
                         if (last_idx + 1) < n as u32 {
                             succ.push(last_idx + 1);

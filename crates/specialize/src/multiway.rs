@@ -42,11 +42,7 @@ pub struct MultiCandidate {
 impl MultiCandidate {
     /// Builds a multi-way candidate from a profiled load's TNV metrics,
     /// taking the top values resident in `tracker`.
-    pub fn from_metrics(
-        metrics: &EntityMetrics,
-        top_values: &[u64],
-        k: usize,
-    ) -> MultiCandidate {
+    pub fn from_metrics(metrics: &EntityMetrics, top_values: &[u64], k: usize) -> MultiCandidate {
         MultiCandidate {
             load_index: metrics.id as u32,
             values: top_values.iter().take(k).copied().collect(),
@@ -87,9 +83,11 @@ pub fn specialize_multi(
         Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
         _ => return Err(SpecializeError::NotALoad { index: candidate.load_index }),
     };
-    if program.code().iter().any(|i| {
-        i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH)
-    }) {
+    if program
+        .code()
+        .iter()
+        .any(|i| i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH))
+    {
         return Err(SpecializeError::ScratchInUse);
     }
 
@@ -222,8 +220,7 @@ mod tests {
     }
 
     fn run(p: &Program) -> (i64, u64) {
-        let mut m = Machine::new(p.clone(), MachineConfig::new().input(InputSet::empty()))
-            .unwrap();
+        let mut m = Machine::new(p.clone(), MachineConfig::new().input(InputSet::empty())).unwrap();
         let out = m.run(10_000_000).unwrap();
         (out.exit_code, out.instructions)
     }
@@ -283,12 +280,8 @@ mod tests {
     fn empty_values_rejected_and_primary_projection() {
         let program = kernel();
         let load = bimodal_load_index(&program);
-        let empty = MultiCandidate {
-            load_index: load,
-            values: vec![],
-            invariance: 0.0,
-            executions: 0,
-        };
+        let empty =
+            MultiCandidate { load_index: load, values: vec![], invariance: 0.0, executions: 0 };
         assert!(specialize_multi(&program, &empty).is_err());
         assert!(empty.primary().is_none());
         let mc = MultiCandidate {

@@ -127,13 +127,8 @@ pub fn estimate(program: &Program, load_index: u32, value: u64) -> Option<FoldEs
     };
     let liveness = Liveness::compute(program);
     let resume = load_index + 1 + probe_region_len(program, load_index);
-    let fold = fold_region(
-        program.code(),
-        load_index as usize + 1,
-        rd,
-        value,
-        liveness.live_at(resume),
-    );
+    let fold =
+        fold_region(program.code(), load_index as usize + 1, rd, value, liveness.live_at(resume));
     Some(FoldEstimate { consumed: fold.consumed, emitted: fold.emitted.len(), folded: fold.folded })
 }
 
@@ -290,9 +285,10 @@ pub fn specialize_all(
 }
 
 fn uses_scratch(program: &Program) -> bool {
-    program.code().iter().any(|i| {
-        i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH)
-    })
+    program
+        .code()
+        .iter()
+        .any(|i| i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH))
 }
 
 #[cfg(test)]
@@ -385,10 +381,7 @@ mod tests {
     fn rejects_non_loads_and_scratch_users() {
         let program = kernel();
         let c = Candidate { load_index: 0, value: 1, invariance: 1.0, executions: 1 };
-        assert_eq!(
-            specialize(&program, &c).unwrap_err(),
-            SpecializeError::NotALoad { index: 0 }
-        );
+        assert_eq!(specialize(&program, &c).unwrap_err(), SpecializeError::NotALoad { index: 0 });
 
         let scratchy = vp_asm::assemble(
             ".data\nx: .quad 1\n.text\nmain: la r31, x\n ldd r2, 0(r31)\n sys exit\n",

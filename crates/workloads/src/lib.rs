@@ -213,8 +213,7 @@ mod tests {
         // three values, one per compile phase.
         use vp_instrument::{Instrumenter, Selection};
         let w = Workload::by_name("gcc").unwrap();
-        let mut profiler =
-            vp_core::InstructionProfiler::new(vp_core::TrackerConfig::with_full());
+        let mut profiler = vp_core::InstructionProfiler::new(vp_core::TrackerConfig::with_full());
         Instrumenter::new()
             .select(Selection::LoadsOnly)
             .run(w.program(), w.machine_config(DataSet::Test), BUDGET, &mut profiler)

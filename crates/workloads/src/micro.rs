@@ -62,7 +62,7 @@ pub fn constant_load(n: u64) -> MicroWorkload {
 /// A load alternating between two values (0 and 5) on every execution:
 /// `Inv-Top(1) = 1/2`, `LVP = 0`, `%zero = 1/2`. `n` must be even.
 pub fn alternating_load(n: u64) -> MicroWorkload {
-    assert!(n % 2 == 0, "n must be even for exact expectations");
+    assert!(n.is_multiple_of(2), "n must be even for exact expectations");
     let src = format!(
         r#"
         .data
@@ -130,7 +130,7 @@ pub fn counter(n: u64) -> MicroWorkload {
 /// second half: `Inv-Top(1) = 1/2` exactly, LVP = (n-2)/n. Exercises
 /// phase-change behaviour of TNV policies. `n` must be even.
 pub fn phase_change_load(n: u64) -> MicroWorkload {
-    assert!(n % 2 == 0, "n must be even for exact expectations");
+    assert!(n.is_multiple_of(2), "n must be even for exact expectations");
     // The store executes after the load of the same iteration, so to have
     // exactly n/2 loads of each value the flip must fire when the counter
     // is at half + 1.
@@ -172,7 +172,7 @@ pub fn phase_change_load(n: u64) -> MicroWorkload {
 /// `Inv-Top(1) = 0.9`, `LVP = 0.8 + 2/n`-ish — the canonical
 /// *semi-invariant* entity. Expectations are given for `n % 10 == 0`.
 pub fn semi_invariant_load(n: u64) -> MicroWorkload {
-    assert!(n % 10 == 0, "n must be a multiple of 10");
+    assert!(n.is_multiple_of(10), "n must be a multiple of 10");
     let src = format!(
         r#"
         .data
@@ -220,11 +220,7 @@ pub fn semi_invariant_load(n: u64) -> MicroWorkload {
 }
 
 fn find_first_load(program: &Program) -> u32 {
-    program
-        .code()
-        .iter()
-        .position(|i| i.is_load())
-        .expect("micro workload has a load") as u32
+    program.code().iter().position(|i| i.is_load()).expect("micro workload has a load") as u32
 }
 
 #[cfg(test)]

@@ -5,8 +5,11 @@
 //! program's data. Exit codes are checksums, making runs deterministic and
 //! comparable across profiling configurations.
 
-/// Table of all workloads: `(name, description, source builder)`.
-pub const ALL: [(&str, &str, fn() -> String); 10] = [
+/// One workload row: `(name, description, source builder)`.
+pub type WorkloadSpec = (&'static str, &'static str, fn() -> String);
+
+/// Table of all workloads.
+pub const ALL: [WorkloadSpec; 10] = [
     ("compress", "hash-table substring counting (compress95 stand-in)", compress),
     ("gcc", "three-phase compile pipeline with phase-changing mode (gcc stand-in)", gcc),
     ("li", "tag-dispatched bytecode interpreter (xlisp stand-in)", li),
@@ -624,13 +627,10 @@ mod tests {
     fn all_programs_assemble() {
         for (name, _, f) in ALL {
             let src = f();
-            let program = vp_asm::assemble(&src)
-                .unwrap_or_else(|e| panic!("{name} does not assemble: {e}"));
+            let program =
+                vp_asm::assemble(&src).unwrap_or_else(|e| panic!("{name} does not assemble: {e}"));
             assert!(program.len() > 10, "{name} is suspiciously small");
-            assert!(
-                program.procedure("main").is_some(),
-                "{name} must declare .proc main"
-            );
+            assert!(program.procedure("main").is_some(), "{name} must declare .proc main");
         }
     }
 

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use value_profiling::core::{render_metric_table, report::row, track::TrackerConfig};
 use value_profiling::core::InstructionProfiler;
+use value_profiling::core::{render_metric_table, report::row, track::TrackerConfig};
 use value_profiling::instrument::{Instrumenter, Selection};
 use value_profiling::sim::MachineConfig;
 
@@ -50,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut profiler,
     )?;
 
-    println!("ran {} instructions, {} loads profiled\n", run.outcome.instructions, run.counts.load_events);
-    println!("{}", render_metric_table("quickstart: loads", &[row("quickstart", &profiler.metrics())]));
+    println!(
+        "ran {} instructions, {} loads profiled\n",
+        run.outcome.instructions, run.counts.load_events
+    );
+    println!(
+        "{}",
+        render_metric_table("quickstart: loads", &[row("quickstart", &profiler.metrics())])
+    );
 
     println!("per-load detail:");
     for m in profiler.metrics() {

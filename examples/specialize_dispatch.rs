@@ -17,7 +17,11 @@ const BUDGET: u64 = 50_000_000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = demo::program();
-    println!("kernel: {} instructions, config load at index {}\n", program.len(), demo::config_load_index(&program));
+    println!(
+        "kernel: {} instructions, config load at index {}\n",
+        program.len(),
+        demo::config_load_index(&program)
+    );
     println!(
         "{:>12} {:>10} {:>12} {:>12} {:>9} {:>6}",
         "perturb", "inv-top1", "base", "specialized", "speedup", "ok"
@@ -41,9 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let candidates =
             find_candidates(&program, &profiler.metrics(), CandidateOptions::default());
         let label = if period == 0 { "never".to_string() } else { format!("1/{period}") };
-        let inv = profiler
-            .metrics_for(demo::config_load_index(&program))
-            .map_or(0.0, |m| m.inv_top1);
+        let inv =
+            profiler.metrics_for(demo::config_load_index(&program)).map_or(0.0, |m| m.inv_top1);
 
         if candidates.is_empty() {
             println!(

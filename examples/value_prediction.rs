@@ -55,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let lvp_stats = stats(&mut LastValuePredictor::new(1024));
         let stride = hit(&mut StridePredictor::new(1024));
         let two = hit(&mut TwoLevelPredictor::new());
-        let hybrid = hit(&mut HybridPredictor::new(
-            StridePredictor::new(1024),
-            TwoLevelPredictor::new(),
-        ));
+        let hybrid =
+            hit(&mut HybridPredictor::new(StridePredictor::new(1024), TwoLevelPredictor::new()));
         // Gabbay & Mendelson's use of profiles: only predict instructions
         // the *train-input* profile classified last-value predictable.
         // Coverage drops, but costly mispredictions collapse.

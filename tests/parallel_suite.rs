@@ -1,0 +1,56 @@
+//! Determinism contract of the parallel suite runner: fanning the suite
+//! out over worker threads must produce byte-for-byte the same
+//! per-workload profiles and reports as a serial run, on both data sets
+//! and in every profiling mode.
+
+use value_profiling::core::{ConvergentConfig, SampleStrategy};
+use value_profiling::workloads::DataSet;
+use vp_bench::{ProfileMode, SuiteRunner};
+
+fn assert_identical(a: &vp_bench::SuiteProfile, b: &vp_bench::SuiteProfile) {
+    assert_eq!(a.workloads.len(), b.workloads.len());
+    for (s, p) in a.workloads.iter().zip(&b.workloads) {
+        assert_eq!(s.name, p.name, "workload order is canonical");
+        assert_eq!(s.metrics, p.metrics, "{}: per-entity metrics differ", s.name);
+        assert_eq!(s.instructions, p.instructions, "{}", s.name);
+        assert!(
+            (s.profile_fraction - p.profile_fraction).abs() < 1e-15,
+            "{}: profile fraction differs",
+            s.name
+        );
+    }
+    assert_eq!(a.render("x"), b.render("x"), "rendered reports differ");
+}
+
+#[test]
+fn full_mode_jobs4_matches_serial() {
+    for ds in [DataSet::Test, DataSet::Train] {
+        let serial = SuiteRunner::new().jobs(1).run(ds);
+        let parallel = SuiteRunner::new().jobs(4).run(ds);
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn convergent_and_sampled_modes_are_parallel_deterministic() {
+    for mode in [
+        ProfileMode::Convergent(ConvergentConfig::default()),
+        ProfileMode::Sampled(SampleStrategy::Random { period: 10 }),
+    ] {
+        let runner = |jobs| {
+            SuiteRunner::new()
+                .tracker(value_profiling::core::track::TrackerConfig::default())
+                .mode(mode)
+                .jobs(jobs)
+                .run(DataSet::Test)
+        };
+        assert_identical(&runner(1), &runner(4));
+    }
+}
+
+#[test]
+fn zero_jobs_uses_available_parallelism_and_still_matches() {
+    let serial = SuiteRunner::new().jobs(1).run(DataSet::Test);
+    let auto = SuiteRunner::new().jobs(0).run(DataSet::Test);
+    assert_identical(&serial, &auto);
+}

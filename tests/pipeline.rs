@@ -115,6 +115,24 @@ fn convergent_tracks_full_profile() {
             assert_eq!(f.executions, c.total, "{}", w.name());
             assert!(c.profiled <= c.total, "{}", w.name());
         }
+        // Convention: every sampling profiler reports metrics with
+        // `executions` reweighted to the TRUE execution totals (profiled
+        // counts live in `stats()`), so its aggregate weights match a
+        // full profile's.
+        for (f, c) in full.metrics().iter().zip(conv.metrics()) {
+            assert_eq!(
+                f.executions,
+                c.executions,
+                "{}: convergent metrics must report true totals",
+                w.name()
+            );
+        }
+        assert_eq!(
+            full.aggregate().executions,
+            conv.aggregate().executions,
+            "{}: aggregate weights must match the full profile",
+            w.name()
+        );
     }
 }
 
@@ -153,12 +171,7 @@ fn profiler_state_usable_after_fault() {
     let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
     let err = Instrumenter::new()
         .select(Selection::RegisterDefining)
-        .run(
-            &program,
-            value_profiling::sim::MachineConfig::new(),
-            100_000,
-            &mut profiler,
-        )
+        .run(&program, value_profiling::sim::MachineConfig::new(), 100_000, &mut profiler)
         .unwrap_err();
     assert!(matches!(err, SimError::Mem(_)));
     let constant = profiler

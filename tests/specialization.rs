@@ -31,8 +31,7 @@ fn profile_guided_specialization_is_exact_suite_wide() {
             continue; // e.g. scratch register in use — allowed to refuse
         };
         for ds in [DataSet::Test, DataSet::Train] {
-            let report =
-                evaluate(w.program(), &specialized, w.input(ds), BUDGET).unwrap();
+            let report = evaluate(w.program(), &specialized, w.input(ds), BUDGET).unwrap();
             assert!(
                 report.equivalent,
                 "{} [{}]: specialization changed behaviour",
@@ -148,13 +147,8 @@ fn double_specialization_of_distinct_sites() {
         Candidate { load_index: loads[1], value: 9, invariance: 1.0, executions: 500 },
     ];
     let specialized = specialize_all(&program, &candidates).unwrap();
-    let report = evaluate(
-        &program,
-        &specialized,
-        &value_profiling::sim::InputSet::empty(),
-        BUDGET,
-    )
-    .unwrap();
+    let report =
+        evaluate(&program, &specialized, &value_profiling::sim::InputSet::empty(), BUDGET).unwrap();
     assert!(report.equivalent);
     assert!(report.speedup() > 1.0, "speedup {}", report.speedup());
 }

@@ -39,13 +39,9 @@ fn replayed_memory_profiles_match_live() {
         .select(Selection::MemoryOps)
         .run(w.program(), w.machine_config(DataSet::Test), BUDGET, &mut live)
         .unwrap();
-    let trace = Trace::record(
-        w.program(),
-        w.machine_config(DataSet::Test),
-        BUDGET,
-        Selection::MemoryOps,
-    )
-    .unwrap();
+    let trace =
+        Trace::record(w.program(), w.machine_config(DataSet::Test), BUDGET, Selection::MemoryOps)
+            .unwrap();
     let mut replayed = MemoryProfiler::new(TrackerConfig::with_full());
     trace.replay(&mut replayed).unwrap();
     assert_eq!(live.metrics(), replayed.metrics());
@@ -54,13 +50,9 @@ fn replayed_memory_profiles_match_live() {
 #[test]
 fn serialized_trace_replays_identically() {
     let w = suite().into_iter().find(|w| w.name() == "li").unwrap();
-    let trace = Trace::record(
-        w.program(),
-        w.machine_config(DataSet::Test),
-        BUDGET,
-        Selection::LoadsOnly,
-    )
-    .unwrap();
+    let trace =
+        Trace::record(w.program(), w.machine_config(DataSet::Test), BUDGET, Selection::LoadsOnly)
+            .unwrap();
     let restored = Trace::from_bytes(&trace.to_bytes()).unwrap();
     let mut a = InstructionProfiler::new(TrackerConfig::with_full());
     let mut b = InstructionProfiler::new(TrackerConfig::with_full());

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the workspace's `harness = false` bench binaries compiling and
+//! useful: same source-level API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`), but measurement is a plain
+//! best-of-samples wall-clock loop printed to stdout — no statistics
+//! engine, no HTML reports.
+//!
+//! Under `cargo test`, cargo runs bench binaries with `--test`; each
+//! benchmark body then executes exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark spends measuring (after one warm-up batch).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes bench targets with `--test` under `cargo test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with elements/bytes per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { test_mode: self.criterion.test_mode, measured: None };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { test_mode: self.criterion.test_mode, measured: None };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is inline).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let label = match id {
+            BenchmarkId::Name(n) => format!("{}/{}", self.name, n),
+            BenchmarkId::Parameterised { function, parameter } => {
+                format!("{}/{}/{}", self.name, function, parameter)
+            }
+        };
+        let Some(per_iter) = bencher.measured else {
+            println!("test {label} ... ok (test mode)");
+            return;
+        };
+        let ns = per_iter.as_nanos();
+        match self.throughput {
+            Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("{label}  time: {ns} ns/iter  thrpt: {rate:.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("{label}  time: {ns} ns/iter  thrpt: {rate:.0} B/s");
+            }
+            _ => println!("{label}  time: {ns} ns/iter"),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping the best (smallest) per-iteration time seen.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up, and a batch size putting one batch near ~50ms so cheap
+        // closures are not swamped by timer overhead.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+
+        let mut best = Duration::MAX;
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            best = best.min(start.elapsed() / batch as u32);
+        }
+        self.measured = Some(best);
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub enum BenchmarkId {
+    /// A plain name.
+    Name(String),
+    /// A function name plus parameter, rendered `function/parameter`.
+    Parameterised { function: String, parameter: String },
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` with a displayed `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId::Parameterised { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId::Name(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId::Name(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId::Name(name)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..10).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param-only"), &1u64, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        // Exercises the whole macro + group + bencher path; the assertion
+        // is simply that nothing panics in either mode.
+        benches();
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest 1.x API the workspace's property
+//! tests use: the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, [`Strategy`] with `prop_map`/`boxed`,
+//! ranges and tuples as strategies, [`any`], [`strategy::Just`], and
+//! `prop::collection::vec`.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test stream (no `proptest-regressions` files) and
+//! there is **no shrinking** — a failure reports the case number and the
+//! generated inputs verbatim.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+use std::marker::PhantomData;
+
+use test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value, mildly biased toward boundary values.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 draws pick a boundary value; bugs cluster there
+                // and uniform draws almost never land on them.
+                const EDGES: [$t; 4] = [0, 1, <$t>::MAX, <$t>::MIN];
+                if rng.below(8) == 0 {
+                    EDGES[rng.below(4) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        const EDGES: [f64; 6] = [0.0, -0.0, 1.0, -1.0, f64::INFINITY, f64::NEG_INFINITY];
+        match rng.below(8) {
+            0 => EDGES[rng.below(6) as usize],
+            // Reinterpreted bit patterns reach subnormals and NaNs too.
+            1 => f64::from_bits(rng.next_u64()),
+            _ => {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let scale = [1.0, 1e3, 1e9, 1e-6][rng.below(4) as usize];
+                let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+                sign * unit * scale
+            }
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The result of [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary};
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test item, threading the config expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.effective_cases() {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    module_path!(),
+                    stringify!($name),
+                    __case,
+                );
+                let __values = ($($crate::Strategy::generate(&($strategy), &mut __rng),)+);
+                let __inputs = format!("{:?}", __values);
+                let ($($pat,)+) = __values;
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}\n  inputs: {}\n  {}",
+                        stringify!($name),
+                        __case,
+                        __config.effective_cases(),
+                        __inputs,
+                        __err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies of one
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Fails the enclosing property (with the generated inputs reported) when
+/// the condition is false. Only valid inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, reporting both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: left == right\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            __left == __right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __left,
+            __right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro plumbing end-to-end: ranges, tuples, oneof, vec.
+        #[test]
+        fn generated_values_respect_strategies(
+            (a, b) in (0u64..10, 5u64..6),
+            choice in prop_oneof![3 => 0u32..100, 1 => Just(999u32)],
+            xs in prop::collection::vec(any::<u16>().prop_map(u64::from), 1..8),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(choice < 100 || choice == 999, "choice = {}", choice);
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            if xs.len() == 1 {
+                // Early exit must compile and pass.
+                return Ok(());
+            }
+            prop_assert!(xs.len() >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failures_report_case_and_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn always_fails(v in 0u64..4) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,207 @@
+//! Value-generation strategies.
+//!
+//! Unlike real proptest there is no shrinking: a strategy is just a
+//! deterministic function from a [`TestRng`] to a value. Failures report
+//! the generated inputs so a case can be reconstructed by eye.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map: f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies can share a
+    /// collection (e.g. the arms of `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        std::sync::Arc::new(self)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (real proptest's boxed
+/// strategies are also reference-counted under the hood).
+pub type BoxedStrategy<T> = std::sync::Arc<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for std::sync::Arc<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+
+/// A weighted choice between strategies of the same value type; the
+/// engine behind `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds the union from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or all weights are zero.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        Union { options, total_weight }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union { options: self.options.clone(), total_weight: self.total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.below(self.total_weight);
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if draw < weight {
+                return strategy.generate(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("draw is below the total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("strategy", "ranges", 0);
+        for _ in 0..1000 {
+            let v = (5u64..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let w = (-3i16..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_tuple_and_union_compose() {
+        let mut rng = TestRng::for_case("strategy", "compose", 0);
+        let s = Union::new(vec![
+            (3, (0u64..4, 1u64..2).prop_map(|(a, b)| a + b).boxed()),
+            (1, Just(100u64).boxed()),
+        ]);
+        let mut saw_union_arm = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v <= 4 || v == 100);
+            saw_union_arm |= v == 100;
+        }
+        assert!(saw_union_arm, "low-weight arm still sampled");
+    }
+}
