@@ -7,9 +7,9 @@
 //!
 //! Pass `--jobs N` to fan the workload runs out over N worker threads
 //! (0 = available parallelism); the table is identical either way.
+//! Telemetry records go to `$VP_TELEMETRY` (default `telemetry.jsonl`).
 
-use vp_instrument::parallel_map;
-use vp_workloads::{suite, DataSet};
+use vp_workloads::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,25 +19,9 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map_or(1, |v| v.parse().expect("bad --jobs value"));
 
-    vp_bench::heading("E1", "benchmark programs and data sets (Table III.1)");
-    println!(
-        "{:<10} {:>12} {:>14} {:>14} description",
-        "program", "static size", "test Kinstrs", "train Kinstrs"
-    );
-    let workloads = suite();
-    let rows = parallel_map(jobs, &workloads, |w| {
-        let test = w.run(DataSet::Test, vp_bench::BUDGET).expect("test run").instructions;
-        let train = w.run(DataSet::Train, vp_bench::BUDGET).expect("train run").instructions;
-        (test, train)
-    });
-    for (w, (test, train)) in workloads.iter().zip(rows) {
-        println!(
-            "{:<10} {:>12} {:>14.1} {:>14.1} {}",
-            w.name(),
-            w.program().len(),
-            test as f64 / 1_000.0,
-            train as f64 / 1_000.0,
-            w.description()
-        );
-    }
+    let report = vp_bench::experiments::benchmarks(&suite(), jobs);
+    print!("{}", report.text);
+    let path = vp_bench::default_path();
+    vp_bench::append_jsonl(&path, &report.records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }

@@ -6,137 +6,15 @@
 //! factor while staying within a few percent of the full profile's
 //! invariance — the trade-off curve steepens as the backoff gets more
 //! aggressive.
+//!
+//! Telemetry records go to `$VP_TELEMETRY` (default `telemetry.jsonl`).
 
-use vp_bench::load_profile;
-use vp_core::{
-    compare, track::TrackerConfig, ConvergentConfig, ConvergentProfiler, SampleStrategy,
-    SampledProfiler,
-};
-use vp_instrument::{Instrumenter, Selection};
-use vp_workloads::{suite, DataSet, Workload};
-
-fn run_convergent(w: &Workload, config: ConvergentConfig) -> ConvergentProfiler {
-    let mut profiler = ConvergentProfiler::new(TrackerConfig::default(), config);
-    Instrumenter::new()
-        .select(Selection::LoadsOnly)
-        .run(w.program(), w.machine_config(DataSet::Test), vp_bench::BUDGET, &mut profiler)
-        .expect("convergent run");
-    profiler
-}
+use vp_workloads::suite;
 
 fn main() {
-    vp_bench::heading("E7", "convergent profiler: overhead and accuracy vs full profiling");
-
-    println!(
-        "{:<10} {:>10} {:>10} {:>12} {:>12}",
-        "program", "full inv%", "conv inv%", "profiled%", "mean|diff|"
-    );
-    for w in suite() {
-        let full = load_profile(&w, DataSet::Test);
-        let conv = run_convergent(&w, ConvergentConfig::default());
-        let cmp = compare(&full.metrics(), &conv.metrics());
-        println!(
-            "{:<10} {:>10.1} {:>10.1} {:>11.1}% {:>12.4}",
-            w.name(),
-            full.aggregate().inv_top1 * 100.0,
-            conv.aggregate().inv_top1 * 100.0,
-            conv.overall_profile_fraction() * 100.0,
-            cmp.mean_abs_inv_diff,
-        );
-    }
-
-    println!("\nsampler sweep (suite means): burst length x backoff aggressiveness");
-    println!("{:<26} {:>12} {:>12}", "configuration", "profiled%", "mean|diff|");
-    let sweeps = [
-        (
-            "burst 500, skip 1k, x2",
-            ConvergentConfig {
-                burst: 500,
-                initial_skip: 1_000,
-                backoff: 2.0,
-                ..ConvergentConfig::default()
-            },
-        ),
-        ("burst 200, skip 2k, x4", ConvergentConfig::default()),
-        (
-            "burst 100, skip 4k, x8",
-            ConvergentConfig {
-                burst: 100,
-                initial_skip: 4_000,
-                backoff: 8.0,
-                ..ConvergentConfig::default()
-            },
-        ),
-        (
-            "burst 50, skip 8k, x16",
-            ConvergentConfig {
-                burst: 50,
-                initial_skip: 8_000,
-                backoff: 16.0,
-                ..ConvergentConfig::default()
-            },
-        ),
-    ];
-    for (name, config) in sweeps {
-        let mut profiled = 0.0;
-        let mut err = 0.0;
-        let all = suite();
-        for w in &all {
-            let full = load_profile(w, DataSet::Test);
-            let conv = run_convergent(w, config);
-            profiled += conv.overall_profile_fraction();
-            err += compare(&full.metrics(), &conv.metrics()).mean_abs_inv_diff;
-        }
-        println!(
-            "{:<26} {:>11.1}% {:>12.4}",
-            name,
-            profiled / all.len() as f64 * 100.0,
-            err / all.len() as f64
-        );
-    }
-
-    // Ablation: the convergent sampler against CPI-style flat sampling
-    // (Anderson et al. [1]) at a matched profiling budget. The convergent
-    // profiler spends its budget where profiles have NOT converged, so at
-    // equal profiled fractions it should be at least as accurate.
-    println!("\nablation vs flat sampling (suite means):");
-    println!("{:<26} {:>12} {:>12}", "scheme", "profiled%", "mean|diff|");
-    let all = suite();
-    let mut conv_frac = 0.0;
-    let mut conv_err = 0.0;
-    for w in &all {
-        let full = load_profile(w, DataSet::Test);
-        let conv = run_convergent(w, ConvergentConfig::default());
-        conv_frac += conv.overall_profile_fraction();
-        conv_err += compare(&full.metrics(), &conv.metrics()).mean_abs_inv_diff;
-    }
-    conv_frac /= all.len() as f64;
-    conv_err /= all.len() as f64;
-    println!("{:<26} {:>11.1}% {:>12.4}", "convergent (default)", conv_frac * 100.0, conv_err);
-
-    // Match the flat samplers' period to the convergent profiler's spend.
-    let period = (1.0 / conv_frac).round().max(1.0) as u64;
-    for (name, strategy) in [
-        (format!("periodic 1/{period}"), SampleStrategy::Periodic { period }),
-        (format!("random   1/{period}"), SampleStrategy::Random { period }),
-    ] {
-        let mut frac = 0.0;
-        let mut err = 0.0;
-        for w in &all {
-            let full = load_profile(w, DataSet::Test);
-            let mut sampled = SampledProfiler::new(TrackerConfig::default(), strategy);
-            Instrumenter::new()
-                .select(Selection::LoadsOnly)
-                .run(w.program(), w.machine_config(DataSet::Test), vp_bench::BUDGET, &mut sampled)
-                .expect("sampled run");
-            frac += sampled.overall_profile_fraction();
-            err += compare(&full.metrics(), &sampled.metrics()).mean_abs_inv_diff;
-        }
-        println!(
-            "{:<26} {:>11.1}% {:>12.4}",
-            name,
-            frac / all.len() as f64 * 100.0,
-            err / all.len() as f64
-        );
-    }
+    let report = vp_bench::experiments::convergent(&suite());
+    print!("{}", report.text);
+    let path = vp_bench::default_path();
+    vp_bench::append_jsonl(&path, &report.records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }

@@ -8,107 +8,25 @@
 //! event-processing work. Our wall-clock column measures the same
 //! pipeline on the emulator; the events-per-instruction columns are the
 //! portable cause.
+//!
+//! Wall times are medians of `--reps N` (default 5) timed runs taken
+//! after an untimed warm-up, so the first configuration measured no
+//! longer pays the cold-cache penalty alone.
+//! Telemetry records go to `$VP_TELEMETRY` (default `telemetry.jsonl`).
 
-use std::time::Instant;
-
-use vp_core::{track::TrackerConfig, ConvergentConfig, ConvergentProfiler, InstructionProfiler};
-use vp_instrument::{Analysis, Instrumenter, Selection};
-use vp_sim::Machine;
-use vp_workloads::{suite, DataSet, Workload};
-
-fn timed<F: FnOnce() -> u64>(f: F) -> (u64, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64())
-}
-
-fn run_plain(w: &Workload) -> u64 {
-    let mut machine =
-        Machine::new(w.program().clone(), w.machine_config(DataSet::Test)).expect("machine");
-    machine.run(vp_bench::BUDGET).expect("run").instructions
-}
-
-fn run_with<A: Analysis>(w: &Workload, selection: Selection, analysis: &mut A) -> u64 {
-    Instrumenter::new()
-        .select(selection)
-        .run(w.program(), w.machine_config(DataSet::Test), vp_bench::BUDGET, analysis)
-        .expect("instrumented run")
-        .counts
-        .total()
-}
+use vp_workloads::suite;
 
 fn main() {
-    vp_bench::heading("E12", "profiling overhead: events per instruction and wall-clock slowdown");
-    println!(
-        "{:<10} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>10}",
-        "program",
-        "instrs",
-        "ld ev/i",
-        "ld slow",
-        "all ev/i",
-        "all slow",
-        "conv ev/i",
-        "conv slow",
-        "conv prof%"
-    );
-    for w in suite() {
-        // Warm up and baseline.
-        run_plain(&w);
-        let (instrs, base_t) = timed(|| run_plain(&w));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .map_or(5, |v| v.parse().expect("bad --reps value"));
 
-        let (load_events, load_t) = timed(|| {
-            let mut p = InstructionProfiler::new(TrackerConfig::default());
-            run_with(&w, Selection::LoadsOnly, &mut p)
-        });
-        let (all_events, all_t) = timed(|| {
-            let mut p = InstructionProfiler::new(TrackerConfig::default());
-            run_with(&w, Selection::RegisterDefining, &mut p)
-        });
-        let mut conv =
-            ConvergentProfiler::new(TrackerConfig::default(), ConvergentConfig::default());
-        let (conv_events, conv_t) = timed(|| run_with(&w, Selection::RegisterDefining, &mut conv));
-
-        let per = |e: u64| e as f64 / instrs as f64;
-        let slow = |t: f64| t / base_t;
-        println!(
-            "{:<10} {:>10} | {:>9.3} {:>8.2}x | {:>9.3} {:>8.2}x | {:>9.3} {:>8.2}x | {:>9.1}%",
-            w.name(),
-            instrs,
-            per(load_events),
-            slow(load_t),
-            per(all_events),
-            slow(all_t),
-            per(conv_events),
-            slow(conv_t),
-            conv.overall_profile_fraction() * 100.0,
-        );
-    }
-    // Space: the TNV table's constant-footprint claim vs the exact
-    // histogram whose size scales with distinct values.
-    println!("\nprofile memory footprint (all-instruction profile):");
-    println!("{:<10} {:>12} {:>14} {:>8}", "program", "TNV bytes", "full-hist bytes", "ratio");
-    for w in suite() {
-        let tnv_only = {
-            let mut p = InstructionProfiler::new(TrackerConfig::default());
-            run_with(&w, Selection::RegisterDefining, &mut p);
-            p.footprint_bytes()
-        };
-        let with_full = {
-            let mut p = InstructionProfiler::new(TrackerConfig::with_full());
-            run_with(&w, Selection::RegisterDefining, &mut p);
-            p.footprint_bytes()
-        };
-        println!(
-            "{:<10} {:>12} {:>14} {:>7.1}x",
-            w.name(),
-            tnv_only,
-            with_full,
-            with_full as f64 / tnv_only as f64
-        );
-    }
-
-    println!("\nev/i = analysis events per executed instruction (exact overhead cause);");
-    println!("slow = wall-clock relative to the uninstrumented emulator on this machine.");
-    println!("The convergent profiler still *sees* each event but skips the TNV work;");
-    println!("`conv prof%` is the fraction of executions fully profiled.");
+    let report = vp_bench::experiments::overhead(&suite(), reps);
+    print!("{}", report.text);
+    let path = vp_bench::default_path();
+    vp_bench::append_jsonl(&path, &report.records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }

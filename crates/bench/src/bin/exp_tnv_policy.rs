@@ -10,111 +10,15 @@
 //! entries; plain LFU degrades on phase-changing streams (early values
 //! squat); LRU thrashes on interleaved values. Bigger tables help every
 //! policy.
+//!
+//! Telemetry records go to `$VP_TELEMETRY` (default `telemetry.jsonl`).
 
-use std::collections::HashMap;
-
-use vp_core::{FullProfile, Policy, TnvTable};
-use vp_instrument::Selection;
-use vp_workloads::{suite, DataSet};
-
-fn policy_error(streams: &[Vec<u64>], capacity: usize, policy: Policy, n: usize) -> f64 {
-    let mut weighted = 0.0f64;
-    let mut total = 0u64;
-    for stream in streams {
-        let mut tnv = TnvTable::new(capacity, policy);
-        let mut full = FullProfile::new();
-        for &v in stream {
-            tnv.observe(v);
-            full.observe(v);
-        }
-        let err = (tnv.inv_top(n) - full.inv_all(n)).abs();
-        weighted += err * stream.len() as f64;
-        total += stream.len() as u64;
-    }
-    if total == 0 {
-        0.0
-    } else {
-        weighted / total as f64
-    }
-}
+use vp_workloads::suite;
 
 fn main() {
-    vp_bench::heading("E6", "TNV replacement policy accuracy (|Inv-Top(N) - Inv-All(N)|)");
-
-    // Gather per-load value streams across the whole suite.
-    let mut streams: Vec<Vec<u64>> = Vec::new();
-    for w in suite() {
-        let mut per_pc: HashMap<u32, Vec<u64>> = HashMap::new();
-        for (pc, v) in vp_bench::value_stream(&w, DataSet::Test, Selection::LoadsOnly) {
-            per_pc.entry(pc).or_default().push(v);
-        }
-        streams.extend(per_pc.into_values());
-    }
-    println!(
-        "{} load value streams, {} total values\n",
-        streams.len(),
-        streams.iter().map(Vec::len).sum::<usize>()
-    );
-
-    println!("{:<26} {:>8} {:>8} {:>8} {:>8}", "policy", "N=2", "N=4", "N=8", "N=16");
-    type PolicyFactory = Box<dyn Fn(usize) -> Policy>;
-    let configs: Vec<(String, PolicyFactory)> = vec![
-        (
-            "lfu-clear (paper)".to_string(),
-            Box::new(|cap: usize| Policy::LfuClear { steady: cap / 2, clear_interval: 2000 }),
-        ),
-        (
-            "lfu-clear (interval 500)".to_string(),
-            Box::new(|cap: usize| Policy::LfuClear { steady: cap / 2, clear_interval: 500 }),
-        ),
-        (
-            "lfu-clear (steady 1/4)".to_string(),
-            Box::new(|cap: usize| Policy::LfuClear {
-                steady: (cap / 4).max(1),
-                clear_interval: 2000,
-            }),
-        ),
-        ("lfu".to_string(), Box::new(|_| Policy::Lfu)),
-        ("lru".to_string(), Box::new(|_| Policy::Lru)),
-    ];
-    for (name, make) in &configs {
-        let errs: Vec<String> = [2usize, 4, 8, 16]
-            .iter()
-            .map(|&cap| format!("{:8.4}", policy_error(&streams, cap, make(cap), cap)))
-            .collect();
-        println!("{:<26} {}", name, errs.join(" "));
-    }
-
-    // The stress case the clearing policy exists for (the LFU lock-in
-    // pathology): an early phase fills the table with moderately hot
-    // values; afterwards a new value dominates but arrives interleaved
-    // with one-off noise values. Under plain LFU every noise miss evicts
-    // the newcomer (it is always the minimum-count entry), so the new hot
-    // value can never accumulate. Clearing the bottom part gives it free
-    // slots and a full interval to out-count the stale steady entries.
-    println!("\nLFU lock-in stress: 4 early values x500, then 90% value 9 + 10% noise:");
-    let mut stress: Vec<u64> = Vec::new();
-    for i in 0..2_000u64 {
-        stress.push(1 + i % 4);
-    }
-    for i in 0..48_000u64 {
-        stress.push(if i % 10 == 9 { 1_000 + i } else { 9 });
-    }
-    let exact = 0.9 * 48_000.0 / 50_000.0 * 100.0;
-    for (name, policy) in [
-        ("lfu-clear", Policy::LfuClear { steady: 2, clear_interval: 2000 }),
-        ("lfu", Policy::Lfu),
-        ("lru", Policy::Lru),
-    ] {
-        let mut tnv = TnvTable::new(4, policy);
-        for &v in &stress {
-            tnv.observe(v);
-        }
-        println!(
-            "  {:<10} top value {:?} (true top is 9), Inv-Top(1) {:5.1}% (exact {exact:.1}%)",
-            name,
-            tnv.top_value(),
-            tnv.inv_top(1) * 100.0
-        );
-    }
+    let report = vp_bench::experiments::tnv_policy(&suite());
+    print!("{}", report.text);
+    let path = vp_bench::default_path();
+    vp_bench::append_jsonl(&path, &report.records)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
 }

@@ -8,13 +8,17 @@
 //! Run an experiment with e.g. `cargo run --release -p vp-bench --bin
 //! exp_loads`, or everything with `--bin exp_all`.
 
+pub mod experiments;
 pub mod suite;
+pub mod telemetry;
 
 use vp_core::{track::TrackerConfig, InstructionProfiler};
 use vp_instrument::{Instrumenter, Selection};
 use vp_workloads::{DataSet, Workload};
 
+pub use experiments::ExpReport;
 pub use suite::{ProfileMode, SuiteProfile, SuiteRunner, WorkloadProfile};
+pub use telemetry::{append_jsonl, default_path, suite_records, write_jsonl};
 
 /// Instruction budget for experiment runs (far above any workload's need).
 pub const BUDGET: u64 = 100_000_000;

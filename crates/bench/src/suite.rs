@@ -7,12 +7,18 @@
 //! Only the order in which workloads *finish* varies; results are
 //! reassembled in canonical suite order.
 
+use std::fmt;
+use std::sync::Arc;
+
 use vp_core::{
     aggregate, merge_entity_metrics, render_metric_table, report::row, track::TrackerConfig,
     Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics, InstructionProfiler, ReportRow,
     SampleStrategy, SampledProfiler,
 };
-use vp_instrument::{parallel_map, Instrumenter, Selection};
+use vp_instrument::{parallel_map_observed, Instrumenter, Selection};
+use vp_obs::recorder::Stopwatch;
+use vp_obs::{CounterId, Counts, HistId, NullRecorder, Recorder};
+use vp_sim::Machine;
 use vp_workloads::{suite, DataSet, Workload};
 
 use crate::BUDGET;
@@ -43,6 +49,25 @@ pub struct WorkloadProfile {
     pub profile_fraction: f64,
     /// Dynamic instructions the run executed.
     pub instructions: u64,
+    /// Self-profiling event counts of this workload's run (analysis
+    /// events delivered, TNV-table work, sampler decisions). Plain
+    /// deterministic counters: identical across `--jobs` settings.
+    pub events: Counts,
+    /// Wall time of the instrumented run, nanoseconds.
+    pub wall_ns: u64,
+    /// Wall time of an uninstrumented replay of the same workload, when
+    /// baseline measurement was requested — the denominator of the
+    /// profiling-slowdown figure.
+    pub baseline_wall_ns: Option<u64>,
+}
+
+impl WorkloadProfile {
+    /// Instrumented wall time over uninstrumented replay time, when a
+    /// baseline was measured.
+    pub fn slowdown(&self) -> Option<f64> {
+        let base = self.baseline_wall_ns?;
+        (base > 0).then(|| self.wall_ns as f64 / base as f64)
+    }
 }
 
 /// The whole suite's profiling results, in canonical suite order.
@@ -103,13 +128,29 @@ impl SuiteProfile {
 /// let profile = SuiteRunner::new().jobs(2).run(DataSet::Test);
 /// assert_eq!(profile.workloads.len(), vp_workloads::suite().len());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SuiteRunner {
     jobs: usize,
     selection: Selection,
     tracker: TrackerConfig,
     budget: u64,
     mode: ProfileMode,
+    recorder: Arc<dyn Recorder>,
+    measure_baseline: bool,
+}
+
+impl fmt::Debug for SuiteRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuiteRunner")
+            .field("jobs", &self.jobs)
+            .field("selection", &self.selection)
+            .field("tracker", &self.tracker)
+            .field("budget", &self.budget)
+            .field("mode", &self.mode)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .field("measure_baseline", &self.measure_baseline)
+            .finish()
+    }
 }
 
 impl Default for SuiteRunner {
@@ -127,6 +168,8 @@ impl SuiteRunner {
             tracker: TrackerConfig::with_full(),
             budget: BUDGET,
             mode: ProfileMode::Full,
+            recorder: Arc::new(NullRecorder),
+            measure_baseline: false,
         }
     }
 
@@ -160,6 +203,24 @@ impl SuiteRunner {
         self
     }
 
+    /// Attaches a [`Recorder`] sink for self-profiling telemetry: each
+    /// workload's event counts and wall time are flushed into it, and the
+    /// parallel driver reports per-worker busy/queue-wait times. The
+    /// default [`NullRecorder`] keeps every instrumented site at a single
+    /// branch.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> SuiteRunner {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Also replays every workload *uninstrumented* and records the
+    /// baseline wall time, enabling [`WorkloadProfile::slowdown`]. Doubles
+    /// the emulation work, so off by default.
+    pub fn measure_baseline(mut self, measure: bool) -> SuiteRunner {
+        self.measure_baseline = measure;
+        self
+    }
+
     /// Profiles the whole built-in suite on `ds`.
     ///
     /// # Panics
@@ -177,7 +238,12 @@ impl SuiteRunner {
     ///
     /// Panics if a workload run faults.
     pub fn run_workloads(&self, workloads: &[Workload], ds: DataSet) -> SuiteProfile {
-        let workloads = parallel_map(self.jobs, workloads, |w| self.profile_one(w, ds));
+        let workloads = parallel_map_observed(
+            self.jobs,
+            workloads,
+            |w| self.profile_one(w, ds),
+            &*self.recorder,
+        );
         SuiteProfile { workloads }
     }
 
@@ -185,32 +251,68 @@ impl SuiteRunner {
         let fail = |e| panic!("{} [{}]: {e}", w.name(), ds.name());
         let instrumenter = Instrumenter::new().select(self.selection.clone());
         let cfg = w.machine_config(ds);
-        let (metrics, profile_fraction, instructions) = match self.mode {
+        let mut events = Counts::new();
+        let clock = Stopwatch::start();
+        let (metrics, profile_fraction, run) = match self.mode {
             ProfileMode::Full => {
                 let mut p = InstructionProfiler::new(self.tracker);
-                let run =
-                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
-                (p.metrics(), 1.0, run.outcome.instructions)
+                let run = instrumenter
+                    .run(w.program(), cfg.clone(), self.budget, &mut p)
+                    .unwrap_or_else(fail);
+                p.tnv_events().add_to(&mut events);
+                (p.metrics(), 1.0, run)
             }
             ProfileMode::Convergent(config) => {
                 let mut p = ConvergentProfiler::new(self.tracker, config);
-                let run =
-                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
-                (p.metrics(), p.overall_profile_fraction(), run.outcome.instructions)
+                let run = instrumenter
+                    .run(w.program(), cfg.clone(), self.budget, &mut p)
+                    .unwrap_or_else(fail);
+                p.tnv_events().add_to(&mut events);
+                p.events().add_to(&mut events);
+                (p.metrics(), p.overall_profile_fraction(), run)
             }
             ProfileMode::Sampled(strategy) => {
                 let mut p = SampledProfiler::new(self.tracker, strategy);
-                let run =
-                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
-                (p.metrics(), p.overall_profile_fraction(), run.outcome.instructions)
+                let run = instrumenter
+                    .run(w.program(), cfg.clone(), self.budget, &mut p)
+                    .unwrap_or_else(fail);
+                p.tnv_events().add_to(&mut events);
+                p.events().add_to(&mut events);
+                (p.metrics(), p.overall_profile_fraction(), run)
             }
         };
+        let wall_ns = clock.elapsed_ns();
+        events.add(CounterId::InstrEvents, run.counts.instr_events);
+        events.add(CounterId::LoadEvents, run.counts.load_events);
+        events.add(CounterId::StoreEvents, run.counts.store_events);
+        events.add(CounterId::ProcEntryEvents, run.counts.entry_events);
+        events.add(CounterId::ProcExitEvents, run.counts.exit_events);
+        events.add(CounterId::WorkloadsProfiled, 1);
+
+        let baseline_wall_ns = self.measure_baseline.then(|| {
+            let clock = Stopwatch::start();
+            let mut machine = Machine::new(w.program().clone(), cfg)
+                .unwrap_or_else(|e| panic!("{} [{}] baseline: {e}", w.name(), ds.name()));
+            machine
+                .run(self.budget)
+                .unwrap_or_else(|e| panic!("{} [{}] baseline: {e}", w.name(), ds.name()));
+            clock.elapsed_ns()
+        });
+
+        if self.recorder.enabled() {
+            self.recorder.add_counts(&events);
+            self.recorder.observe(HistId::WorkloadWallNs, wall_ns);
+        }
+
         WorkloadProfile {
             name: w.name(),
             aggregate: aggregate(&metrics),
             metrics,
             profile_fraction,
-            instructions,
+            instructions: run.outcome.instructions,
+            events,
+            wall_ns,
+            baseline_wall_ns,
         }
     }
 }
@@ -253,6 +355,49 @@ mod tests {
             assert!(w.profile_fraction <= 1.0);
             assert!(w.aggregate.executions > 0);
         }
+    }
+
+    #[test]
+    fn workload_events_and_recorder_agree() {
+        use vp_obs::MemRecorder;
+        let rec = Arc::new(MemRecorder::new());
+        let profile =
+            SuiteRunner::new().recorder(rec.clone()).run_workloads(&suite()[..3], DataSet::Test);
+        let mut summed = Counts::new();
+        for w in &profile.workloads {
+            assert!(w.events.get(CounterId::InstrEvents) > 0, "{}", w.name);
+            assert_eq!(w.events.get(CounterId::WorkloadsProfiled), 1);
+            // Full mode over loads: every delivered instruction event is
+            // observed into a TNV table, and each observation is exactly
+            // one of hit/insert/evict.
+            assert_eq!(
+                w.events.get(CounterId::TnvHits)
+                    + w.events.get(CounterId::TnvInserts)
+                    + w.events.get(CounterId::TnvEvictions),
+                w.events.get(CounterId::InstrEvents),
+                "{}",
+                w.name
+            );
+            summed.merge(&w.events);
+        }
+        // The recorder aggregates exactly the per-workload counts (plus
+        // the parallel driver's WorkerItems, one per workload here).
+        let mut expected = summed;
+        expected.add(CounterId::WorkerItems, profile.workloads.len() as u64);
+        assert_eq!(rec.snapshot(), expected);
+        assert_eq!(rec.hist(vp_obs::HistId::WorkloadWallNs).count(), 3);
+    }
+
+    #[test]
+    fn baseline_replay_enables_slowdown() {
+        let profile =
+            SuiteRunner::new().measure_baseline(true).run_workloads(&suite()[..1], DataSet::Test);
+        let w = &profile.workloads[0];
+        assert!(w.baseline_wall_ns.is_some());
+        assert!(w.slowdown().unwrap() > 0.0);
+        let without = SuiteRunner::new().run_workloads(&suite()[..1], DataSet::Test);
+        assert_eq!(without.workloads[0].baseline_wall_ns, None);
+        assert_eq!(without.workloads[0].slowdown(), None);
     }
 
     #[test]

@@ -21,7 +21,8 @@ const USAGE: &str = "usage:
   vprof assemble <file.s> -o <file.vpo>
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
-  vprof profile-suite [--train] [--all] [--convergent] [--jobs N]
+  vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--baseline] [--telemetry FILE]
+  vprof stats <telemetry.jsonl>
   vprof histogram <target> [--train] [--all]
   vprof trace <target> -o <file.vpt> [--train] [--all]
   vprof compare <workload>
@@ -41,6 +42,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("disasm") => disasm(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("profile-suite") => profile_suite(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
@@ -249,8 +251,12 @@ fn profile(args: &[String]) -> Result<(), String> {
 
 /// Profiles the whole workload suite, optionally across worker threads.
 /// One workload per worker, so `--jobs N` output matches a serial run.
+/// Run telemetry lands in `--telemetry FILE` (default: `$VP_TELEMETRY`,
+/// else `telemetry.jsonl`); inspect it with `vprof stats <file>`.
 fn profile_suite(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
     use vp_bench::{ProfileMode, SuiteRunner};
+    use vp_obs::MemRecorder;
 
     let ds = dataset(args);
     let jobs: usize = option_value(args, "--jobs")
@@ -258,8 +264,15 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let selection =
         if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
     let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
+    let telemetry_path = option_value(args, "--telemetry")
+        .map_or_else(vp_bench::default_path, std::path::PathBuf::from);
 
-    let mut runner = SuiteRunner::new().jobs(jobs).selection(selection);
+    let recorder = Arc::new(MemRecorder::new());
+    let mut runner = SuiteRunner::new()
+        .jobs(jobs)
+        .selection(selection)
+        .recorder(recorder.clone())
+        .measure_baseline(flag(args, "--baseline"));
     if flag(args, "--convergent") {
         runner = runner
             .tracker(TrackerConfig::default())
@@ -276,6 +289,15 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
             println!("  {:<10} {:6.2}%", w.name, w.profile_fraction * 100.0);
         }
     }
+    if flag(args, "--baseline") {
+        println!("slowdown vs uninstrumented replay:");
+        for w in &profile.workloads {
+            match w.slowdown() {
+                Some(s) => println!("  {:<10} {s:6.2}x", w.name),
+                None => println!("  {:<10}      -", w.name),
+            }
+        }
+    }
     let (pool, agg) = profile.pooled();
     println!(
         "pooled: {} sites, {} executions, inv-top1 {:.1}%, lvp {:.1}%",
@@ -289,6 +311,26 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         profile.workloads.len(),
         profile.total_instructions()
     );
+
+    let mode = format!(
+        "{}-{}",
+        if flag(args, "--convergent") { "convergent" } else { "full" },
+        if flag(args, "--all") { "all" } else { "loads" }
+    );
+    let records =
+        vp_bench::suite_records("profile-suite", ds, jobs, &mode, &profile, Some(&recorder));
+    vp_bench::write_jsonl(&telemetry_path, &records)
+        .map_err(|e| format!("cannot write `{}`: {e}", telemetry_path.display()))?;
+    println!("telemetry: {} ({} records)", telemetry_path.display(), records.len());
+    Ok(())
+}
+
+/// Renders a human-readable summary of a `telemetry.jsonl` file.
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let target = target_arg(args)?;
+    let text =
+        std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    print!("{}", vp_obs::stats::summarize(&text)?);
     Ok(())
 }
 
@@ -499,12 +541,44 @@ mod tests {
 
     #[test]
     fn profile_suite_serial_and_parallel() {
-        assert!(dispatch(&args(&["profile-suite"])).is_ok());
-        assert!(dispatch(&args(&["profile-suite", "--jobs", "4", "--train"])).is_ok());
-        assert!(dispatch(&args(&["profile-suite", "--all", "--convergent", "--jobs", "2"])).is_ok());
+        let dir = std::env::temp_dir().join("vprof-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("suite.jsonl");
+        let tel = tel.to_str().unwrap();
+        assert!(dispatch(&args(&["profile-suite", "--telemetry", tel])).is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--jobs", "4", "--train", "--telemetry", tel]))
+            .is_ok());
+        assert!(dispatch(&args(&[
+            "profile-suite",
+            "--all",
+            "--convergent",
+            "--jobs",
+            "2",
+            "--baseline",
+            "--telemetry",
+            tel
+        ]))
+        .is_ok());
         assert!(dispatch(&args(&["profile-suite", "--jobs", "many"]))
             .unwrap_err()
             .contains("bad --jobs"));
+    }
+
+    #[test]
+    fn stats_summarizes_telemetry() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("stats.jsonl");
+        let tel_s = tel.to_str().unwrap();
+        assert!(dispatch(&args(&["profile-suite", "--telemetry", tel_s])).is_ok());
+        let text = std::fs::read_to_string(&tel).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"kind\":\"run\""));
+        assert!(dispatch(&args(&["stats", tel_s])).is_ok());
+        assert!(dispatch(&args(&["stats", "/nonexistent/telemetry.jsonl"]))
+            .unwrap_err()
+            .contains("cannot read"));
+        std::fs::write(&tel, "not json\n").unwrap();
+        assert!(dispatch(&args(&["stats", tel_s])).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use vp_instrument::Analysis;
+use vp_obs::{ConvEvents, TnvEvents};
 use vp_sim::{InstrEvent, Machine};
 
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
@@ -136,6 +137,7 @@ pub struct ConvergentProfiler {
     tracker_config: TrackerConfig,
     config: ConvergentConfig,
     states: HashMap<u32, ConvState>,
+    events: ConvEvents,
 }
 
 impl ConvergentProfiler {
@@ -147,7 +149,28 @@ impl ConvergentProfiler {
     pub fn new(tracker_config: TrackerConfig, config: ConvergentConfig) -> ConvergentProfiler {
         assert!(config.burst > 0, "burst must be positive");
         assert!(config.backoff >= 1.0, "backoff must be >= 1");
-        ConvergentProfiler { tracker_config, config, states: HashMap::new() }
+        ConvergentProfiler {
+            tracker_config,
+            config,
+            states: HashMap::new(),
+            events: ConvEvents::default(),
+        }
+    }
+
+    /// Self-profiling state-machine events: back-off transitions, resumes
+    /// and the profiled/skipped split (`profiled + skipped` equals the
+    /// total executions seen).
+    pub fn events(&self) -> ConvEvents {
+        self.events
+    }
+
+    /// Summed TNV-table events across all instruction trackers.
+    pub fn tnv_events(&self) -> TnvEvents {
+        let mut out = TnvEvents::default();
+        for state in self.states.values() {
+            out.merge(&state.tracker.tnv_events());
+        }
+        out
     }
 
     /// The sampler configuration.
@@ -254,6 +277,7 @@ impl ConvergentProfiler {
                 }
             }
         }
+        self.events.merge(&other.events);
     }
 }
 
@@ -270,6 +294,7 @@ impl Analysis for ConvergentProfiler {
             Phase::Profiling { ref mut in_burst } => {
                 state.tracker.observe(value);
                 state.profiled += 1;
+                self.events.profiled += 1;
                 *in_burst += 1;
                 if *in_burst >= config.burst {
                     *in_burst = 0;
@@ -289,6 +314,7 @@ impl Analysis for ConvergentProfiler {
                                 state.phase = Phase::Skipping { remaining: state.skip };
                                 let next = (state.skip as f64 * config.backoff) as u64;
                                 state.skip = next.min(config.max_skip);
+                                self.events.backoffs += 1;
                             }
                         }
                     } else {
@@ -298,8 +324,10 @@ impl Analysis for ConvergentProfiler {
             }
             Phase::Skipping { ref mut remaining } => {
                 *remaining -= 1;
+                self.events.skipped += 1;
                 if *remaining == 0 {
                     state.phase = Phase::Profiling { in_burst: 0 };
+                    self.events.resumes += 1;
                 }
             }
         }
@@ -470,6 +498,26 @@ mod tests {
         let m = &a.metrics()[0];
         assert_eq!(m.executions, 14_000);
         assert!((m.inv_top1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_track_state_machine_and_merge() {
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat_n(7, 10_000));
+        let ev = p.events();
+        let stats = &p.stats()[0];
+        assert_eq!(ev.profiled, stats.profiled);
+        assert_eq!(ev.skipped, stats.total - stats.profiled);
+        assert!(ev.backoffs > 0, "constant stream must back off");
+        assert!(ev.resumes > 0 && ev.resumes <= ev.backoffs);
+        assert_eq!(p.tnv_events().observations(), ev.profiled);
+
+        let mut q = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut q, 1, std::iter::repeat_n(9, 1_000));
+        let mut expect = ev;
+        expect.merge(&q.events());
+        p.merge(q);
+        assert_eq!(p.events(), expect);
     }
 
     #[test]

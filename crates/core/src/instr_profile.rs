@@ -130,6 +130,15 @@ impl InstructionProfiler {
     pub fn footprint_bytes(&self) -> usize {
         self.trackers.values().map(ValueTracker::footprint_bytes).sum()
     }
+
+    /// Summed TNV-table events across all instruction trackers.
+    pub fn tnv_events(&self) -> vp_obs::TnvEvents {
+        let mut out = vp_obs::TnvEvents::default();
+        for tracker in self.trackers.values() {
+            out.merge(&tracker.tnv_events());
+        }
+        out
+    }
 }
 
 impl Analysis for InstructionProfiler {

@@ -181,6 +181,15 @@ impl MemoryProfiler {
         ms.truncate(n);
         ms
     }
+
+    /// Summed TNV-table events across all location trackers.
+    pub fn tnv_events(&self) -> vp_obs::TnvEvents {
+        let mut out = vp_obs::TnvEvents::default();
+        for tracker in self.trackers.values() {
+            out.merge(&tracker.tnv_events());
+        }
+        out
+    }
 }
 
 impl MemoryProfiler {

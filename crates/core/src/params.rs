@@ -165,6 +165,15 @@ impl ParamProfiler {
             .collect();
         aggregate(&ms)
     }
+
+    /// Summed TNV-table events across all parameter-slot trackers.
+    pub fn tnv_events(&self) -> vp_obs::TnvEvents {
+        let mut out = vp_obs::TnvEvents::default();
+        for tracker in self.trackers.values() {
+            out.merge(&tracker.tnv_events());
+        }
+        out
+    }
 }
 
 fn encode_id(proc_index: usize, slot: ParamSlot) -> u64 {

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use vp_instrument::Analysis;
+use vp_obs::{SampleEvents, TnvEvents};
 use vp_sim::{InstrEvent, Machine};
 
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
@@ -62,6 +63,7 @@ pub struct SampledProfiler {
     strategy: SampleStrategy,
     states: HashMap<u32, SampleState>,
     rng: u64,
+    events: SampleEvents,
 }
 
 impl SampledProfiler {
@@ -80,7 +82,23 @@ impl SampledProfiler {
             strategy,
             states: HashMap::new(),
             rng: 0x9e37_79b9_7f4a_7c15,
+            events: SampleEvents::default(),
         }
+    }
+
+    /// Self-profiling take/skip decision counts (`taken + skipped` equals
+    /// the total executions seen).
+    pub fn events(&self) -> SampleEvents {
+        self.events
+    }
+
+    /// Summed TNV-table events across all instruction trackers.
+    pub fn tnv_events(&self) -> TnvEvents {
+        let mut out = TnvEvents::default();
+        for state in self.states.values() {
+            out.merge(&state.tracker.tnv_events());
+        }
+        out
     }
 
     /// The sampling strategy in force.
@@ -157,6 +175,7 @@ impl SampledProfiler {
                 }
             }
         }
+        self.events.merge(&other.events);
     }
 
     fn next_random(&mut self) -> u64 {
@@ -199,6 +218,9 @@ impl Analysis for SampledProfiler {
         if hit {
             state.tracker.observe(value);
             state.profiled += 1;
+            self.events.taken += 1;
+        } else {
+            self.events.skipped += 1;
         }
     }
 }
@@ -284,6 +306,23 @@ mod tests {
             p.overall_profile_fraction()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_split_taken_and_skipped() {
+        let mut p =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Periodic { period: 10 });
+        feed(&mut p, 0, std::iter::repeat_n(7, 1000));
+        let ev = p.events();
+        assert_eq!(ev.taken, 100);
+        assert_eq!(ev.skipped, 900);
+        assert_eq!(p.tnv_events().observations(), ev.taken);
+
+        let mut q =
+            SampledProfiler::new(TrackerConfig::default(), SampleStrategy::Periodic { period: 10 });
+        feed(&mut q, 0, std::iter::repeat_n(9, 100));
+        p.merge(q);
+        assert_eq!(p.events(), SampleEvents { taken: 110, skipped: 990 });
     }
 
     #[test]

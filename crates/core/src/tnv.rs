@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use vp_obs::TnvEvents;
+
 /// Replacement policy of a [`TnvTable`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
@@ -78,6 +80,7 @@ pub struct TnvTable {
     observations: u64,
     since_clear: u64,
     clock: u64,
+    events: TnvEvents,
 }
 
 impl TnvTable {
@@ -100,6 +103,7 @@ impl TnvTable {
             observations: 0,
             since_clear: 0,
             clock: 0,
+            events: TnvEvents::default(),
         }
     }
 
@@ -123,12 +127,20 @@ impl TnvTable {
         self.observations
     }
 
+    /// Self-profiling event counts: every observation is exactly one of a
+    /// hit, an insert into a free slot, or an eviction, so
+    /// `events().observations() == observations()` always holds.
+    pub fn events(&self) -> TnvEvents {
+        self.events
+    }
+
     /// Records one occurrence of `value`.
     pub fn observe(&mut self, value: u64) {
         self.observations += 1;
         self.clock += 1;
 
         if let Some(pos) = self.entries.iter().position(|e| e.value == value) {
+            self.events.hits += 1;
             self.entries[pos].count += 1;
             self.entries[pos].last_seen = self.clock;
             // Restore count order by bubbling the entry up.
@@ -138,8 +150,10 @@ impl TnvTable {
                 i -= 1;
             }
         } else if self.entries.len() < self.capacity {
+            self.events.inserts += 1;
             self.entries.push(TnvEntry { value, count: 1, last_seen: self.clock });
         } else {
+            self.events.evictions += 1;
             match self.policy {
                 Policy::LfuClear { .. } | Policy::Lfu => {
                     // Replace the lowest-count entry (always in the bottom
@@ -165,7 +179,10 @@ impl TnvTable {
             self.since_clear += 1;
             if self.since_clear >= clear_interval {
                 self.since_clear = 0;
-                self.entries.truncate(steady.min(self.entries.len()));
+                let keep = steady.min(self.entries.len());
+                self.events.clears += 1;
+                self.events.cleared_entries += (self.entries.len() - keep) as u64;
+                self.entries.truncate(keep);
             }
         }
     }
@@ -213,6 +230,7 @@ impl TnvTable {
         self.entries.truncate(self.capacity);
         self.observations += other.observations;
         self.clock += other.clock;
+        self.events.merge(&other.events);
         if let Policy::LfuClear { clear_interval, .. } = self.policy {
             self.since_clear = (self.since_clear + other.since_clear) % clear_interval;
         }
@@ -461,6 +479,36 @@ mod tests {
         let mut a = TnvTable::new(2, Policy::Lfu);
         let b = TnvTable::new(4, Policy::Lfu);
         a.merge(&b);
+    }
+
+    #[test]
+    fn events_account_for_every_observation() {
+        let mut t = TnvTable::new(2, Policy::LfuClear { steady: 1, clear_interval: 4 });
+        for v in [1, 1, 2, 3, 3, 3, 4, 5] {
+            t.observe(v);
+        }
+        let ev = t.events();
+        assert_eq!(ev.observations(), t.observations());
+        assert!(ev.hits > 0 && ev.inserts > 0 && ev.evictions > 0);
+        assert_eq!(ev.clears, 2); // every 4th observation
+        assert!(ev.cleared_entries >= ev.clears);
+    }
+
+    #[test]
+    fn merge_sums_events() {
+        let mut a = TnvTable::new(2, Policy::Lfu);
+        for v in [1, 1, 2, 3] {
+            a.observe(v);
+        }
+        let mut b = TnvTable::new(2, Policy::Lfu);
+        for v in [4, 4, 5] {
+            b.observe(v);
+        }
+        let mut expect = a.events();
+        expect.merge(&b.events());
+        a.merge(&b);
+        assert_eq!(a.events(), expect);
+        assert_eq!(a.events().observations(), a.observations());
     }
 
     #[test]

@@ -245,6 +245,11 @@ impl ValueTracker {
         &self.tnv
     }
 
+    /// Self-profiling event counts of the underlying TNV table.
+    pub fn tnv_events(&self) -> vp_obs::TnvEvents {
+        self.tnv.events()
+    }
+
     /// The exact histogram, if kept.
     pub fn full(&self) -> Option<&FullProfile> {
         self.full.as_ref()

@@ -54,7 +54,7 @@ pub mod runner;
 pub mod trace;
 pub mod view;
 
-pub use parallel::{effective_jobs, parallel_map};
+pub use parallel::{effective_jobs, parallel_map, parallel_map_observed};
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};
 pub use trace::{Trace, TraceError, TraceEvent};

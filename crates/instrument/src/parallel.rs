@@ -10,6 +10,9 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use vp_obs::recorder::Stopwatch;
+use vp_obs::{CounterId, HistId, NullRecorder, Recorder};
+
 /// Resolves a `--jobs` argument: `0` means "use the machine's available
 /// parallelism" (falling back to 1 when that cannot be determined).
 pub fn effective_jobs(jobs: usize) -> usize {
@@ -36,22 +39,76 @@ where
     O: Send,
     F: Fn(&T) -> O + Sync,
 {
+    parallel_map_observed(jobs, items, f, &NullRecorder)
+}
+
+/// [`parallel_map`] with self-profiling: per-item wall times, per-worker
+/// busy and queue-wait times, and an item counter go to `rec`. With a
+/// disabled recorder (the default [`NullRecorder`]) no clock is ever read
+/// and each site costs one branch, so the uninstrumented path keeps its
+/// performance.
+pub fn parallel_map_observed<T, O, F>(jobs: usize, items: &[T], f: F, rec: &dyn Recorder) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
     let jobs = effective_jobs(jobs).min(items.len());
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        if !rec.enabled() {
+            return items.iter().map(f).collect();
+        }
+        let wall = Stopwatch::start();
+        let mut busy = 0u64;
+        let out = items
+            .iter()
+            .map(|item| {
+                let item_clock = Stopwatch::start();
+                let result = f(item);
+                let item_ns = item_clock.elapsed_ns();
+                busy += item_ns;
+                rec.observe(HistId::ItemNs, item_ns);
+                rec.add(CounterId::WorkerItems, 1);
+                result
+            })
+            .collect();
+        rec.observe(HistId::WorkerBusyNs, busy);
+        rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+        return out;
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let enabled = rec.enabled();
+                let wall = enabled.then(Stopwatch::start);
+                let mut busy = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if enabled {
+                        let item_clock = Stopwatch::start();
+                        let out = f(&items[i]);
+                        let item_ns = item_clock.elapsed_ns();
+                        busy += item_ns;
+                        rec.observe(HistId::ItemNs, item_ns);
+                        rec.add(CounterId::WorkerItems, 1);
+                        *slots[i].lock().unwrap() = Some(out);
+                    } else {
+                        let out = f(&items[i]);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
                 }
-                let out = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(out);
+                if let Some(wall) = wall {
+                    // Everything a worker spends outside `f` is time waiting
+                    // on (or contending for) the shared queue.
+                    rec.observe(HistId::WorkerBusyNs, busy);
+                    rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+                }
             });
         }
     });
@@ -93,6 +150,23 @@ mod tests {
         assert_eq!(effective_jobs(3), 3);
         let items: Vec<u32> = (0..16).collect();
         assert_eq!(parallel_map(0, &items, |&x| x + 1)[15], 16);
+    }
+
+    #[test]
+    fn observed_map_records_items_and_worker_times() {
+        use vp_obs::MemRecorder;
+        for jobs in [1, 4] {
+            let rec = MemRecorder::new();
+            let items: Vec<u64> = (0..30).collect();
+            let out = parallel_map_observed(jobs, &items, |&x| x + 1, &rec);
+            assert_eq!(out.len(), 30);
+            let counts = rec.snapshot();
+            assert_eq!(counts.get(CounterId::WorkerItems), 30, "jobs={jobs}");
+            assert_eq!(rec.hist(HistId::ItemNs).count(), 30, "jobs={jobs}");
+            let workers = if jobs == 1 { 1 } else { 4 };
+            assert_eq!(rec.hist(HistId::WorkerBusyNs).count(), workers, "jobs={jobs}");
+            assert_eq!(rec.hist(HistId::WorkerQueueWaitNs).count(), workers, "jobs={jobs}");
+        }
     }
 
     #[test]

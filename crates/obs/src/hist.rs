@@ -1,0 +1,212 @@
+//! Power-of-two bucketed histogram for timing distributions.
+//!
+//! Queue waits and per-workload wall times span many orders of magnitude;
+//! a log2 histogram captures their shape in a fixed 65-slot array with an
+//! O(1) `record` and an exact merge, which is what lets per-worker shard
+//! histograms be combined without losing samples.
+
+/// Histogram over `u64` samples with one bucket per power of two.
+///
+/// Bucket 0 holds the value 0; bucket `b >= 1` holds values in
+/// `[2^(b-1), 2^b - 1]`, so bucket 64 holds `[2^63, u64::MAX]`. Besides
+/// the buckets it tracks count, saturating sum, min and max, which is
+/// enough for mean and bucket-edge-bounded quantile estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; Log2Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Number of buckets: one for zero plus one per bit of `u64`.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: [0; Log2Histogram::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            1 + value.ilog2() as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range covered by a bucket.
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        assert!(bucket < Log2Histogram::BUCKETS, "bucket out of range");
+        if bucket == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (bucket - 1);
+            let hi = if bucket == 64 { u64::MAX } else { (1u64 << bucket) - 1 };
+            (lo, hi)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Sums another histogram into this one. Merging per-shard histograms
+    /// yields exactly the histogram of the combined sample stream.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Per-bucket occupancy.
+    pub fn buckets(&self) -> &[u64; Log2Histogram::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Bounds `(lo, hi)` on the `q`-quantile (0 < q <= 1): the true
+    /// quantile of the recorded samples lies within the returned bucket's
+    /// value range, tightened by the observed min and max.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the quantile sample, 1-based, nearest-rank definition.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for bucket in 0..Log2Histogram::BUCKETS {
+            seen += self.buckets[bucket];
+            if seen >= target {
+                let (lo, hi) = Log2Histogram::bucket_range(bucket);
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        unreachable!("count > 0 implies some bucket reaches the target rank")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..Log2Histogram::BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b);
+            assert_eq!(Log2Histogram::bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn record_tracks_summary_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(251.5));
+    }
+
+    #[test]
+    fn merge_equals_single() {
+        let samples = [0u64, 3, 3, 7, 100, 5000, u64::MAX];
+        let mut whole = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s)
+            } else {
+                b.record(s)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_true_quantile() {
+        let mut h = Log2Histogram::new();
+        let mut samples: Vec<u64> = (1..=100).map(|i| i * 3).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert!(lo <= truth && truth <= hi, "q={q}: {truth} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile_bounds(0.5), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Human-readable summary of a telemetry file: `vprof stats <file>`.
+//!
+//! Renders run headers, a per-workload table and phase timings from the
+//! records defined in [`telemetry`](crate::telemetry). Unknown record
+//! kinds are counted but otherwise ignored, so the command keeps working
+//! when newer producers add record types.
+
+use crate::counter::Counts;
+use crate::json::Json;
+use crate::telemetry::parse_jsonl;
+
+/// Summarizes a `telemetry.jsonl` document into a table for humans.
+pub fn summarize(jsonl: &str) -> Result<String, String> {
+    let records = parse_jsonl(jsonl)?;
+    if records.is_empty() {
+        return Err("no telemetry records".to_string());
+    }
+
+    let mut out = String::new();
+    let mut workloads: Vec<&Json> = Vec::new();
+    let mut phases: Vec<&Json> = Vec::new();
+    let mut unknown = 0usize;
+
+    for rec in &records {
+        match rec.get("kind").and_then(Json::as_str) {
+            Some("run") => {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&run_header(rec));
+            }
+            Some("workload") => workloads.push(rec),
+            Some("phase") => phases.push(rec),
+            _ => unknown += 1,
+        }
+    }
+
+    if !workloads.is_empty() {
+        out.push('\n');
+        out.push_str(&workload_table(&workloads));
+    }
+    if !phases.is_empty() {
+        out.push('\n');
+        out.push_str("phases:\n");
+        for rec in &phases {
+            let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+            out.push_str(&format!("  {:<24} {:>10}\n", name, ms(rec.get("phase_ns"))));
+        }
+    }
+    if unknown > 0 {
+        out.push_str(&format!("\n({unknown} record(s) of unknown kind ignored)\n"));
+    }
+    Ok(out)
+}
+
+fn run_header(rec: &Json) -> String {
+    let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+    let mut line = format!("run: {name}");
+    for key in ["tool", "mode", "jobs", "workloads", "reps"] {
+        if let Some(value) = rec.get(key) {
+            let shown = match value {
+                Json::Str(s) => s.clone(),
+                other => other.render(),
+            };
+            line.push_str(&format!("  {key}={shown}"));
+        }
+    }
+    line.push('\n');
+    if let Some(events) = rec.get("events") {
+        let counts = Counts::from_json(events);
+        line.push_str(&format!("  total events: {}\n", group_digits(counts.total())));
+        for (id, value) in counts.iter_nonzero() {
+            line.push_str(&format!("    {:<20} {:>16}\n", id.name(), group_digits(value)));
+        }
+    }
+    line
+}
+
+fn workload_table(workloads: &[&Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12} {:>12} {:>9} {:>10} {:>10}\n",
+        "workload", "mode", "instrs", "events", "prof%", "wall ms", "Mev/s"
+    ));
+    for rec in workloads {
+        let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+        let mode = rec.get("mode").and_then(Json::as_str).unwrap_or("-");
+        let instrs = rec.get("instructions").and_then(Json::as_u64).unwrap_or(0);
+        let events = rec.get("events").map(|e| Counts::from_json(e).total()).unwrap_or(0);
+        let frac = rec
+            .get("profile_fraction")
+            .and_then(Json::as_f64)
+            .map(|f| format!("{:.1}", f * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        let wall_ns = rec.get("wall_ns").and_then(Json::as_u64);
+        let rate = match wall_ns {
+            Some(ns) if ns > 0 && events > 0 => {
+                format!("{:.1}", events as f64 / ns as f64 * 1e3)
+            }
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>12} {:>9} {:>10} {:>10}\n",
+            name,
+            mode,
+            group_digits(instrs),
+            group_digits(events),
+            frac,
+            ms(rec.get("wall_ns")),
+            rate
+        ));
+    }
+    out
+}
+
+/// Formats a nanosecond field as milliseconds, or `-` when absent or
+/// masked.
+fn ms(value: Option<&Json>) -> String {
+    match value.and_then(Json::as_u64) {
+        Some(ns) => format!("{:.2}", ns as f64 / 1e6),
+        None => "-".to_string(),
+    }
+}
+
+/// `1234567` → `1,234,567`.
+fn group_digits(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterId;
+    use crate::telemetry::{record, to_jsonl};
+
+    fn sample_jsonl() -> String {
+        let mut counts = Counts::new();
+        counts.add(CounterId::InstrEvents, 1_000_000);
+        counts.add(CounterId::TnvHits, 900_000);
+        let records = vec![
+            record(
+                "run",
+                "profile-suite",
+                vec![
+                    ("jobs", Json::U64(4)),
+                    ("mode", Json::Str("full".to_string())),
+                    ("events", counts.to_json()),
+                ],
+            ),
+            record(
+                "workload",
+                "loop_inv",
+                vec![
+                    ("mode", Json::Str("full".to_string())),
+                    ("instructions", Json::U64(500_000)),
+                    ("profile_fraction", Json::F64(1.0)),
+                    ("wall_ns", Json::U64(2_000_000)),
+                    ("events", counts.to_json()),
+                ],
+            ),
+            record("phase", "replay", vec![("phase_ns", Json::U64(3_500_000))]),
+        ];
+        to_jsonl(&records)
+    }
+
+    #[test]
+    fn summary_includes_run_workloads_and_phases() {
+        let text = summarize(&sample_jsonl()).unwrap();
+        assert!(text.contains("run: profile-suite"), "{text}");
+        assert!(text.contains("jobs=4"), "{text}");
+        assert!(text.contains("instr_events"), "{text}");
+        assert!(text.contains("loop_inv"), "{text}");
+        assert!(text.contains("replay"), "{text}");
+        assert!(text.contains("3.50"), "{text}");
+    }
+
+    #[test]
+    fn masked_wall_times_render_as_dash() {
+        let masked: String = crate::telemetry::parse_jsonl(&sample_jsonl())
+            .unwrap()
+            .iter()
+            .map(|r| crate::telemetry::mask_volatile(r).render() + "\n")
+            .collect();
+        let text = summarize(&masked).unwrap();
+        assert!(text.contains(" -"), "{text}");
+    }
+
+    #[test]
+    fn unknown_kinds_are_tolerated() {
+        let mut jsonl = sample_jsonl();
+        jsonl.push_str("{\"schema\":1,\"kind\":\"mystery\",\"name\":\"x\"}\n");
+        let text = summarize(&jsonl).unwrap();
+        assert!(text.contains("1 record(s) of unknown kind ignored"), "{text}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(summarize("").is_err());
+        assert!(summarize("not json\n").is_err());
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+}

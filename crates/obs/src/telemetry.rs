@@ -1,0 +1,153 @@
+//! The schema-versioned `telemetry.jsonl` record format.
+//!
+//! One JSON object per line, one line per run / phase / workload. Every
+//! record carries `schema`, `kind` and `name` first so consumers can
+//! filter without knowing a kind's payload. Timings are inherently
+//! volatile, so [`mask_volatile`] replaces them with a placeholder to
+//! make records golden-testable while keeping the deterministic fields
+//! (event counts, instruction totals, fractions) byte-exact.
+
+use crate::json::Json;
+
+/// Version of the telemetry record layout. Bump when a field is renamed,
+/// removed, or changes meaning; adding fields is backward compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Field names whose values vary run-to-run (timings and rates derived
+/// from them). [`mask_volatile`] replaces these everywhere in a record.
+pub const VOLATILE_KEYS: [&str; 10] = [
+    "wall_ns",
+    "baseline_wall_ns",
+    "median_wall_ns",
+    "warmup_wall_ns",
+    "busy_ns",
+    "wait_ns",
+    "phase_ns",
+    "events_per_sec",
+    "slowdown",
+    "nanos_per_event",
+];
+
+/// Builds a telemetry record: `schema`, `kind` and `name` first, then the
+/// caller's payload fields in the order given.
+pub fn record(kind: &str, name: &str, fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![
+        ("schema", Json::U64(SCHEMA_VERSION)),
+        ("kind", Json::Str(kind.to_string())),
+        ("name", Json::Str(name.to_string())),
+    ];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+/// Renders records as JSONL (one compact object per line, trailing
+/// newline).
+pub fn to_jsonl(records: &[Json]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document, skipping blank lines. Fails on the first
+/// malformed line, or on a record whose `schema` is newer than this
+/// library understands.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(version) = rec.get("schema").and_then(Json::as_u64) {
+            if version > SCHEMA_VERSION {
+                return Err(format!(
+                    "line {}: schema {version} is newer than supported {SCHEMA_VERSION}",
+                    i + 1
+                ));
+            }
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Deep-copies a record with every [`VOLATILE_KEYS`] field's value
+/// replaced by the string `"<volatile>"`, leaving deterministic fields
+/// untouched.
+pub fn mask_volatile(json: &Json) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(key, value)| {
+                    let masked = if VOLATILE_KEYS.contains(&key.as_str()) {
+                        Json::Str("<volatile>".to_string())
+                    } else {
+                        mask_volatile(value)
+                    };
+                    (key.clone(), masked)
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(mask_volatile).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_leads_with_schema_kind_name() {
+        let rec = record("workload", "loop_inv", vec![("instructions", Json::U64(9))]);
+        assert_eq!(
+            rec.render(),
+            r#"{"schema":1,"kind":"workload","name":"loop_inv","instructions":9}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let records = vec![
+            record("run", "suite", vec![("jobs", Json::U64(4))]),
+            record("workload", "w0", vec![("wall_ns", Json::U64(123))]),
+        ];
+        let text = to_jsonl(&records);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let text = format!("{{\"schema\":{}}}\n", SCHEMA_VERSION + 1);
+        assert!(parse_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn masking_replaces_volatile_fields_at_any_depth() {
+        let rec = record(
+            "workload",
+            "w0",
+            vec![
+                ("wall_ns", Json::U64(5)),
+                ("instructions", Json::U64(10)),
+                ("workers", Json::Arr(vec![Json::obj(vec![("busy_ns", Json::U64(3))])])),
+            ],
+        );
+        let masked = mask_volatile(&rec);
+        assert_eq!(masked.get("wall_ns").unwrap().as_str(), Some("<volatile>"));
+        assert_eq!(masked.get("instructions").unwrap().as_u64(), Some(10));
+        let workers = match masked.get("workers").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(workers[0].get("busy_ns").unwrap().as_str(), Some("<volatile>"));
+        // Masking is idempotent.
+        assert_eq!(mask_volatile(&masked), masked);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the log2 histogram: no sample is ever lost, merging
+//! shard histograms equals histogramming the whole stream, and quantile
+//! estimates are bounded by the edges of the bucket they land in.
+
+use proptest::prelude::*;
+use vp_obs::Log2Histogram;
+
+/// Sample streams mixing small values (dense low buckets) with arbitrary
+/// magnitudes (exercising high buckets and the u64::MAX edge).
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![3 => 0u64..64, 2 => 0u64..1_000_000, 1 => any::<u64>()],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Every recorded sample lands in exactly one bucket: bucket totals,
+    /// the count, min, max and the saturating sum all account for the
+    /// full stream.
+    #[test]
+    fn no_sample_is_lost(samples in arb_samples()) {
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let bucket_total: u64 = h.buckets().iter().sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.min(), samples.iter().copied().min());
+        prop_assert_eq!(h.max(), samples.iter().copied().max());
+        let expect_sum =
+            samples.iter().fold(0u64, |acc, &s| acc.saturating_add(s));
+        prop_assert_eq!(h.sum(), expect_sum);
+    }
+
+    /// Each sample's bucket covers the sample's value.
+    #[test]
+    fn bucket_contains_its_sample(value in any::<u64>()) {
+        let bucket = Log2Histogram::bucket_of(value);
+        let (lo, hi) = Log2Histogram::bucket_range(bucket);
+        prop_assert!(lo <= value && value <= hi);
+    }
+
+    /// Merging per-shard histograms equals the histogram of the combined
+    /// stream, wherever the stream is cut and however many shards.
+    #[test]
+    fn shard_merge_equals_single(samples in arb_samples(), cuts in prop::collection::vec(any::<u16>(), 0..4)) {
+        let mut whole = Log2Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| usize::from(c) % (samples.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+
+        let mut merged = Log2Histogram::new();
+        for pair in bounds.windows(2) {
+            let mut shard = Log2Histogram::new();
+            for &s in &samples[pair[0]..pair[1]] {
+                shard.record(s);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// The quantile bounds bracket the true (nearest-rank) sample
+    /// quantile, and the bracket is itself within the bucket the quantile
+    /// falls into.
+    #[test]
+    fn quantile_bounds_bracket_truth(samples in arb_samples(), qs in prop::collection::vec(0u8..=100, 1..5)) {
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &pct in &qs {
+            let q = f64::from(pct) / 100.0;
+            if q == 0.0 {
+                continue;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty histogram");
+            prop_assert!(lo <= truth && truth <= hi,
+                "q={q}: true quantile {truth} outside [{lo}, {hi}]");
+            let bucket = Log2Histogram::bucket_of(truth);
+            let (b_lo, b_hi) = Log2Histogram::bucket_range(bucket);
+            prop_assert!(b_lo <= lo && hi <= b_hi,
+                "bounds [{lo}, {hi}] exceed bucket [{b_lo}, {b_hi}]");
+        }
+    }
+}

@@ -3,6 +3,7 @@ pub use vp_asm as asm;
 pub use vp_core as core;
 pub use vp_instrument as instrument;
 pub use vp_isa as isa;
+pub use vp_obs as obs;
 pub use vp_predict as predict;
 pub use vp_sim as sim;
 pub use vp_specialize as specialize;

@@ -1,0 +1,98 @@
+//! Golden-file regression tests for the experiment reports and their
+//! telemetry records.
+//!
+//! Each test renders an experiment over a fixed slice of the workload
+//! suite and compares the report text plus the *masked* telemetry (wall
+//! times and other volatile fields replaced by `"<volatile>"`, see
+//! [`vp_obs::telemetry::VOLATILE_KEYS`]) against a checked-in golden file
+//! under `tests/golden/`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! VP_UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use value_profiling::obs::telemetry::{mask_volatile, parse_jsonl, to_jsonl};
+use value_profiling::obs::Json;
+use value_profiling::workloads::suite;
+use vp_bench::experiments;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// Compares `actual` against `tests/golden/<name>`, or rewrites the file
+/// when `VP_UPDATE_GOLDEN` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("VP_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {}: {e}\n(regenerate with VP_UPDATE_GOLDEN=1 cargo test --test golden)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden file; if the change is intentional, regenerate with \
+         VP_UPDATE_GOLDEN=1 cargo test --test golden"
+    );
+}
+
+fn masked_jsonl(records: &[Json]) -> String {
+    let masked: Vec<Json> = records.iter().map(mask_volatile).collect();
+    to_jsonl(&masked)
+}
+
+#[test]
+fn exp_benchmarks_matches_golden() {
+    let ws = suite();
+    let report = experiments::benchmarks(&ws[..3], 1);
+    check("exp_benchmarks.txt", &report.text);
+    check("exp_benchmarks.jsonl", &masked_jsonl(&report.records));
+}
+
+#[test]
+fn exp_convergent_matches_golden() {
+    let ws = suite();
+    let report = experiments::convergent(&ws[..3]);
+    check("exp_convergent.txt", &report.text);
+    check("exp_convergent.jsonl", &masked_jsonl(&report.records));
+}
+
+#[test]
+fn exp_tnv_policy_matches_golden() {
+    let ws = suite();
+    let report = experiments::tnv_policy(&ws[..3]);
+    check("exp_tnv_policy.txt", &report.text);
+    check("exp_tnv_policy.jsonl", &masked_jsonl(&report.records));
+}
+
+#[test]
+fn golden_telemetry_parses_and_is_masked() {
+    // The checked-in .jsonl goldens must stay valid, schema-tagged JSONL
+    // with every volatile field masked (masking is idempotent).
+    for name in ["exp_benchmarks.jsonl", "exp_convergent.jsonl", "exp_tnv_policy.jsonl"] {
+        let path = golden_dir().join(name);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {}: {e} (run VP_UPDATE_GOLDEN=1 cargo test --test golden)",
+                path.display()
+            )
+        });
+        let records = parse_jsonl(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!records.is_empty(), "{name} is empty");
+        for r in &records {
+            assert!(r.get("schema").is_some(), "{name}: record without schema tag");
+            assert_eq!(&mask_volatile(r), r, "{name}: volatile field left unmasked");
+        }
+    }
+}

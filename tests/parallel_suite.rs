@@ -54,3 +54,37 @@ fn zero_jobs_uses_available_parallelism_and_still_matches() {
     let auto = SuiteRunner::new().jobs(0).run(DataSet::Test);
     assert_identical(&serial, &auto);
 }
+
+#[test]
+fn telemetry_event_counts_identical_across_jobs() {
+    use std::sync::Arc;
+    use value_profiling::obs::telemetry::mask_volatile;
+    use value_profiling::obs::{Json, MemRecorder};
+
+    let run = |jobs| {
+        let rec = Arc::new(MemRecorder::new());
+        let profile = SuiteRunner::new().jobs(jobs).recorder(rec.clone()).run(DataSet::Test);
+        (profile, rec)
+    };
+    let (serial, rec1) = run(1);
+    let (parallel, rec4) = run(4);
+
+    // The per-workload event counters are plain u64s flushed at workload
+    // boundaries, so they are byte-identical however the suite is fanned
+    // out.
+    for (s, p) in serial.workloads.iter().zip(&parallel.workloads) {
+        assert_eq!(s.events.to_json().render(), p.events.to_json().render(), "{}", s.name);
+    }
+    // So are the recorder's counter totals (histograms hold wall times and
+    // are excluded by construction).
+    assert_eq!(rec1.snapshot().to_json().render(), rec4.snapshot().to_json().render());
+
+    // And the full telemetry record sets agree byte-for-byte once volatile
+    // wall-time fields are masked. The declared jobs value is part of the
+    // record, so both sides label themselves identically here.
+    let masked = |profile| {
+        let records = vp_bench::suite_records("t", DataSet::Test, 0, "full-loads", profile, None);
+        records.iter().map(|r: &Json| mask_volatile(r).render()).collect::<Vec<String>>()
+    };
+    assert_eq!(masked(&serial), masked(&parallel));
+}
