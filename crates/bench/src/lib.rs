@@ -8,6 +8,7 @@
 //! Run an experiment with e.g. `cargo run --release -p vp-bench --bin
 //! exp_loads`, or everything with `--bin exp_all`.
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod suite;
 pub mod telemetry;
@@ -16,9 +17,13 @@ use vp_core::{track::TrackerConfig, InstructionProfiler};
 use vp_instrument::{Instrumenter, Selection};
 use vp_workloads::{DataSet, Workload};
 
+pub use checkpoint::{Checkpoint, ResumeSummary};
 pub use experiments::ExpReport;
-pub use suite::{ProfileMode, SuiteProfile, SuiteRunner, WorkloadProfile};
-pub use telemetry::{append_jsonl, default_path, suite_records, write_jsonl};
+pub use suite::{
+    ProfileMode, RetryPolicy, SuiteOutcome, SuiteProfile, SuiteRunner, WorkloadFailure,
+    WorkloadProfile,
+};
+pub use telemetry::{append_jsonl, default_path, fault_records, suite_records, write_jsonl};
 
 /// Instruction budget for experiment runs (far above any workload's need).
 pub const BUDGET: u64 = 100_000_000;

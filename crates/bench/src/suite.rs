@@ -12,15 +12,16 @@ use std::sync::Arc;
 
 use vp_core::{
     aggregate, merge_entity_metrics, render_metric_table, report::row, track::TrackerConfig,
-    Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics, InstructionProfiler, ReportRow,
-    SampleStrategy, SampledProfiler,
+    Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics, FaultPlan, InstructionProfiler,
+    ReportRow, SampleStrategy, SampledProfiler,
 };
-use vp_instrument::{parallel_map_observed, Instrumenter, Selection};
+use vp_instrument::{parallel_map_observed, try_parallel_map_observed, Instrumenter, Selection};
 use vp_obs::recorder::Stopwatch;
 use vp_obs::{CounterId, Counts, HistId, NullRecorder, Recorder};
 use vp_sim::Machine;
 use vp_workloads::{suite, DataSet, Workload};
 
+use crate::checkpoint::Checkpoint;
 use crate::BUDGET;
 
 /// Which profiler the runner attaches to each workload.
@@ -119,6 +120,89 @@ impl SuiteProfile {
     }
 }
 
+/// How [`SuiteRunner::try_run`] retries workloads that panicked.
+///
+/// Backoff is deterministic (no jitter, no clock reads): retry round `k`
+/// sleeps `min(base · 2^(k-1), cap)` milliseconds. The defaults keep total
+/// added latency under a second even with every workload failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry *rounds* after the first attempt, so a workload is tried at
+    /// most `max_retries + 1` times.
+    pub max_retries: u64,
+    /// Backoff before the first retry round, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff, milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 2, backoff_base_ms: 25, backoff_cap_ms: 250 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, straight to quarantine on failure.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, backoff_base_ms: 0, backoff_cap_ms: 0 }
+    }
+
+    /// Backoff before retry round `round` (1-based), milliseconds.
+    pub fn backoff_ms(&self, round: u64) -> u64 {
+        let factor = 2u64.saturating_pow(round.saturating_sub(1).min(u32::MAX as u64) as u32);
+        self.backoff_base_ms.saturating_mul(factor).min(self.backoff_cap_ms)
+    }
+}
+
+/// One workload that exhausted its retry budget and was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadFailure {
+    /// Workload name.
+    pub name: &'static str,
+    /// Attempts made (first run plus retries).
+    pub attempts: u64,
+    /// The final attempt's panic message.
+    pub error: String,
+}
+
+/// Result of a fault-tolerant suite run: the profiles that succeeded, the
+/// workloads that did not, and the fault counters describing what
+/// happened along the way.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Profiles of the workloads that completed, in canonical order.
+    /// Quarantined workloads are absent.
+    pub profile: SuiteProfile,
+    /// Workloads quarantined after exhausting the retry budget.
+    pub failures: Vec<WorkloadFailure>,
+    /// Fault counters of this run: `WorkloadPanic` per caught panic,
+    /// `WorkloadRetry` per workload-retry, `WorkloadQuarantined` per
+    /// giving-up. All zero on a clean run.
+    pub faults: Counts,
+}
+
+impl SuiteOutcome {
+    /// Whether every workload completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the failure table (empty string when the run was clean),
+    /// in the same shape `vprof stats` uses.
+    pub fn render_failures(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>8}  error\n", "failed", "attempts"));
+        for f in &self.failures {
+            out.push_str(&format!("{:<16} {:>8}  {}\n", f.name, f.attempts, f.error));
+        }
+        out
+    }
+}
+
 /// Profiles the workload suite, optionally in parallel.
 ///
 /// ```
@@ -137,6 +221,9 @@ pub struct SuiteRunner {
     mode: ProfileMode,
     recorder: Arc<dyn Recorder>,
     measure_baseline: bool,
+    retry: RetryPolicy,
+    faults: Arc<FaultPlan>,
+    checkpoint: Option<Arc<Checkpoint>>,
 }
 
 impl fmt::Debug for SuiteRunner {
@@ -149,6 +236,9 @@ impl fmt::Debug for SuiteRunner {
             .field("mode", &self.mode)
             .field("recorder_enabled", &self.recorder.enabled())
             .field("measure_baseline", &self.measure_baseline)
+            .field("retry", &self.retry)
+            .field("faults", &!self.faults.is_empty())
+            .field("checkpoint", &self.checkpoint.as_ref().map(|c| c.path().to_path_buf()))
             .finish()
     }
 }
@@ -170,6 +260,9 @@ impl SuiteRunner {
             mode: ProfileMode::Full,
             recorder: Arc::new(NullRecorder),
             measure_baseline: false,
+            retry: RetryPolicy::default(),
+            faults: Arc::new(FaultPlan::empty()),
+            checkpoint: None,
         }
     }
 
@@ -221,6 +314,32 @@ impl SuiteRunner {
         self
     }
 
+    /// Sets the retry budget and backoff used by
+    /// [`try_run`](SuiteRunner::try_run).
+    pub fn retry(mut self, policy: RetryPolicy) -> SuiteRunner {
+        self.retry = policy;
+        self
+    }
+
+    /// Arms a fault plan: [`try_run`](SuiteRunner::try_run) fires the
+    /// point `workload/<name>` before profiling each workload, and the
+    /// checkpoint append path fires its durable-layer points. The default
+    /// empty plan never fires.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> SuiteRunner {
+        self.faults = plan;
+        self
+    }
+
+    /// Attaches a [`Checkpoint`]: each workload completed by
+    /// [`try_run`](SuiteRunner::try_run) is durably appended the moment it
+    /// finishes, and workloads the checkpoint already holds are restored
+    /// instead of re-profiled (their events still flow to the recorder, so
+    /// a resumed run's telemetry matches an uninterrupted one).
+    pub fn checkpoint(mut self, checkpoint: Arc<Checkpoint>) -> SuiteRunner {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
     /// Profiles the whole built-in suite on `ds`.
     ///
     /// # Panics
@@ -245,6 +364,92 @@ impl SuiteRunner {
             &*self.recorder,
         );
         SuiteProfile { workloads }
+    }
+
+    /// Fault-tolerant [`run`](SuiteRunner::run): a workload that panics is
+    /// caught, retried per the [`RetryPolicy`], and quarantined when the
+    /// budget is exhausted — the rest of the suite still completes and the
+    /// outcome reports exactly what happened.
+    pub fn try_run(&self, ds: DataSet) -> SuiteOutcome {
+        self.try_run_workloads(&suite(), ds)
+    }
+
+    /// [`try_run`](SuiteRunner::try_run) over an explicit workload list.
+    pub fn try_run_workloads(&self, workloads: &[Workload], ds: DataSet) -> SuiteOutcome {
+        let checkpoint = self.checkpoint.as_deref();
+        let run_one = |w: &Workload| -> WorkloadProfile {
+            if let Some(restored) = checkpoint.and_then(|c| c.restored(w.name())) {
+                // Flush the restored run's deterministic events exactly as
+                // profile_one would have, so resumed telemetry totals match
+                // an uninterrupted run's.
+                if self.recorder.enabled() {
+                    self.recorder.add_counts(&restored.events);
+                    self.recorder.observe(HistId::WorkloadWallNs, restored.wall_ns);
+                }
+                return restored;
+            }
+            if let Err(e) = self.faults.fire(&format!("workload/{}", w.name())) {
+                panic!("{e}");
+            }
+            let profile = self.profile_one(w, ds);
+            if let Some(c) = checkpoint {
+                c.record(&self.faults, &profile)
+                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", c.path().display()));
+            }
+            profile
+        };
+
+        let mut results: Vec<Option<WorkloadProfile>> =
+            (0..workloads.len()).map(|_| None).collect();
+        let mut attempts = vec![0u64; workloads.len()];
+        let mut last_error: Vec<Option<String>> = vec![None; workloads.len()];
+        let mut faults = Counts::new();
+        let mut pending: Vec<usize> = (0..workloads.len()).collect();
+        let mut round = 0u64;
+        loop {
+            let subset: Vec<&Workload> = pending.iter().map(|&i| &workloads[i]).collect();
+            let outs =
+                try_parallel_map_observed(self.jobs, &subset, |w| run_one(w), &*self.recorder);
+            let mut still = Vec::new();
+            for (slot, &i) in outs.into_iter().zip(&pending) {
+                attempts[i] += 1;
+                match slot {
+                    Ok(profile) => results[i] = Some(profile),
+                    Err(failure) => {
+                        faults.add(CounterId::WorkloadPanic, 1);
+                        last_error[i] = Some(failure.message);
+                        still.push(i);
+                    }
+                }
+            }
+            pending = still;
+            if pending.is_empty() || round >= self.retry.max_retries {
+                break;
+            }
+            round += 1;
+            faults.add(CounterId::WorkloadRetry, pending.len() as u64);
+            let backoff = self.retry.backoff_ms(round);
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+        }
+        faults.add(CounterId::WorkloadQuarantined, pending.len() as u64);
+        if self.recorder.enabled() && faults.total() > 0 {
+            self.recorder.add_counts(&faults);
+        }
+        let failures = pending
+            .iter()
+            .map(|&i| WorkloadFailure {
+                name: workloads[i].name(),
+                attempts: attempts[i],
+                error: last_error[i].take().unwrap_or_default(),
+            })
+            .collect();
+        SuiteOutcome {
+            profile: SuiteProfile { workloads: results.into_iter().flatten().collect() },
+            failures,
+            faults,
+        }
     }
 
     fn profile_one(&self, w: &Workload, ds: DataSet) -> WorkloadProfile {
@@ -398,6 +603,80 @@ mod tests {
         let without = SuiteRunner::new().run_workloads(&suite()[..1], DataSet::Test);
         assert_eq!(without.workloads[0].baseline_wall_ns, None);
         assert_eq!(without.workloads[0].slowdown(), None);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_a_clean_suite() {
+        let workloads = &suite()[..3];
+        let plain = SuiteRunner::new().run_workloads(workloads, DataSet::Test);
+        let outcome = SuiteRunner::new().try_run_workloads(workloads, DataSet::Test);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.faults.total(), 0);
+        assert_eq!(outcome.render_failures(), "");
+        assert_eq!(outcome.profile.workloads.len(), plain.workloads.len());
+        for (a, b) in outcome.profile.workloads.iter().zip(&plain.workloads) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries_and_quarantines() {
+        let plan = Arc::new(FaultPlan::parse("panic:workload/gcc").unwrap());
+        let policy = RetryPolicy { max_retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let outcome = SuiteRunner::new()
+            .faults(plan)
+            .retry(policy)
+            .try_run_workloads(&suite()[..3], DataSet::Test);
+        assert_eq!(outcome.profile.workloads.len(), 2, "other workloads completed");
+        assert!(outcome.profile.workloads.iter().all(|w| w.name != "gcc"));
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].name, "gcc");
+        assert_eq!(outcome.failures[0].attempts, 3, "first try + two retries");
+        assert!(outcome.failures[0].error.contains("fault injected: workload/gcc"));
+        assert_eq!(outcome.faults.get(CounterId::WorkloadPanic), 3);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadRetry), 2);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadQuarantined), 1);
+        let table = outcome.render_failures();
+        assert!(table.contains("failed") && table.contains("gcc"), "{table}");
+    }
+
+    #[test]
+    fn transient_panic_is_absorbed_by_a_retry() {
+        use vp_obs::MemRecorder;
+        let rec = Arc::new(MemRecorder::new());
+        let plan = Arc::new(FaultPlan::parse("panic:workload/li@1x1").unwrap());
+        let policy = RetryPolicy { max_retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let clean = SuiteRunner::new().run_workloads(&suite()[..3], DataSet::Test);
+        let outcome = SuiteRunner::new()
+            .faults(plan)
+            .retry(policy)
+            .recorder(rec.clone())
+            .try_run_workloads(&suite()[..3], DataSet::Test);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.profile.workloads.len(), 3);
+        for (a, b) in outcome.profile.workloads.iter().zip(&clean.workloads) {
+            assert_eq!(a.name, b.name, "canonical order restored after retry");
+            assert_eq!(a.metrics, b.metrics);
+        }
+        assert_eq!(outcome.faults.get(CounterId::WorkloadPanic), 1);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadRetry), 1);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadQuarantined), 0);
+        // The fault counters also reached the recorder.
+        let counts = rec.snapshot();
+        assert_eq!(counts.get(CounterId::WorkloadPanic), 1);
+        assert_eq!(counts.get(CounterId::WorkloadRetry), 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let policy = RetryPolicy { max_retries: 10, backoff_base_ms: 25, backoff_cap_ms: 250 };
+        assert_eq!(policy.backoff_ms(1), 25);
+        assert_eq!(policy.backoff_ms(2), 50);
+        assert_eq!(policy.backoff_ms(4), 200);
+        assert_eq!(policy.backoff_ms(5), 250, "capped");
+        assert_eq!(policy.backoff_ms(60), 250, "no overflow at large rounds");
+        assert_eq!(RetryPolicy::none().max_retries, 0);
     }
 
     #[test]

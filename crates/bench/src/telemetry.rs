@@ -11,7 +11,7 @@ use vp_obs::telemetry::{record, to_jsonl};
 use vp_obs::{Counts, HistId, Json, MemRecorder};
 use vp_workloads::DataSet;
 
-use crate::suite::SuiteProfile;
+use crate::suite::{SuiteOutcome, SuiteProfile};
 
 /// Environment variable overriding the default telemetry path.
 pub const TELEMETRY_ENV: &str = "VP_TELEMETRY";
@@ -94,17 +94,38 @@ pub fn suite_records(
     records
 }
 
-/// Writes records to `path`, replacing any existing file.
+/// Builds the fault records of a [`SuiteOutcome`]: one `faults` record
+/// carrying the panic/retry/quarantine counters (only when any is
+/// nonzero) and one `failure` record per quarantined workload. A clean
+/// run contributes nothing, so existing telemetry stays byte-identical.
+pub fn fault_records(tool: &str, outcome: &SuiteOutcome) -> Vec<Json> {
+    let mut records = Vec::new();
+    if outcome.faults.total() > 0 {
+        records.push(record("faults", tool, vec![("events", outcome.faults.to_json())]));
+    }
+    for f in &outcome.failures {
+        records.push(record(
+            "failure",
+            f.name,
+            vec![("attempts", Json::U64(f.attempts)), ("error", Json::Str(f.error.clone()))],
+        ));
+    }
+    records
+}
+
+/// Writes records to `path`, replacing any existing file. The write is
+/// atomic ([`vp_core::durable::write_atomic`]): a crash mid-write leaves
+/// the previous telemetry intact, never a torn file.
 pub fn write_jsonl(path: &Path, records: &[Json]) -> std::io::Result<()> {
-    std::fs::write(path, to_jsonl(records))
+    vp_core::durable::write_atomic(path, to_jsonl(records).as_bytes())
 }
 
 /// Appends records to `path`, creating it if missing — used by `exp_all`
-/// style sequences where several binaries log into one file.
+/// style sequences where several binaries log into one file. Goes through
+/// [`vp_core::durable::append_jsonl`], which first truncates away a final
+/// line torn by an earlier crash and fsyncs the append.
 pub fn append_jsonl(path: &Path, records: &[Json]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    file.write_all(to_jsonl(records).as_bytes())
+    vp_core::durable::append_jsonl(path, &to_jsonl(records)).map(|_| ())
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ const USAGE: &str = "usage:
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
   vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--baseline] [--telemetry FILE]
+                      [--retries N] [--checkpoint FILE [--resume]]
   vprof stats <telemetry.jsonl>
+  vprof verify <profile.tsv> [--lenient]
   vprof histogram <target> [--train] [--all]
   vprof trace <target> -o <file.vpt> [--train] [--all]
   vprof compare <workload>
@@ -43,6 +45,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("profile") => profile(&args[1..]),
         Some("profile-suite") => profile_suite(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
+        Some("verify") => verify_cmd(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
@@ -134,7 +137,7 @@ fn assemble_cmd(args: &[String]) -> Result<(), String> {
     let src =
         std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
     let program = vp_asm::assemble(&src).map_err(|e| e.to_string())?;
-    std::fs::write(&out_path, program.to_bytes())
+    vp_core::durable::write_atomic(std::path::Path::new(&out_path), &program.to_bytes())
         .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!(
         "wrote {out_path}: {} instructions, {} data bytes, {} procedures",
@@ -226,7 +229,7 @@ fn profile(args: &[String]) -> Result<(), String> {
         .run(&program, cfg, BUDGET, &mut profiler)
         .map_err(|e| e.to_string())?;
     if let Some(path) = option_value(args, "--save") {
-        std::fs::write(path, vp_core::render_profile(&profiler.metrics()))
+        vp_core::durable::write_profile(std::path::Path::new(path), &profiler.metrics())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("saved {} entities to {path}", profiler.metrics().len());
     }
@@ -253,9 +256,19 @@ fn profile(args: &[String]) -> Result<(), String> {
 /// One workload per worker, so `--jobs N` output matches a serial run.
 /// Run telemetry lands in `--telemetry FILE` (default: `$VP_TELEMETRY`,
 /// else `telemetry.jsonl`); inspect it with `vprof stats <file>`.
+///
+/// The run is fault-tolerant: a workload that panics is retried
+/// (`--retries N` rounds, default 2) and quarantined when the budget is
+/// exhausted — the rest of the suite still completes, quarantined
+/// workloads are listed in a failure table, and the fault counters land
+/// in telemetry. With `--checkpoint FILE` each finished workload is
+/// durably persisted as it completes; `--resume` restores those instead
+/// of re-profiling them, producing output identical to an uninterrupted
+/// run. `$VP_FAULTS` arms deterministic fault injection (see
+/// `vp_core::fault`).
 fn profile_suite(args: &[String]) -> Result<(), String> {
     use std::sync::Arc;
-    use vp_bench::{ProfileMode, SuiteRunner};
+    use vp_bench::{Checkpoint, ProfileMode, RetryPolicy, SuiteRunner};
     use vp_obs::MemRecorder;
 
     let ds = dataset(args);
@@ -266,19 +279,53 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
     let telemetry_path = option_value(args, "--telemetry")
         .map_or_else(vp_bench::default_path, std::path::PathBuf::from);
+    let mut policy = RetryPolicy::default();
+    policy.max_retries = option_value(args, "--retries").map_or(Ok(policy.max_retries), |v| {
+        v.parse().map_err(|_| format!("bad --retries value `{v}`"))
+    })?;
+    let plan = vp_core::FaultPlan::from_env()?;
 
     let recorder = Arc::new(MemRecorder::new());
     let mut runner = SuiteRunner::new()
         .jobs(jobs)
         .selection(selection)
         .recorder(recorder.clone())
+        .retry(policy)
+        .faults(Arc::new(plan))
         .measure_baseline(flag(args, "--baseline"));
     if flag(args, "--convergent") {
         runner = runner
             .tracker(TrackerConfig::default())
             .mode(ProfileMode::Convergent(ConvergentConfig::default()));
     }
-    let profile = runner.run(ds);
+    match (option_value(args, "--checkpoint"), flag(args, "--resume")) {
+        (Some(path), resume) => {
+            let path = std::path::Path::new(path);
+            let checkpoint = if resume {
+                let (checkpoint, summary) = Checkpoint::resume(path)
+                    .map_err(|e| format!("cannot resume `{}`: {e}", path.display()))?;
+                // Progress notices go to stderr: stdout must stay
+                // byte-identical to an uninterrupted run's.
+                if let Some(reason) = &summary.dropped_tail {
+                    eprintln!("checkpoint: dropped torn final record ({reason})");
+                }
+                eprintln!(
+                    "resuming from {}: {} workload(s) restored",
+                    path.display(),
+                    summary.restored
+                );
+                checkpoint
+            } else {
+                Checkpoint::create(path)
+                    .map_err(|e| format!("cannot create `{}`: {e}", path.display()))?
+            };
+            runner = runner.checkpoint(Arc::new(checkpoint));
+        }
+        (None, true) => return Err("--resume requires --checkpoint FILE".to_string()),
+        (None, false) => {}
+    }
+    let outcome = runner.try_run(ds);
+    let profile = &outcome.profile;
     println!(
         "{}",
         profile.render(&format!("suite value profile: {what} [{} data set]", ds.name()))
@@ -311,26 +358,54 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         profile.workloads.len(),
         profile.total_instructions()
     );
+    if !outcome.is_clean() {
+        println!();
+        print!("{}", outcome.render_failures());
+    }
 
     let mode = format!(
         "{}-{}",
         if flag(args, "--convergent") { "convergent" } else { "full" },
         if flag(args, "--all") { "all" } else { "loads" }
     );
-    let records =
-        vp_bench::suite_records("profile-suite", ds, jobs, &mode, &profile, Some(&recorder));
+    let mut records =
+        vp_bench::suite_records("profile-suite", ds, jobs, &mode, profile, Some(&recorder));
+    records.extend(vp_bench::fault_records("profile-suite", &outcome));
     vp_bench::write_jsonl(&telemetry_path, &records)
         .map_err(|e| format!("cannot write `{}`: {e}", telemetry_path.display()))?;
     println!("telemetry: {} ({} records)", telemetry_path.display(), records.len());
     Ok(())
 }
 
-/// Renders a human-readable summary of a `telemetry.jsonl` file.
+/// Renders a human-readable summary of a `telemetry.jsonl` file. A final
+/// line torn by a crash mid-append is dropped with a warning (exit 0) —
+/// every complete record still gets summarized. Corruption anywhere else
+/// is an error.
 fn stats_cmd(args: &[String]) -> Result<(), String> {
     let target = target_arg(args)?;
     let text =
         std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
-    print!("{}", vp_obs::stats::summarize(&text)?);
+    let parsed = vp_obs::telemetry::parse_jsonl_lenient(&text)?;
+    if let Some(reason) = &parsed.dropped_tail {
+        eprintln!(
+            "warning: {target}: dropped torn final line ({reason}); recovered {} record(s)",
+            parsed.records.len()
+        );
+    }
+    print!("{}", vp_obs::stats::summarize_records(&parsed.records)?);
+    Ok(())
+}
+
+/// Integrity-checks a profile file written by `profile --save`: verifies
+/// the trailing CRC32 footer against the content. `--lenient` instead
+/// salvages every row that parses and reports what was recovered.
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    use vp_core::IntegrityMode;
+    let target = target_arg(args)?;
+    let mode = if flag(args, "--lenient") { IntegrityMode::Lenient } else { IntegrityMode::Strict };
+    let checked = vp_core::load_profile(std::path::Path::new(target), mode)
+        .map_err(|e| format!("{target}: {e}"))?;
+    println!("{target}: {}", checked.integrity);
     Ok(())
 }
 
@@ -340,7 +415,7 @@ fn profile_trace(path: &str, args: &[String]) -> Result<(), String> {
     let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
     trace.replay(&mut profiler).map_err(|e| e.to_string())?;
     if let Some(out) = option_value(args, "--save") {
-        std::fs::write(out, vp_core::render_profile(&profiler.metrics()))
+        vp_core::durable::write_profile(std::path::Path::new(out), &profiler.metrics())
             .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     }
     let rows = [row(path, &profiler.metrics())];
@@ -369,7 +444,8 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
         selection,
     )
     .map_err(|e| e.to_string())?;
-    std::fs::write(&out, trace.to_bytes()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    vp_core::durable::write_atomic(std::path::Path::new(&out), &trace.to_bytes())
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     println!("wrote {out}: {} events", trace.len());
     Ok(())
 }
@@ -579,6 +655,56 @@ mod tests {
             .contains("cannot read"));
         std::fs::write(&tel, "not json\n").unwrap();
         assert!(dispatch(&args(&["stats", tel_s])).is_err());
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("profile.tsv");
+        let out_s = out.to_str().unwrap();
+        assert!(dispatch(&args(&["profile", "vortex", "--save", out_s])).is_ok());
+        assert!(dispatch(&args(&["verify", out_s])).is_ok());
+        assert!(dispatch(&args(&["verify", out_s, "--lenient"])).is_ok());
+        // Flip one digit in a data row (not the header): strict
+        // verification fails, lenient recovers.
+        let text = std::fs::read_to_string(&out).unwrap();
+        let (header, body) = text.split_once('\n').unwrap();
+        let corrupted = format!("{header}\n{}", body.replacen('1', "2", 1));
+        assert_ne!(text, corrupted);
+        std::fs::write(&out, corrupted).unwrap();
+        let err = dispatch(&args(&["verify", out_s])).unwrap_err();
+        assert!(err.contains("crc32 mismatch"), "{err}");
+        assert!(dispatch(&args(&["verify", out_s, "--lenient"])).is_ok());
+        assert!(dispatch(&args(&["verify", "/nonexistent.tsv"])).is_err());
+    }
+
+    #[test]
+    fn checkpointed_suite_runs_and_resumes() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("t.jsonl");
+        let ckpt = dir.join("c.jsonl");
+        let (tel_s, ckpt_s) = (tel.to_str().unwrap(), ckpt.to_str().unwrap());
+        assert!(dispatch(&args(&["profile-suite", "--telemetry", tel_s, "--checkpoint", ckpt_s]))
+            .is_ok());
+        assert!(ckpt.exists());
+        // Resuming a complete checkpoint re-runs nothing and still works.
+        assert!(dispatch(&args(&[
+            "profile-suite",
+            "--telemetry",
+            tel_s,
+            "--checkpoint",
+            ckpt_s,
+            "--resume"
+        ]))
+        .is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--resume"]))
+            .unwrap_err()
+            .contains("--resume requires"));
+        assert!(dispatch(&args(&["profile-suite", "--retries", "many"]))
+            .unwrap_err()
+            .contains("bad --retries"));
     }
 
     #[test]

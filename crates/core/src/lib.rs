@@ -59,6 +59,8 @@
 //! ```
 
 pub mod convergent;
+pub mod durable;
+pub mod fault;
 pub mod instr_profile;
 pub mod memory;
 pub mod metrics;
@@ -71,6 +73,11 @@ pub mod tnv;
 pub mod track;
 
 pub use convergent::{ConvergentConfig, ConvergentProfiler, ConvergentStats};
+pub use durable::{
+    append_jsonl, crc32, load_profile, parse_profile_checked, write_atomic, write_profile,
+    CheckedProfile, Integrity, IntegrityMode, LoadProfileError,
+};
+pub use fault::{FaultAction, FaultPlan};
 pub use instr_profile::InstructionProfiler;
 pub use memory::MemoryProfiler;
 pub use metrics::{

@@ -98,13 +98,48 @@ fn parse_opt_u64(field: &str, line: usize) -> Result<Option<u64>, ParseProfileEr
         .map_err(|_| ParseProfileError { line, message: format!("bad integer `{field}`") })
 }
 
-/// Parses the TSV profile format back into metrics.
-///
-/// # Errors
-///
-/// Returns a [`ParseProfileError`] on a missing/unknown header, wrong
-/// column counts or malformed fields; parsing never panics.
-pub fn parse_profile(text: &str) -> Result<Vec<EntityMetrics>, ParseProfileError> {
+/// Parses one data row of the TSV profile format. `line` is the 1-based
+/// line number used in error messages.
+pub(crate) fn parse_row(raw: &str, line: usize) -> Result<EntityMetrics, ParseProfileError> {
+    let fields: Vec<&str> = raw.split('\t').collect();
+    if fields.len() != 10 {
+        return Err(ParseProfileError {
+            line,
+            message: format!("expected 10 columns, got {}", fields.len()),
+        });
+    }
+    let num = |f: &str| -> Result<u64, ParseProfileError> {
+        f.parse().map_err(|_| ParseProfileError { line, message: format!("bad integer `{f}`") })
+    };
+    let fnum = |f: &str| -> Result<f64, ParseProfileError> {
+        f.parse().map_err(|_| ParseProfileError { line, message: format!("bad float `{f}`") })
+    };
+    Ok(EntityMetrics {
+        id: num(fields[0])?,
+        executions: num(fields[1])?,
+        lvp: fnum(fields[2])?,
+        inv_top1: fnum(fields[3])?,
+        inv_topn: fnum(fields[4])?,
+        inv_all1: parse_opt_f64(fields[5], line)?,
+        inv_alln: parse_opt_f64(fields[6], line)?,
+        pct_zero: fnum(fields[7])?,
+        distinct: parse_opt_u64(fields[8], line)?,
+        top_value: parse_opt_u64(fields[9], line)?,
+    })
+}
+
+/// Whether a profile line carries no data: blank, or a `#` comment (the
+/// durable layer's integrity footer is such a comment).
+pub(crate) fn is_skippable(raw: &str) -> bool {
+    let trimmed = raw.trim();
+    trimmed.is_empty() || trimmed.starts_with('#')
+}
+
+/// Checks `text` starts with the profile header and returns the remaining
+/// lines iterator, 1-based line numbers attached.
+pub(crate) fn check_header(
+    text: &str,
+) -> Result<impl Iterator<Item = (usize, &str)>, ParseProfileError> {
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h.trim_end() == HEADER => {}
@@ -115,37 +150,36 @@ pub fn parse_profile(text: &str) -> Result<Vec<EntityMetrics>, ParseProfileError
             })
         }
     }
-    let mut out = Vec::new();
-    for (i, raw) in lines.enumerate() {
-        let line = i + 2;
-        if raw.trim().is_empty() {
+    Ok(lines.enumerate().map(|(i, raw)| (i + 2, raw)))
+}
+
+/// Parses the TSV profile format back into metrics. Blank lines and `#`
+/// comments (e.g. the durable integrity footer) are skipped. The footer,
+/// when present, is *not* verified here — use
+/// [`durable::parse_profile_checked`](crate::durable::parse_profile_checked)
+/// for integrity-checked loads.
+///
+/// # Errors
+///
+/// Returns a [`ParseProfileError`] on a missing/unknown header, wrong
+/// column counts, malformed fields or a duplicate entity id (later rows
+/// would silently overwrite earlier metrics downstream); parsing never
+/// panics.
+pub fn parse_profile(text: &str) -> Result<Vec<EntityMetrics>, ParseProfileError> {
+    let mut out: Vec<EntityMetrics> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (line, raw) in check_header(text)? {
+        if is_skippable(raw) {
             continue;
         }
-        let fields: Vec<&str> = raw.split('\t').collect();
-        if fields.len() != 10 {
+        let m = parse_row(raw, line)?;
+        if !seen.insert(m.id) {
             return Err(ParseProfileError {
                 line,
-                message: format!("expected 10 columns, got {}", fields.len()),
+                message: format!("duplicate entity id {}", m.id),
             });
         }
-        let num = |f: &str| -> Result<u64, ParseProfileError> {
-            f.parse().map_err(|_| ParseProfileError { line, message: format!("bad integer `{f}`") })
-        };
-        let fnum = |f: &str| -> Result<f64, ParseProfileError> {
-            f.parse().map_err(|_| ParseProfileError { line, message: format!("bad float `{f}`") })
-        };
-        out.push(EntityMetrics {
-            id: num(fields[0])?,
-            executions: num(fields[1])?,
-            lvp: fnum(fields[2])?,
-            inv_top1: fnum(fields[3])?,
-            inv_topn: fnum(fields[4])?,
-            inv_all1: parse_opt_f64(fields[5], line)?,
-            inv_alln: parse_opt_f64(fields[6], line)?,
-            pct_zero: fnum(fields[7])?,
-            distinct: parse_opt_u64(fields[8], line)?,
-            top_value: parse_opt_u64(fields[9], line)?,
-        });
+        out.push(m);
     }
     Ok(out)
 }
@@ -226,5 +260,20 @@ mod tests {
     fn blank_lines_are_skipped() {
         let text = render_profile(&sample()) + "\n\n";
         assert_eq!(parse_profile(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let text = render_profile(&sample()) + "# trailing comment\n";
+        assert_eq!(parse_profile(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_with_the_offending_line() {
+        let mut metrics = sample();
+        metrics.push(metrics[0].clone());
+        let err = parse_profile(&render_profile(&metrics)).unwrap_err();
+        assert!(err.message.contains("duplicate entity id 3"), "{err}");
+        assert_eq!(err.line, 4);
     }
 }

@@ -54,7 +54,10 @@ pub mod runner;
 pub mod trace;
 pub mod view;
 
-pub use parallel::{effective_jobs, parallel_map, parallel_map_observed};
+pub use parallel::{
+    effective_jobs, parallel_map, parallel_map_observed, try_parallel_map,
+    try_parallel_map_observed, ItemFailure,
+};
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};
 pub use trace::{Trace, TraceError, TraceEvent};

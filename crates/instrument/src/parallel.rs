@@ -6,9 +6,11 @@
 //! dedicated output slot, so results come back in input order regardless
 //! of which worker ran which item or in what order they finished.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 use vp_obs::recorder::Stopwatch;
 use vp_obs::{CounterId, HistId, NullRecorder, Recorder};
@@ -118,6 +120,163 @@ where
         .collect()
 }
 
+/// A panic captured from one item of a [`try_parallel_map`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+}
+
+impl fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemFailure {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Process-wide count of in-flight [`try_parallel_map`] runs; while it is
+/// nonzero the panic hook stays quiet, so captured per-item panics do not
+/// spray stack traces over the tool's output.
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static QUIET_HOOK: Once = Once::new();
+
+struct QuietPanics;
+
+impl QuietPanics {
+    fn engage() -> QuietPanics {
+        QUIET_HOOK.call_once(|| {
+            let prev = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if QUIET_DEPTH.load(Ordering::Relaxed) == 0 {
+                    prev(info);
+                }
+            }));
+        });
+        QUIET_DEPTH.fetch_add(1, Ordering::Relaxed);
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        QUIET_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// [`parallel_map`] with per-item panic isolation: a panic in `f` is
+/// caught and returned as `Err(`[`ItemFailure`]`)` in that item's slot
+/// instead of taking down the whole map. Every other item still runs and
+/// returns its result; slots stay in input order.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: each item is processed
+/// independently and a panicked item's partial state is discarded with its
+/// slot, but a closure that mutates caller-visible shared state is itself
+/// responsible for keeping that state coherent across a panic.
+pub fn try_parallel_map<T, O, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<O, ItemFailure>>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    try_parallel_map_observed(jobs, items, f, &NullRecorder)
+}
+
+/// [`try_parallel_map`] with the self-profiling of
+/// [`parallel_map_observed`]. Panicked items still contribute their item
+/// time and `WorkerItems` count — the work was done, it just failed.
+pub fn try_parallel_map_observed<T, O, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    rec: &dyn Recorder,
+) -> Vec<Result<O, ItemFailure>>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let _quiet = QuietPanics::engage();
+    let run_one = |index: usize| -> Result<O, ItemFailure> {
+        panic::catch_unwind(AssertUnwindSafe(|| f(&items[index])))
+            .map_err(|payload| ItemFailure { index, message: panic_message(payload) })
+    };
+
+    let jobs = effective_jobs(jobs).min(items.len());
+    if jobs <= 1 {
+        if !rec.enabled() {
+            return (0..items.len()).map(run_one).collect();
+        }
+        let wall = Stopwatch::start();
+        let mut busy = 0u64;
+        let out = (0..items.len())
+            .map(|index| {
+                let item_clock = Stopwatch::start();
+                let result = run_one(index);
+                let item_ns = item_clock.elapsed_ns();
+                busy += item_ns;
+                rec.observe(HistId::ItemNs, item_ns);
+                rec.add(CounterId::WorkerItems, 1);
+                result
+            })
+            .collect();
+        rec.observe(HistId::WorkerBusyNs, busy);
+        rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<O, ItemFailure>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let enabled = rec.enabled();
+                let wall = enabled.then(Stopwatch::start);
+                let mut busy = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if enabled {
+                        let item_clock = Stopwatch::start();
+                        let out = run_one(i);
+                        let item_ns = item_clock.elapsed_ns();
+                        busy += item_ns;
+                        rec.observe(HistId::ItemNs, item_ns);
+                        rec.add(CounterId::WorkerItems, 1);
+                        *slots[i].lock().unwrap() = Some(out);
+                    } else {
+                        let out = run_one(i);
+                        *slots[i].lock().unwrap() = Some(out);
+                    }
+                }
+                if let Some(wall) = wall {
+                    rec.observe(HistId::WorkerBusyNs, busy);
+                    rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +325,57 @@ mod tests {
             let workers = if jobs == 1 { 1 } else { 4 };
             assert_eq!(rec.hist(HistId::WorkerBusyNs).count(), workers, "jobs={jobs}");
             assert_eq!(rec.hist(HistId::WorkerQueueWaitNs).count(), workers, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn try_map_isolates_panics_per_item() {
+        let items: Vec<u64> = (0..40).collect();
+        for jobs in [1, 4] {
+            let out = try_parallel_map(jobs, &items, |&x| {
+                if x % 13 == 5 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 40, "jobs={jobs}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let failure = slot.as_ref().unwrap_err();
+                    assert_eq!(failure.index, i);
+                    assert_eq!(failure.message, format!("boom at {i}"));
+                    assert!(failure.to_string().contains("panicked"));
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i as u64 * 2, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_without_panics_matches_parallel_map() {
+        let items: Vec<u64> = (0..23).collect();
+        let plain = parallel_map(4, &items, |&x| x + 7);
+        let tried: Vec<u64> =
+            try_parallel_map(4, &items, |&x| x + 7).into_iter().map(Result::unwrap).collect();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn try_map_counts_panicked_items_too() {
+        use vp_obs::MemRecorder;
+        for jobs in [1, 4] {
+            let rec = MemRecorder::new();
+            let items: Vec<u64> = (0..10).collect();
+            let out = try_parallel_map_observed(
+                jobs,
+                &items,
+                |&x| if x == 3 { panic!("nope") } else { x },
+                &rec,
+            );
+            assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1, "jobs={jobs}");
+            assert_eq!(rec.snapshot().get(CounterId::WorkerItems), 10, "jobs={jobs}");
+            assert_eq!(rec.hist(HistId::ItemNs).count(), 10, "jobs={jobs}");
         }
     }
 

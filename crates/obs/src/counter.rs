@@ -52,6 +52,12 @@ pub enum CounterId {
     WorkloadsProfiled,
     /// Items executed by parallel-map workers.
     WorkerItems,
+    /// Workload attempts that panicked and were caught by the runner.
+    WorkloadPanic,
+    /// Workload re-attempts after a caught panic.
+    WorkloadRetry,
+    /// Workloads given up on after the retry budget was exhausted.
+    WorkloadQuarantined,
 }
 
 impl CounterId {
@@ -59,7 +65,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 21] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -78,6 +84,9 @@ impl CounterId {
         CounterId::SampleSkipped,
         CounterId::WorkloadsProfiled,
         CounterId::WorkerItems,
+        CounterId::WorkloadPanic,
+        CounterId::WorkloadRetry,
+        CounterId::WorkloadQuarantined,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -101,6 +110,9 @@ impl CounterId {
             CounterId::SampleSkipped => "sample_skipped",
             CounterId::WorkloadsProfiled => "workloads_profiled",
             CounterId::WorkerItems => "worker_items",
+            CounterId::WorkloadPanic => "workload_panics",
+            CounterId::WorkloadRetry => "workload_retries",
+            CounterId::WorkloadQuarantined => "workload_quarantined",
         }
     }
 

@@ -11,7 +11,13 @@ use crate::telemetry::parse_jsonl;
 
 /// Summarizes a `telemetry.jsonl` document into a table for humans.
 pub fn summarize(jsonl: &str) -> Result<String, String> {
-    let records = parse_jsonl(jsonl)?;
+    summarize_records(&parse_jsonl(jsonl)?)
+}
+
+/// Summarizes already-parsed telemetry records — the entry point for
+/// callers that parsed leniently (see
+/// [`parse_jsonl_lenient`](crate::telemetry::parse_jsonl_lenient)).
+pub fn summarize_records(records: &[Json]) -> Result<String, String> {
     if records.is_empty() {
         return Err("no telemetry records".to_string());
     }
@@ -19,9 +25,10 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     let mut out = String::new();
     let mut workloads: Vec<&Json> = Vec::new();
     let mut phases: Vec<&Json> = Vec::new();
+    let mut failures: Vec<&Json> = Vec::new();
     let mut unknown = 0usize;
 
-    for rec in &records {
+    for rec in records {
         match rec.get("kind").and_then(Json::as_str) {
             Some("run") => {
                 if !out.is_empty() {
@@ -31,6 +38,10 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             }
             Some("workload") => workloads.push(rec),
             Some("phase") => phases.push(rec),
+            Some("faults") => {
+                out.push_str(&faults_line(rec));
+            }
+            Some("failure") => failures.push(rec),
             _ => unknown += 1,
         }
     }
@@ -38,6 +49,10 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     if !workloads.is_empty() {
         out.push('\n');
         out.push_str(&workload_table(&workloads));
+    }
+    if !failures.is_empty() {
+        out.push('\n');
+        out.push_str(&failure_table(&failures));
     }
     if !phases.is_empty() {
         out.push('\n');
@@ -51,6 +66,28 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         out.push_str(&format!("\n({unknown} record(s) of unknown kind ignored)\n"));
     }
     Ok(out)
+}
+
+fn faults_line(rec: &Json) -> String {
+    let counts = rec.get("events").map(Counts::from_json).unwrap_or_default();
+    let mut line = "faults:".to_string();
+    for (id, value) in counts.iter_nonzero() {
+        line.push_str(&format!("  {}={}", id.name(), value));
+    }
+    line.push('\n');
+    line
+}
+
+fn failure_table(failures: &[&Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16} {:>8}  error\n", "failed", "attempts"));
+    for rec in failures {
+        let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+        let attempts = rec.get("attempts").and_then(Json::as_u64).unwrap_or(0);
+        let error = rec.get("error").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!("{name:<16} {attempts:>8}  {error}\n"));
+    }
+    out
 }
 
 fn run_header(rec: &Json) -> String {
@@ -191,6 +228,32 @@ mod tests {
             .collect();
         let text = summarize(&masked).unwrap();
         assert!(text.contains(" -"), "{text}");
+    }
+
+    #[test]
+    fn faults_and_failures_render() {
+        let mut counts = Counts::new();
+        counts.add(CounterId::WorkloadPanic, 3);
+        counts.add(CounterId::WorkloadRetry, 2);
+        counts.add(CounterId::WorkloadQuarantined, 1);
+        let records = vec![
+            record("run", "profile-suite", vec![("jobs", Json::U64(1))]),
+            record("faults", "profile-suite", vec![("events", counts.to_json())]),
+            record(
+                "failure",
+                "gcc",
+                vec![
+                    ("attempts", Json::U64(3)),
+                    ("error", Json::Str("fault injected: workload/gcc".to_string())),
+                ],
+            ),
+        ];
+        let text = summarize_records(&records).unwrap();
+        assert!(text.contains("workload_panics=3"), "{text}");
+        assert!(text.contains("workload_retries=2"), "{text}");
+        assert!(text.contains("gcc"), "{text}");
+        assert!(text.contains("fault injected: workload/gcc"), "{text}");
+        assert!(!text.contains("unknown kind"), "{text}");
     }
 
     #[test]

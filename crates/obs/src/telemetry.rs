@@ -55,23 +55,55 @@ pub fn to_jsonl(records: &[Json]) -> String {
 /// malformed line, or on a record whose `schema` is newer than this
 /// library understands.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
-    let mut records = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let rec = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        if let Some(version) = rec.get("schema").and_then(Json::as_u64) {
-            if version > SCHEMA_VERSION {
-                return Err(format!(
-                    "line {}: schema {version} is newer than supported {SCHEMA_VERSION}",
-                    i + 1
-                ));
-            }
-        }
-        records.push(rec);
+    let parsed = parse_jsonl_lenient(text)?;
+    match parsed.dropped_tail {
+        Some(reason) => Err(reason),
+        None => Ok(parsed.records),
     }
-    Ok(records)
+}
+
+/// Result of [`parse_jsonl_lenient`]: the records that parsed, plus the
+/// parse error of a dropped final line, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// Records of every line up to (not including) a corrupt final line.
+    pub records: Vec<Json>,
+    /// `Some(parse error)` when the final line was malformed and dropped —
+    /// the signature of a write torn by a crash mid-append.
+    pub dropped_tail: Option<String>,
+}
+
+/// [`parse_jsonl`] that tolerates a torn final line: a malformed *last*
+/// line is dropped (and reported) instead of failing the whole document,
+/// so a telemetry file truncated by a crash still yields every complete
+/// record. Malformed lines anywhere else are still an error.
+pub fn parse_jsonl_lenient(text: &str) -> Result<LenientParse, String> {
+    let mut records = Vec::new();
+    let lines: Vec<(usize, &str)> =
+        text.lines().enumerate().filter(|(_, line)| !line.trim().is_empty()).collect();
+    let last = lines.len().saturating_sub(1);
+    for (at, (i, line)) in lines.iter().enumerate() {
+        let parsed = match Json::parse(line) {
+            Ok(rec) => match rec.get("schema").and_then(Json::as_u64) {
+                Some(version) if version > SCHEMA_VERSION => {
+                    Err(format!("schema {version} is newer than supported {SCHEMA_VERSION}"))
+                }
+                _ => Ok(rec),
+            },
+            Err(e) => Err(e),
+        };
+        match parsed {
+            Ok(rec) => records.push(rec),
+            Err(e) if at == last => {
+                return Ok(LenientParse {
+                    records,
+                    dropped_tail: Some(format!("line {}: {e}", i + 1)),
+                })
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(LenientParse { records, dropped_tail: None })
 }
 
 /// Deep-copies a record with every [`VOLATILE_KEYS`] field's value
@@ -126,6 +158,29 @@ mod tests {
     fn newer_schema_is_rejected() {
         let text = format!("{{\"schema\":{}}}\n", SCHEMA_VERSION + 1);
         assert!(parse_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_drops_only_a_torn_final_line() {
+        let records = vec![
+            record("run", "suite", vec![("jobs", Json::U64(4))]),
+            record("workload", "w0", vec![("instructions", Json::U64(9))]),
+        ];
+        let mut text = to_jsonl(&records);
+        // A crash mid-append leaves a partial final line with no newline.
+        text.push_str("{\"schema\":1,\"kind\":\"work");
+        let parsed = parse_jsonl_lenient(&text).unwrap();
+        assert_eq!(parsed.records, records);
+        assert!(parsed.dropped_tail.unwrap().contains("line 3"));
+        // The strict parser rejects the same document.
+        assert!(parse_jsonl(&text).is_err());
+        // A malformed line in the middle is corruption, not truncation.
+        let bad_middle = format!("not json\n{}", to_jsonl(&records));
+        assert!(parse_jsonl_lenient(&bad_middle).is_err());
+        // A clean document reports no drop.
+        let clean = parse_jsonl_lenient(&to_jsonl(&records)).unwrap();
+        assert_eq!(clean.records, records);
+        assert_eq!(clean.dropped_tail, None);
     }
 
     #[test]
