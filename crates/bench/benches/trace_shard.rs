@@ -1,0 +1,131 @@
+//! Criterion bench: trace-event ingestion throughput.
+//!
+//! Compares the three ways a recorded `(pc, value)` stream can reach the
+//! full profiler — the per-event `observe` call, the batched
+//! `observe_batch` path (run-grouped, TNV top-slot fast path), and the
+//! entity-sharded parallel replay — on both a synthetic semi-invariant
+//! stream and a real recorded workload trace. The engineering claim is
+//! that batching eliminates enough per-event dispatch to be ≥ 1.5× the
+//! scalar path, and that sharding stacks on top for large streams.
+//!
+//! With `BENCH_SHARD_JSON=<path>` set (and outside `cargo test`'s
+//! `--test` smoke mode), a machine-readable events/sec summary is also
+//! written to `<path>` — the vendored criterion stand-in has no JSON
+//! reports of its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vp_bench::value_stream;
+use vp_core::{profile_sharded, track::TrackerConfig, InstructionProfiler};
+use vp_instrument::Selection;
+use vp_workloads::{suite, DataSet};
+
+/// Semi-invariant stream over a rotating set of entities: 80% one value,
+/// the rest churn — the mix workload TNV tables actually face. Each
+/// entity stays hot for a short run (an inner loop re-executing the same
+/// load) before the stream moves on, as recorded traces do.
+fn synthetic(len: usize) -> Vec<(u32, u64)> {
+    (0..len as u64)
+        .map(|i| ((i / 16 % 13) as u32, if i % 5 == 4 { 1000 + (i % 97) } else { 7 }))
+        .collect()
+}
+
+fn scalar(events: &[(u32, u64)]) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::default());
+    for &(pc, value) in events {
+        p.observe(black_box(pc), black_box(value));
+    }
+    p
+}
+
+fn batched(events: &[(u32, u64)]) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::default());
+    p.observe_batch(black_box(events));
+    p
+}
+
+fn sharded(events: &[(u32, u64)], shards: usize) -> InstructionProfiler {
+    profile_sharded(
+        black_box(events),
+        shards,
+        || InstructionProfiler::new(TrackerConfig::default()),
+    )
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let streams: Vec<(&str, Vec<(u32, u64)>)> = vec![
+        ("synthetic", synthetic(200_000)),
+        ("recorded", value_stream(&suite()[0], DataSet::Test, Selection::LoadsOnly)),
+    ];
+    for (name, events) in &streams {
+        let mut group = c.benchmark_group(format!("trace_ingest/{name}"));
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_function("scalar", |b| b.iter(|| black_box(scalar(events))));
+        group.bench_function("batched", |b| b.iter(|| black_box(batched(events))));
+        for shards in [2usize, 4] {
+            group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &s| {
+                b.iter(|| black_box(sharded(events, s)))
+            });
+        }
+        group.finish();
+    }
+}
+
+/// One way of ingesting an event stream into a profiler.
+type Ingest<'a> = &'a dyn Fn(&[(u32, u64)]) -> InstructionProfiler;
+
+/// Best-of-batches events/sec for `f` over `events` — the vendored
+/// criterion keeps its measurements private, so the JSON artifact
+/// measures independently with the same best-of discipline.
+fn rate(events: &[(u32, u64)], f: Ingest<'_>) -> f64 {
+    black_box(f(events)); // warm-up
+    let mut best = Duration::MAX;
+    let deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < deadline {
+        let start = Instant::now();
+        black_box(f(events));
+        best = best.min(start.elapsed());
+    }
+    events.len() as f64 / best.as_secs_f64()
+}
+
+/// Writes `BENCH_shard.json`-style output when `BENCH_SHARD_JSON` names a
+/// path: events/sec for scalar vs batched vs sharded ingestion.
+fn write_json_summary() {
+    let Ok(path) = std::env::var("BENCH_SHARD_JSON") else { return };
+    if path.is_empty() || std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let streams = [
+        ("synthetic", synthetic(200_000)),
+        ("recorded", value_stream(&suite()[0], DataSet::Test, Selection::LoadsOnly)),
+    ];
+    let mut entries = Vec::new();
+    for (name, events) in &streams {
+        let scalar_eps = rate(events, &scalar);
+        let batched_eps = rate(events, &batched);
+        let sharded2_eps = rate(events, &|e| sharded(e, 2));
+        let sharded4_eps = rate(events, &|e| sharded(e, 4));
+        entries.push(format!(
+            "{{\"stream\":\"{name}\",\"events\":{},\"scalar_eps\":{scalar_eps:.0},\
+             \"batched_eps\":{batched_eps:.0},\"sharded2_eps\":{sharded2_eps:.0},\
+             \"sharded4_eps\":{sharded4_eps:.0},\"batched_over_scalar\":{:.3}}}",
+            events.len(),
+            batched_eps / scalar_eps,
+        ));
+    }
+    let json = format!("{{\"bench\":\"trace_shard\",\"streams\":[{}]}}\n", entries.join(","));
+    match std::fs::write(&path, &json) {
+        Ok(()) => print!("wrote {path}: {json}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_ingestion(c);
+    write_json_summary();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -11,14 +11,17 @@ use std::fmt;
 use std::sync::Arc;
 
 use vp_core::{
-    aggregate, merge_entity_metrics, render_metric_table, report::row, track::TrackerConfig,
-    Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics, FaultPlan, InstructionProfiler,
-    ReportRow, SampleStrategy, SampledProfiler,
+    aggregate, merge_entity_metrics, profile_sharded, render_metric_table, report::row,
+    track::TrackerConfig, Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics,
+    FaultPlan, InstructionProfiler, ReportRow, SampleStrategy, SampledProfiler,
 };
-use vp_instrument::{parallel_map_observed, try_parallel_map_observed, Instrumenter, Selection};
+use vp_instrument::{
+    parallel_map_observed, trace_codec, try_parallel_map_observed, Analysis, InstrumentedRun,
+    Instrumenter, Selection,
+};
 use vp_obs::recorder::Stopwatch;
 use vp_obs::{CounterId, Counts, HistId, NullRecorder, Recorder};
-use vp_sim::Machine;
+use vp_sim::{InstrEvent, Machine};
 use vp_workloads::{suite, DataSet, Workload};
 
 use crate::checkpoint::Checkpoint;
@@ -215,6 +218,7 @@ impl SuiteOutcome {
 #[derive(Clone)]
 pub struct SuiteRunner {
     jobs: usize,
+    shards: usize,
     selection: Selection,
     tracker: TrackerConfig,
     budget: u64,
@@ -230,6 +234,7 @@ impl fmt::Debug for SuiteRunner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SuiteRunner")
             .field("jobs", &self.jobs)
+            .field("shards", &self.shards)
             .field("selection", &self.selection)
             .field("tracker", &self.tracker)
             .field("budget", &self.budget)
@@ -254,6 +259,7 @@ impl SuiteRunner {
     pub fn new() -> SuiteRunner {
         SuiteRunner {
             jobs: 1,
+            shards: 1,
             selection: Selection::LoadsOnly,
             tracker: TrackerConfig::with_full(),
             budget: BUDGET,
@@ -269,6 +275,20 @@ impl SuiteRunner {
     /// Sets the worker count (0 = available parallelism, 1 = serial).
     pub fn jobs(mut self, jobs: usize) -> SuiteRunner {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the intra-workload shard count (0 or 1 = serial). With
+    /// `shards > 1` each workload is executed once to record its value
+    /// trace, which is then profiled across `shards` entity-sharded
+    /// workers and merged ([`vp_core::profile_sharded`]). Bit-identical
+    /// to a serial run for every [`ProfileMode`] except random sampling
+    /// (whose single generator depends on the global interleaving) —
+    /// that equivalence is what `tests/differential_shard.rs` proves.
+    /// Unlike [`jobs`](SuiteRunner::jobs), this helps even when one
+    /// large workload dominates the suite.
+    pub fn shards(mut self, shards: usize) -> SuiteRunner {
+        self.shards = shards;
         self
     }
 
@@ -452,39 +472,122 @@ impl SuiteRunner {
         }
     }
 
-    fn profile_one(&self, w: &Workload, ds: DataSet) -> WorkloadProfile {
+    // Runs the workload with the mode's profiler attached live — the
+    // serial reference path.
+    fn profile_one_serial(
+        &self,
+        w: &Workload,
+        ds: DataSet,
+        instrumenter: &Instrumenter,
+        events: &mut Counts,
+    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun) {
         let fail = |e| panic!("{} [{}]: {e}", w.name(), ds.name());
-        let instrumenter = Instrumenter::new().select(self.selection.clone());
         let cfg = w.machine_config(ds);
-        let mut events = Counts::new();
-        let clock = Stopwatch::start();
-        let (metrics, profile_fraction, run) = match self.mode {
+        match self.mode {
             ProfileMode::Full => {
                 let mut p = InstructionProfiler::new(self.tracker);
-                let run = instrumenter
-                    .run(w.program(), cfg.clone(), self.budget, &mut p)
-                    .unwrap_or_else(fail);
-                p.tnv_events().add_to(&mut events);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                p.tnv_events().add_to(events);
                 (p.metrics(), 1.0, run)
             }
             ProfileMode::Convergent(config) => {
                 let mut p = ConvergentProfiler::new(self.tracker, config);
-                let run = instrumenter
-                    .run(w.program(), cfg.clone(), self.budget, &mut p)
-                    .unwrap_or_else(fail);
-                p.tnv_events().add_to(&mut events);
-                p.events().add_to(&mut events);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
                 (p.metrics(), p.overall_profile_fraction(), run)
             }
             ProfileMode::Sampled(strategy) => {
                 let mut p = SampledProfiler::new(self.tracker, strategy);
-                let run = instrumenter
-                    .run(w.program(), cfg.clone(), self.budget, &mut p)
-                    .unwrap_or_else(fail);
-                p.tnv_events().add_to(&mut events);
-                p.events().add_to(&mut events);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
                 (p.metrics(), p.overall_profile_fraction(), run)
             }
+        }
+    }
+
+    // Trace-once, analyze-sharded: record the selected `(pc, value)`
+    // stream in one instrumented run, then profile it across
+    // entity-sharded workers. The run's delivered-event counts come from
+    // the recording run and match a live profiled run exactly, as do the
+    // merged profiler's metrics (see `vp_core::shard` for the argument,
+    // `tests/differential_shard.rs` for the proof).
+    fn profile_one_sharded(
+        &self,
+        w: &Workload,
+        ds: DataSet,
+        instrumenter: &Instrumenter,
+        events: &mut Counts,
+    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun) {
+        struct Collector(Vec<(u32, u64)>);
+        impl Analysis for Collector {
+            fn after_instr(&mut self, _m: &Machine, event: &InstrEvent) {
+                if let Some((_, value)) = event.dest {
+                    self.0.push((event.index, value));
+                }
+            }
+        }
+        let mut collector = Collector(Vec::new());
+        let run = instrumenter
+            .run(w.program(), w.machine_config(ds), self.budget, &mut collector)
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name(), ds.name()));
+        // Round-trip the recorded stream through the binary trace codec so
+        // the bytes the profilers consume went through the same chunked,
+        // CRC-checked path as `vprof record` / `vprof replay`.
+        let encoded = trace_codec::encode(&collector.0, trace_codec::DEFAULT_CHUNK_EVENTS);
+        drop(collector);
+        let mut reader = trace_codec::ChunkReader::new(&encoded)
+            .unwrap_or_else(|e| panic!("{} [{}]: trace codec: {e}", w.name(), ds.name()));
+        let mut trace: Vec<(u32, u64)> = Vec::new();
+        loop {
+            match reader.next_chunk() {
+                Ok(Some(chunk)) => trace.extend(chunk),
+                Ok(None) => break,
+                Err(e) => panic!("{} [{}]: trace codec: {e}", w.name(), ds.name()),
+            }
+        }
+        events.add(CounterId::TraceShards, self.shards as u64);
+        events.add(CounterId::TraceEvents, trace.len() as u64);
+        events.add(CounterId::TraceChunks, reader.chunks_read() as u64);
+        let tracker = self.tracker;
+        match self.mode {
+            ProfileMode::Full => {
+                let p = profile_sharded(&trace, self.shards, || InstructionProfiler::new(tracker));
+                p.tnv_events().add_to(events);
+                (p.metrics(), 1.0, run)
+            }
+            ProfileMode::Convergent(config) => {
+                let p = profile_sharded(&trace, self.shards, || {
+                    ConvergentProfiler::new(tracker, config)
+                });
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
+                (p.metrics(), p.overall_profile_fraction(), run)
+            }
+            ProfileMode::Sampled(strategy) => {
+                let p = profile_sharded(&trace, self.shards, || {
+                    SampledProfiler::new(tracker, strategy)
+                });
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
+                (p.metrics(), p.overall_profile_fraction(), run)
+            }
+        }
+    }
+
+    fn profile_one(&self, w: &Workload, ds: DataSet) -> WorkloadProfile {
+        let instrumenter = Instrumenter::new().select(self.selection.clone());
+        let cfg = w.machine_config(ds);
+        let mut events = Counts::new();
+        let clock = Stopwatch::start();
+        let (metrics, profile_fraction, run) = if self.shards > 1 {
+            self.profile_one_sharded(w, ds, &instrumenter, &mut events)
+        } else {
+            self.profile_one_serial(w, ds, &instrumenter, &mut events)
         };
         let wall_ns = clock.elapsed_ns();
         events.add(CounterId::InstrEvents, run.counts.instr_events);
@@ -559,6 +662,37 @@ mod tests {
         for w in &profile.workloads {
             assert!(w.profile_fraction <= 1.0);
             assert!(w.aggregate.executions > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_for_exact_modes() {
+        let workloads = &suite()[..2];
+        for mode in [
+            ProfileMode::Full,
+            ProfileMode::Convergent(ConvergentConfig::default()),
+            ProfileMode::Sampled(SampleStrategy::Periodic { period: 10 }),
+        ] {
+            let serial = SuiteRunner::new().mode(mode).run_workloads(workloads, DataSet::Test);
+            let sharded =
+                SuiteRunner::new().mode(mode).shards(7).run_workloads(workloads, DataSet::Test);
+            for (s, h) in serial.workloads.iter().zip(&sharded.workloads) {
+                assert_eq!(s.metrics, h.metrics, "{} {mode:?}", s.name);
+                assert_eq!(s.profile_fraction, h.profile_fraction, "{}", s.name);
+                assert_eq!(s.instructions, h.instructions, "{}", s.name);
+                // Event counters agree too, once the sharded-only trace
+                // counters are accounted for: over loads, every delivered
+                // event is one trace event.
+                let mut expect = s.events;
+                expect.add(CounterId::TraceShards, 7);
+                let trace_events = s.events.get(CounterId::InstrEvents);
+                expect.add(CounterId::TraceEvents, trace_events);
+                expect.add(
+                    CounterId::TraceChunks,
+                    trace_events.div_ceil(trace_codec::DEFAULT_CHUNK_EVENTS as u64),
+                );
+                assert_eq!(h.events, expect, "{} {mode:?}", s.name);
+            }
         }
     }
 

@@ -21,8 +21,10 @@ const USAGE: &str = "usage:
   vprof assemble <file.s> -o <file.vpo>
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
-  vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--baseline] [--telemetry FILE]
-                      [--retries N] [--checkpoint FILE [--resume]]
+  vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--shards N] [--baseline]
+                      [--telemetry FILE] [--retries N] [--checkpoint FILE [--resume]]
+  vprof record <target> [-o <file.vpc>] [--train] [--all]
+  vprof replay <file.vpc> [--shards N] [--save FILE]
   vprof stats <telemetry.jsonl>
   vprof verify <profile.tsv> [--lenient]
   vprof histogram <target> [--train] [--all]
@@ -48,6 +50,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("verify") => verify_cmd(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("record") => record_cmd(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
         Some("predict") => predict(&args[1..]),
         Some("specialize") => specialize_cmd(&args[1..]),
@@ -254,6 +258,9 @@ fn profile(args: &[String]) -> Result<(), String> {
 
 /// Profiles the whole workload suite, optionally across worker threads.
 /// One workload per worker, so `--jobs N` output matches a serial run.
+/// `--shards N` additionally parallelizes *within* each workload: the
+/// value stream is recorded once, split by entity, and profiled across
+/// N threads — also output-identical to serial (see `vp_core::shard`).
 /// Run telemetry lands in `--telemetry FILE` (default: `$VP_TELEMETRY`,
 /// else `telemetry.jsonl`); inspect it with `vprof stats <file>`.
 ///
@@ -274,6 +281,8 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let jobs: usize = option_value(args, "--jobs")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --jobs value `{v}`")))?;
+    let shards: usize = option_value(args, "--shards")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
     let selection =
         if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
     let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
@@ -288,6 +297,7 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let recorder = Arc::new(MemRecorder::new());
     let mut runner = SuiteRunner::new()
         .jobs(jobs)
+        .shards(shards)
         .selection(selection)
         .recorder(recorder.clone())
         .retry(policy)
@@ -447,6 +457,91 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     vp_core::durable::write_atomic(std::path::Path::new(&out), &trace.to_bytes())
         .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     println!("wrote {out}: {} events", trace.len());
+    Ok(())
+}
+
+/// Records a workload's selected `(pc, value)` stream into the chunked,
+/// CRC-checked binary trace format (`vp_instrument::trace_codec`). The
+/// workload executes once; `vprof replay` can then re-profile the trace
+/// any number of times — serially or sharded — without re-running it.
+fn record_cmd(args: &[String]) -> Result<(), String> {
+    let ds = dataset(args);
+    let target = target_arg(args)?;
+    let (program, input) = resolve(target, ds)?;
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
+    let out =
+        option_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{target}.vpc"));
+    struct Recorder(vp_instrument::TraceEncoder);
+    impl vp_instrument::Analysis for Recorder {
+        fn after_instr(&mut self, _m: &Machine, ev: &vp_sim::InstrEvent) {
+            if let Some((_, v)) = ev.dest {
+                self.0.push(ev.index, v);
+            }
+        }
+    }
+    let mut rec = Recorder(vp_instrument::TraceEncoder::new());
+    Instrumenter::new()
+        .select(selection)
+        .run(&program, MachineConfig::new().input(input), BUDGET, &mut rec)
+        .map_err(|e| e.to_string())?;
+    let bytes = rec.0.finish();
+    let stats = vp_instrument::trace_codec::stats(&bytes).map_err(|e| e.to_string())?;
+    vp_core::durable::write_atomic(std::path::Path::new(&out), &bytes)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "wrote {out}: {} events, {} chunks, {} bytes",
+        stats.events, stats.chunks, stats.bytes
+    );
+    Ok(())
+}
+
+/// Replays a binary trace written by `vprof record` through the full
+/// value profiler. `--shards N` splits the replay by entity across N
+/// worker threads; the output is byte-identical to a serial replay (see
+/// `vp_core::shard`). An empty trace replays to the same zero-row
+/// profile an empty workload produces; a corrupt or truncated trace is
+/// rejected, never mis-decoded.
+fn replay_cmd(args: &[String]) -> Result<(), String> {
+    let target = target_arg(args)?;
+    let shards: usize = option_value(args, "--shards")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    let bytes = std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    let mut reader =
+        vp_instrument::ChunkReader::new(&bytes).map_err(|e| format!("{target}: {e}"))?;
+    // Serial replay streams each decoded chunk straight into the batched
+    // observe path; a sharded replay materializes the stream first so it
+    // can be partitioned by entity.
+    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
+    let mut trace: Vec<(u32, u64)> = Vec::new();
+    loop {
+        match reader.next_chunk().map_err(|e| format!("{target}: {e}"))? {
+            Some(chunk) if shards > 1 => trace.extend(chunk),
+            Some(chunk) => profiler.observe_batch(&chunk),
+            None => break,
+        }
+    }
+    if shards > 1 {
+        profiler = vp_core::profile_sharded(&trace, shards, || {
+            InstructionProfiler::new(TrackerConfig::with_full())
+        });
+    }
+    if let Some(out) = option_value(args, "--save") {
+        vp_core::durable::write_profile(std::path::Path::new(out), &profiler.metrics())
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    }
+    let rows = [row(target, &profiler.metrics())];
+    println!(
+        "{}",
+        render_metric_table(
+            &format!(
+                "value profile replayed from {target} ({} events, {} chunks, {shards} shard(s))",
+                reader.events_read(),
+                reader.chunks_read()
+            ),
+            &rows
+        )
+    );
     Ok(())
 }
 
@@ -635,9 +730,13 @@ mod tests {
             tel
         ]))
         .is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--shards", "2", "--telemetry", tel])).is_ok());
         assert!(dispatch(&args(&["profile-suite", "--jobs", "many"]))
             .unwrap_err()
             .contains("bad --jobs"));
+        assert!(dispatch(&args(&["profile-suite", "--shards", "many"]))
+            .unwrap_err()
+            .contains("bad --shards"));
     }
 
     #[test]
@@ -751,6 +850,60 @@ mod tests {
         assert!(dispatch(&args(&["profile", out.to_str().unwrap()])).is_ok());
         std::fs::write(&out, b"junk").unwrap();
         assert!(dispatch(&args(&["profile", out.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-record");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("li.vpc");
+        let out_s = out.to_str().unwrap();
+        assert!(dispatch(&args(&["record", "li", "-o", out_s])).is_ok());
+        assert!(dispatch(&args(&["replay", out_s])).is_ok());
+        // A sharded replay writes the same profile as a serial one.
+        let serial = dir.join("serial.tsv");
+        let sharded = dir.join("sharded.tsv");
+        assert!(dispatch(&args(&["replay", out_s, "--save", serial.to_str().unwrap()])).is_ok());
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--shards",
+            "4",
+            "--save",
+            sharded.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert_eq!(std::fs::read(&serial).unwrap(), std::fs::read(&sharded).unwrap());
+        assert!(dispatch(&args(&["replay", out_s, "--shards", "many"]))
+            .unwrap_err()
+            .contains("bad --shards"));
+        // Corruption anywhere in the file is rejected, never mis-decoded.
+        let mut bytes = std::fs::read(&out).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&out, &bytes).unwrap();
+        assert!(dispatch(&args(&["replay", out_s])).is_err());
+        std::fs::write(&out, b"junk").unwrap();
+        assert!(dispatch(&args(&["replay", out_s])).is_err());
+    }
+
+    #[test]
+    fn replay_empty_trace_matches_empty_workload() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("empty.vpc");
+        let out_s = out.to_str().unwrap();
+        // A trace with a header and trailer but zero events replays to a
+        // zero-row profile without panicking, serially and sharded.
+        std::fs::write(&out, vp_instrument::TraceEncoder::new().finish()).unwrap();
+        let saved = dir.join("empty.tsv");
+        assert!(dispatch(&args(&["replay", out_s, "--save", saved.to_str().unwrap()])).is_ok());
+        assert!(dispatch(&args(&["replay", out_s, "--shards", "3"])).is_ok());
+        let text = std::fs::read_to_string(&saved).unwrap();
+        assert!(vp_core::parse_profile(&text).unwrap().is_empty());
+        // The bare magic with no trailer is truncated, not empty.
+        std::fs::write(&out, b"VPC1").unwrap();
+        assert!(dispatch(&args(&["replay", out_s])).is_err());
     }
 
     #[test]

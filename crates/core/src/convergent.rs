@@ -238,6 +238,70 @@ impl ConvergentProfiler {
         self.states.get(&index).map(|s| &s.tracker)
     }
 
+    /// Feeds one `(instruction, value)` event directly — the trace-replay
+    /// entry point; the [`Analysis`] callback delegates here. The state
+    /// machine is entirely per-instruction, so replaying each
+    /// instruction's value subsequence in order — regardless of how
+    /// subsequences of *different* instructions interleave — reproduces a
+    /// live run exactly (the entity-sharding equivalence the differential
+    /// oracle verifies).
+    pub fn observe(&mut self, index: u32, value: u64) {
+        let config = self.config;
+        let state = self
+            .states
+            .entry(index)
+            .or_insert_with(|| ConvState::new(self.tracker_config, config.initial_skip));
+        state.total += 1;
+        match state.phase {
+            Phase::Profiling { ref mut in_burst } => {
+                state.tracker.observe(value);
+                state.profiled += 1;
+                self.events.profiled += 1;
+                *in_burst += 1;
+                if *in_burst >= config.burst {
+                    *in_burst = 0;
+                    let inv = state.tracker.inv_top(1);
+                    let stable_now =
+                        state.prev_inv.is_some_and(|prev| (inv - prev).abs() < config.delta);
+                    state.prev_inv = Some(inv);
+                    if stable_now {
+                        state.stable += 1;
+                        if state.stable >= config.stable_checks {
+                            state.stable = 0;
+                            // A zero skip interval (initial_skip: 0) means
+                            // "never back off": entering the skipping phase
+                            // with 0 remaining would underflow below, so
+                            // keep profiling instead.
+                            if state.skip > 0 {
+                                state.phase = Phase::Skipping { remaining: state.skip };
+                                let next = (state.skip as f64 * config.backoff) as u64;
+                                state.skip = next.min(config.max_skip);
+                                self.events.backoffs += 1;
+                            }
+                        }
+                    } else {
+                        state.stable = 0;
+                    }
+                }
+            }
+            Phase::Skipping { ref mut remaining } => {
+                *remaining -= 1;
+                self.events.skipped += 1;
+                if *remaining == 0 {
+                    state.phase = Phase::Profiling { in_burst: 0 };
+                    self.events.resumes += 1;
+                }
+            }
+        }
+    }
+
+    /// Feeds a batch of `(instruction, value)` events in stream order.
+    pub fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        for &(index, value) in events {
+            self.observe(index, value);
+        }
+    }
+
     /// Merges the state of another convergent profiler (e.g. one that ran
     /// over a different shard of the workload) into this one, treating
     /// `other` as the *later* shard.
@@ -284,53 +348,7 @@ impl ConvergentProfiler {
 impl Analysis for ConvergentProfiler {
     fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
         let Some((_, value)) = event.dest else { return };
-        let config = self.config;
-        let state = self
-            .states
-            .entry(event.index)
-            .or_insert_with(|| ConvState::new(self.tracker_config, config.initial_skip));
-        state.total += 1;
-        match state.phase {
-            Phase::Profiling { ref mut in_burst } => {
-                state.tracker.observe(value);
-                state.profiled += 1;
-                self.events.profiled += 1;
-                *in_burst += 1;
-                if *in_burst >= config.burst {
-                    *in_burst = 0;
-                    let inv = state.tracker.inv_top(1);
-                    let stable_now =
-                        state.prev_inv.is_some_and(|prev| (inv - prev).abs() < config.delta);
-                    state.prev_inv = Some(inv);
-                    if stable_now {
-                        state.stable += 1;
-                        if state.stable >= config.stable_checks {
-                            state.stable = 0;
-                            // A zero skip interval (initial_skip: 0) means
-                            // "never back off": entering the skipping phase
-                            // with 0 remaining would underflow below, so
-                            // keep profiling instead.
-                            if state.skip > 0 {
-                                state.phase = Phase::Skipping { remaining: state.skip };
-                                let next = (state.skip as f64 * config.backoff) as u64;
-                                state.skip = next.min(config.max_skip);
-                                self.events.backoffs += 1;
-                            }
-                        }
-                    } else {
-                        state.stable = 0;
-                    }
-                }
-            }
-            Phase::Skipping { ref mut remaining } => {
-                *remaining -= 1;
-                self.events.skipped += 1;
-                if *remaining == 0 {
-                    state.phase = Phase::Profiling { in_burst: 0 };
-                    self.events.resumes += 1;
-                }
-            }
-        }
+        self.observe(event.index, value);
     }
 }
 

@@ -38,34 +38,10 @@ use crate::profile_io::{self, render_profile, ParseProfileError};
 /// Marker beginning the profile integrity footer line.
 pub const FOOTER_PREFIX: &str = "#vp-crc32";
 
-// ---------------------------------------------------------------------
-// CRC32 (IEEE 802.3, reflected), table-driven — no dependencies.
-// ---------------------------------------------------------------------
-
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC32 (IEEE) of a byte slice.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+// The CRC32 implementation lives in `vp_obs::crc` (the bottom of the
+// dependency order) so the binary trace codec in `vp-instrument` can
+// share it; re-exported here to keep `vp_core::durable::crc32` stable.
+pub use vp_obs::crc::crc32;
 
 // ---------------------------------------------------------------------
 // Atomic replace

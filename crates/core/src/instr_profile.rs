@@ -88,6 +88,40 @@ impl InstructionProfiler {
         aggregate(&self.metrics())
     }
 
+    /// Feeds one `(instruction, value)` event directly — the trace-replay
+    /// entry point; the [`Analysis`] callback delegates here.
+    pub fn observe(&mut self, index: u32, value: u64) {
+        let config = self.config;
+        self.trackers.entry(index).or_insert_with(|| ValueTracker::new(config)).observe(value);
+    }
+
+    /// Feeds a batch of `(instruction, value)` events — semantically
+    /// identical to calling [`observe`](InstructionProfiler::observe) once
+    /// per event, but consecutive events of the same instruction (the
+    /// common shape of a loop's hot load) resolve one hash-map lookup for
+    /// the whole run and take the tracker's batched fast path.
+    pub fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        let config = self.config;
+        let mut values: Vec<u64> = Vec::new();
+        let mut i = 0;
+        while i < events.len() {
+            let index = events[i].0;
+            let mut j = i + 1;
+            while j < events.len() && events[j].0 == index {
+                j += 1;
+            }
+            let tracker = self.trackers.entry(index).or_insert_with(|| ValueTracker::new(config));
+            if j == i + 1 {
+                tracker.observe(events[i].1);
+            } else {
+                values.clear();
+                values.extend(events[i..j].iter().map(|&(_, value)| value));
+                tracker.observe_batch(&values);
+            }
+            i = j;
+        }
+    }
+
     /// Merges another instruction profiler (e.g. the same program run on a
     /// different input, or a later shard of the same run) into this one.
     ///
@@ -144,10 +178,7 @@ impl InstructionProfiler {
 impl Analysis for InstructionProfiler {
     fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
         if let Some((_, value)) = event.dest {
-            self.trackers
-                .entry(event.index)
-                .or_insert_with(|| ValueTracker::new(self.config))
-                .observe(value);
+            self.observe(event.index, value);
         }
     }
 }

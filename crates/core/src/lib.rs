@@ -68,6 +68,7 @@ pub mod params;
 pub mod profile_io;
 pub mod report;
 pub mod sampled;
+pub mod shard;
 pub mod temporal;
 pub mod tnv;
 pub mod track;
@@ -87,6 +88,7 @@ pub use params::{ParamMetrics, ParamProfiler, ParamSlot};
 pub use profile_io::{parse_profile, render_profile, ParseProfileError};
 pub use report::{compare, group_by_class, render_metric_table, ProfileComparison, ReportRow};
 pub use sampled::{SampleStrategy, SampledProfiler};
+pub use shard::{partition_by_entity, profile_sharded, split_by_time, StreamProfiler};
 pub use temporal::{TemporalProfiler, WindowMetrics};
 pub use tnv::{Policy, TnvEntry, TnvTable};
 pub use track::{FullProfile, TrackerConfig, ValueTracker};

@@ -143,6 +143,59 @@ impl SampledProfiler {
         }
     }
 
+    /// Feeds one `(instruction, value)` event directly — the trace-replay
+    /// entry point; the [`Analysis`] callback delegates here.
+    ///
+    /// Under [`SampleStrategy::Periodic`] the sampling position is a
+    /// per-instruction countdown, so replay is insensitive to how
+    /// different instructions' subsequences interleave (entity-sharding
+    /// reproduces a live run exactly). [`SampleStrategy::Random`] draws
+    /// from a single profiler-wide generator whose sequence *does* depend
+    /// on the global interleaving — sharded replay of a random-sampled
+    /// profile is statistically equivalent but not bit-identical.
+    pub fn observe(&mut self, index: u32, value: u64) {
+        let strategy = self.strategy;
+        let config = self.tracker_config;
+        // Random draw decided before borrowing the state.
+        let random_hit = match strategy {
+            SampleStrategy::Random { period } => self.next_random().is_multiple_of(period),
+            SampleStrategy::Periodic { .. } => false,
+        };
+        let state = self.states.entry(index).or_insert_with(|| SampleState {
+            tracker: ValueTracker::new(config),
+            countdown: 0,
+            profiled: 0,
+            total: 0,
+        });
+        state.total += 1;
+        let hit = match strategy {
+            SampleStrategy::Periodic { period } => {
+                if state.countdown == 0 {
+                    state.countdown = period - 1;
+                    true
+                } else {
+                    state.countdown -= 1;
+                    false
+                }
+            }
+            SampleStrategy::Random { .. } => random_hit,
+        };
+        if hit {
+            state.tracker.observe(value);
+            state.profiled += 1;
+            self.events.taken += 1;
+        } else {
+            self.events.skipped += 1;
+        }
+    }
+
+    /// Feeds a batch of `(instruction, value)` events in stream order.
+    pub fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        for &(index, value) in events {
+            self.observe(index, value);
+        }
+    }
+
     /// Merges the state of another sampled profiler (a later shard of the
     /// same workload) into this one: per-instruction trackers merge via
     /// [`ValueTracker::merge`] and profiled/total counters sum. This
@@ -189,39 +242,7 @@ impl SampledProfiler {
 impl Analysis for SampledProfiler {
     fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
         let Some((_, value)) = event.dest else { return };
-        let strategy = self.strategy;
-        let config = self.tracker_config;
-        // Random draw decided before borrowing the state.
-        let random_hit = match strategy {
-            SampleStrategy::Random { period } => self.next_random().is_multiple_of(period),
-            SampleStrategy::Periodic { .. } => false,
-        };
-        let state = self.states.entry(event.index).or_insert_with(|| SampleState {
-            tracker: ValueTracker::new(config),
-            countdown: 0,
-            profiled: 0,
-            total: 0,
-        });
-        state.total += 1;
-        let hit = match strategy {
-            SampleStrategy::Periodic { period } => {
-                if state.countdown == 0 {
-                    state.countdown = period - 1;
-                    true
-                } else {
-                    state.countdown -= 1;
-                    false
-                }
-            }
-            SampleStrategy::Random { .. } => random_hit,
-        };
-        if hit {
-            state.tracker.observe(value);
-            state.profiled += 1;
-            self.events.taken += 1;
-        } else {
-            self.events.skipped += 1;
-        }
+        self.observe(event.index, value);
     }
 }
 

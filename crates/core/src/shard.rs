@@ -1,0 +1,199 @@
+//! Intra-workload sharded profiling: split one workload's recorded
+//! `(pc, value)` stream across workers, profile the shards in parallel,
+//! and `merge()` the results.
+//!
+//! PR 1 parallelized *across* workloads; this module parallelizes
+//! *within* one, which is what helps when a single large workload
+//! dominates the suite. Two split strategies exist, with different
+//! exactness guarantees:
+//!
+//! * **By entity** ([`partition_by_entity`]) — events are routed by
+//!   `pc % shards`, so each instruction's full value subsequence lands
+//!   on exactly one shard, in order. Per-entity profiler state (TNV
+//!   tables, LVP chains, the convergent state machine, periodic-sample
+//!   countdowns) never observes a difference from a serial pass, and the
+//!   merge is a disjoint union — the sharded result is **bit-identical**
+//!   to serial for the full, convergent, and periodic-sampled profilers.
+//!   The one exception is [`SampleStrategy::Random`], whose single
+//!   profiler-wide generator depends on the global event interleaving.
+//! * **By time** ([`split_by_time`]) — contiguous chunks of the stream.
+//!   Scalar counters (executions, zeros, LVP including the shard-boundary
+//!   hit) and exact histograms still merge exactly, but each shard's TNV
+//!   table evicts independently, so merged `Inv-Top` is a slightly deeper
+//!   under-estimate than a serial table's (quantified by the ε-bound in
+//!   the differential oracle). It is the right split when one entity
+//!   dominates the stream and entity routing cannot balance the work.
+//!
+//! `vprof profile-suite --shards N` and `vprof replay --shards N` use the
+//! by-entity split, so their output is byte-identical to a serial run.
+//!
+//! [`SampleStrategy::Random`]: crate::sampled::SampleStrategy::Random
+
+use vp_instrument::parallel_map;
+
+use crate::convergent::ConvergentProfiler;
+use crate::instr_profile::InstructionProfiler;
+use crate::sampled::SampledProfiler;
+
+/// A profiler that can consume a raw `(pc, value)` event stream and fold
+/// in shard results — what the sharded trace-replay path requires.
+pub trait StreamProfiler: Send {
+    /// Feeds one event.
+    fn observe(&mut self, pc: u32, value: u64);
+
+    /// Feeds a batch of events in stream order.
+    fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        for &(pc, value) in events {
+            self.observe(pc, value);
+        }
+    }
+
+    /// Folds in the result of a *later* shard.
+    fn merge_shard(&mut self, later: Self);
+}
+
+impl StreamProfiler for InstructionProfiler {
+    fn observe(&mut self, pc: u32, value: u64) {
+        InstructionProfiler::observe(self, pc, value);
+    }
+
+    fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        InstructionProfiler::observe_batch(self, events);
+    }
+
+    fn merge_shard(&mut self, later: InstructionProfiler) {
+        self.merge(later);
+    }
+}
+
+impl StreamProfiler for ConvergentProfiler {
+    fn observe(&mut self, pc: u32, value: u64) {
+        ConvergentProfiler::observe(self, pc, value);
+    }
+
+    fn merge_shard(&mut self, later: ConvergentProfiler) {
+        self.merge(later);
+    }
+}
+
+impl StreamProfiler for SampledProfiler {
+    fn observe(&mut self, pc: u32, value: u64) {
+        SampledProfiler::observe(self, pc, value);
+    }
+
+    fn merge_shard(&mut self, later: SampledProfiler) {
+        self.merge(later);
+    }
+}
+
+/// Routes each event to shard `pc % shards`, preserving per-entity order.
+/// Every entity's full subsequence lands on exactly one shard.
+pub fn partition_by_entity(events: &[(u32, u64)], shards: usize) -> Vec<Vec<(u32, u64)>> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<(u32, u64)>> = (0..shards).map(|_| Vec::new()).collect();
+    for &event in events {
+        parts[event.0 as usize % shards].push(event);
+    }
+    parts
+}
+
+/// Splits the stream into up to `shards` contiguous chunks of near-equal
+/// length (fewer when there are fewer events than shards).
+pub fn split_by_time(events: &[(u32, u64)], shards: usize) -> Vec<&[(u32, u64)]> {
+    let shards = shards.max(1);
+    if events.is_empty() {
+        return vec![events];
+    }
+    let chunk = events.len().div_ceil(shards);
+    events.chunks(chunk).collect()
+}
+
+/// Profiles `events` across `shards` entity-sharded workers (one thread
+/// per shard via [`parallel_map`]) and merges the shard profilers in
+/// shard order. `make` builds one identically-configured profiler per
+/// shard.
+///
+/// With `shards <= 1` the stream is profiled on the calling thread (via
+/// the batched path), which is the serial reference the differential
+/// oracle compares against.
+pub fn profile_sharded<P, F>(events: &[(u32, u64)], shards: usize, make: F) -> P
+where
+    P: StreamProfiler,
+    F: Fn() -> P + Sync,
+{
+    if shards <= 1 {
+        let mut profiler = make();
+        profiler.observe_batch(events);
+        return profiler;
+    }
+    let parts = partition_by_entity(events, shards);
+    let mut results: Vec<P> = parallel_map(shards, &parts, |part| {
+        let mut profiler = make();
+        profiler.observe_batch(part);
+        profiler
+    });
+    let mut merged = results.remove(0);
+    for later in results {
+        merged.merge_shard(later);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::TrackerConfig;
+
+    fn stream() -> Vec<(u32, u64)> {
+        (0..5000u32).map(|i| (i % 11, u64::from(i % 7) * 3)).collect()
+    }
+
+    #[test]
+    fn partition_routes_every_event_once() {
+        let events = stream();
+        let parts = partition_by_entity(&events, 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), events.len());
+        for (shard, part) in parts.iter().enumerate() {
+            assert!(part.iter().all(|&(pc, _)| pc as usize % 4 == shard));
+        }
+    }
+
+    #[test]
+    fn split_by_time_is_contiguous_and_complete() {
+        let events = stream();
+        let parts = split_by_time(&events, 7);
+        let glued: Vec<(u32, u64)> = parts.concat();
+        assert_eq!(glued, events);
+        assert!(parts.len() <= 7);
+        assert!(split_by_time(&[], 3).concat().is_empty());
+    }
+
+    #[test]
+    fn sharded_full_profile_matches_serial() {
+        let events = stream();
+        let serial =
+            profile_sharded(&events, 1, || InstructionProfiler::new(TrackerConfig::with_full()));
+        for shards in [2, 3, 8, 64] {
+            let sharded = profile_sharded(&events, shards, || {
+                InstructionProfiler::new(TrackerConfig::with_full())
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_entities_leaves_empty_shards() {
+        let events = vec![(0u32, 5u64); 100];
+        let sharded =
+            profile_sharded(&events, 16, || InstructionProfiler::new(TrackerConfig::default()));
+        assert_eq!(sharded.profiled_instructions(), 1);
+        assert_eq!(sharded.metrics()[0].executions, 100);
+    }
+
+    #[test]
+    fn empty_stream_profiles_to_nothing() {
+        let p = profile_sharded(&[], 4, || InstructionProfiler::new(TrackerConfig::default()));
+        assert_eq!(p.profiled_instructions(), 0);
+    }
+}

@@ -166,6 +166,38 @@ impl ValueTracker {
         }
     }
 
+    /// Records a batch of produced values — semantically identical to
+    /// calling [`observe`](ValueTracker::observe) once per value, but the
+    /// scalar counters update in one pass over the slice and the TNV
+    /// table takes its batched fast path.
+    pub fn observe_batch(&mut self, values: &[u64]) {
+        let (&first, &last) = match (values.first(), values.last()) {
+            (Some(first), Some(last)) => (first, last),
+            _ => return,
+        };
+        self.executions += values.len() as u64;
+        let mut prev = self.last;
+        for &value in values {
+            if value == 0 {
+                self.zeros += 1;
+            }
+            if prev == Some(value) {
+                self.lvp_hits += 1;
+            }
+            prev = Some(value);
+        }
+        if self.first.is_none() {
+            self.first = Some(first);
+        }
+        self.last = Some(last);
+        self.tnv.observe_batch(values);
+        if let Some(full) = &mut self.full {
+            for &value in values {
+                full.observe(value);
+            }
+        }
+    }
+
     /// Merges another tracker into this one, treating `other` as the
     /// *later* shard of the same entity's value stream.
     ///

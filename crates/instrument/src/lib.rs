@@ -17,7 +17,9 @@
 //!   counting every analysis invocation so profiling *overhead* can be
 //!   reported exactly (experiment E12),
 //! * [`Trace`] — record the event stream once, replay it into any number
-//!   of analyses offline (the era's trace-driven methodology).
+//!   of analyses offline (the era's trace-driven methodology),
+//! * [`trace_codec`] — the compact varint-chunked `(pc, value)` trace
+//!   format behind `vprof record`/`replay` and intra-workload sharding.
 //!
 //! ## Example: counting load instructions
 //!
@@ -52,6 +54,7 @@ pub mod parallel;
 pub mod plan;
 pub mod runner;
 pub mod trace;
+pub mod trace_codec;
 pub mod view;
 
 pub use parallel::{
@@ -61,4 +64,5 @@ pub use parallel::{
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};
 pub use trace::{Trace, TraceError, TraceEvent};
+pub use trace_codec::{ChunkReader, CodecError, TraceEncoder, TraceStats};
 pub use view::{InstrRef, ProcView, ProgramView};

@@ -1,0 +1,78 @@
+//! Property tests for the binary trace codec: encoding is lossless for
+//! arbitrary event streams at any chunking, and damaged traces are
+//! *rejected* — never silently mis-decoded.
+
+use proptest::prelude::*;
+use vp_instrument::trace_codec::{decode, encode, stats};
+
+/// Values skewed toward the varint boundaries (0, one-byte, two-byte,
+/// max) with a uniform tail — the cases where a length bug would hide.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        0u64..=0x7F,
+        0x80u64..=0x3FFF,
+        Just(u64::MAX),
+        Just(1u64 << 63),
+        any::<u64>(),
+    ]
+}
+
+fn arb_pc() -> impl Strategy<Value = u32> {
+    prop_oneof![0u32..=255, Just(u32::MAX), any::<u32>()]
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((arb_pc(), arb_value()), 0..400)
+}
+
+proptest! {
+    #[test]
+    fn round_trip_is_identity(events in arb_events(), chunk in 1usize..600) {
+        let bytes = encode(&events, chunk);
+        prop_assert_eq!(decode(&bytes).unwrap(), events.clone());
+        let s = stats(&bytes).unwrap();
+        prop_assert_eq!(s.events, events.len() as u64);
+        prop_assert_eq!(s.chunks as usize, events.len().div_ceil(chunk));
+        prop_assert_eq!(s.bytes as usize, bytes.len());
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible(
+        events in arb_events(),
+        a in 1usize..600,
+        b in 1usize..600,
+    ) {
+        // Any two chunkings of the same stream decode identically; only
+        // the container layout differs.
+        prop_assert_eq!(decode(&encode(&events, a)).unwrap(), decode(&encode(&events, b)).unwrap());
+    }
+
+    #[test]
+    fn truncated_traces_are_rejected(events in arb_events(), chunk in 1usize..600, cut in any::<u64>()) {
+        // Every strict prefix is missing at least the trailer, so it must
+        // error — not decode to a shorter stream.
+        let bytes = encode(&events, chunk);
+        let cut = (cut % bytes.len() as u64) as usize;
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flips_are_rejected(events in arb_events(), chunk in 1usize..600, pos in any::<u64>(), bit in 0u32..8) {
+        // Every byte of the container is covered by the magic check, a
+        // chunk CRC, or the trailer CRC, so any single-bit flip must be
+        // detected.
+        let mut bytes = encode(&events, chunk);
+        let pos = (pos % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(decode(&bytes).is_err());
+    }
+}
+
+#[test]
+fn empty_stream_round_trips() {
+    let bytes = encode(&[], 64);
+    assert_eq!(decode(&bytes).unwrap(), Vec::<(u32, u64)>::new());
+    let s = stats(&bytes).unwrap();
+    assert_eq!((s.events, s.chunks), (0, 0));
+}

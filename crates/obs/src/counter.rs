@@ -58,6 +58,12 @@ pub enum CounterId {
     WorkloadRetry,
     /// Workloads given up on after the retry budget was exhausted.
     WorkloadQuarantined,
+    /// Shard profilers run by the intra-workload sharded path.
+    TraceShards,
+    /// Value-trace events replayed through the batched/sharded path.
+    TraceEvents,
+    /// Binary trace chunks encoded or decoded.
+    TraceChunks,
 }
 
 impl CounterId {
@@ -65,7 +71,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 21] = [
+    pub const ALL: [CounterId; 24] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -87,6 +93,9 @@ impl CounterId {
         CounterId::WorkloadPanic,
         CounterId::WorkloadRetry,
         CounterId::WorkloadQuarantined,
+        CounterId::TraceShards,
+        CounterId::TraceEvents,
+        CounterId::TraceChunks,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -113,6 +122,9 @@ impl CounterId {
             CounterId::WorkloadPanic => "workload_panics",
             CounterId::WorkloadRetry => "workload_retries",
             CounterId::WorkloadQuarantined => "workload_quarantined",
+            CounterId::TraceShards => "trace_shards",
+            CounterId::TraceEvents => "trace_events",
+            CounterId::TraceChunks => "trace_chunks",
         }
     }
 

@@ -1,0 +1,51 @@
+//! CRC32 (IEEE 802.3, reflected), table-driven — no dependencies.
+//!
+//! One checksum implementation serves every integrity footer in the
+//! workspace: the durable profile files in `vp-core` and the binary
+//! trace chunks in `vp-instrument` (which sits *below* `vp-core` in the
+//! dependency order, so the shared code lives here at the bottom).
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_any_bit() {
+        let base = crc32(b"value profiling");
+        let mut bytes = b"value profiling".to_vec();
+        bytes[3] ^= 0x10;
+        assert_ne!(crc32(&bytes), base);
+    }
+}

@@ -12,6 +12,8 @@
 //!   ([`TnvEvents`], [`ConvEvents`], [`SampleEvents`]) that the profilers
 //!   in `vp-core` maintain as plain `u64` increments on their hot paths —
 //!   deterministic, mergeable, and practically free;
+//! * [`crc`] — the table-driven CRC32 behind every integrity footer in
+//!   the workspace (durable profile files, binary trace chunks);
 //! * [`hist`] — [`Log2Histogram`], a 65-bucket power-of-two histogram for
 //!   timing distributions (queue waits, per-workload wall times);
 //! * [`recorder`] — the [`Recorder`] sink trait. The default
@@ -36,6 +38,7 @@
 //! ```
 
 pub mod counter;
+pub mod crc;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -43,6 +46,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use counter::{ConvEvents, CounterId, Counts, SampleEvents, TnvEvents};
+pub use crc::crc32;
 pub use hist::Log2Histogram;
 pub use json::Json;
 pub use recorder::{HistId, MemRecorder, NullRecorder, Recorder, Stopwatch};

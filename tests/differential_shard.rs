@@ -1,0 +1,263 @@
+//! Differential oracle: sharded profiling against serial, and the batched
+//! observe path against the scalar loop.
+//!
+//! Two families of equivalences are checked over real workload traces and
+//! adversarial synthetic streams:
+//!
+//! * **Entity sharding** (`pc % shards`) is *bit-identical* to a serial
+//!   pass for every profiler whose state is per-instruction — the full
+//!   profiler, the convergent profiler, and periodic sampling. Metrics,
+//!   per-instruction stats, and telemetry event counters must all be
+//!   exactly equal for shards ∈ {1, 2, 7}. Random sampling is the one
+//!   exclusion: its single profiler-wide generator consumes draws in
+//!   global stream order, so any split reorders the sequence.
+//! * **Time sharding** (contiguous chunks) keeps every scalar and
+//!   full-histogram metric exact — including the last-value chain across
+//!   shard boundaries — while the TNV-derived estimates only carry an
+//!   ε-bound, because each shard's table evicts independently.
+//!
+//! Separately, `observe_batch` must equal an `observe` loop *exactly* on
+//! every layer it short-circuits: the TNV table (all three replacement
+//! policies, including streams that straddle clear boundaries), the value
+//! tracker, and the instruction profiler.
+
+use value_profiling::core::{
+    profile_sharded, split_by_time,
+    tnv::{Policy, TnvTable},
+    track::TrackerConfig,
+    ConvergentConfig, ConvergentProfiler, InstructionProfiler, SampleStrategy, SampledProfiler,
+    ValueTracker,
+};
+use value_profiling::instrument::Selection;
+use value_profiling::workloads::{suite, DataSet};
+use vp_bench::value_stream;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Recorded traces from real workloads plus synthetic adversarial streams
+/// (single hot entity, clear-boundary straddlers, value collisions).
+fn streams() -> Vec<(String, Vec<(u32, u64)>)> {
+    let mut out: Vec<(String, Vec<(u32, u64)>)> = Vec::new();
+    for w in &suite()[..3] {
+        out.push((
+            format!("{}/loads", w.name()),
+            value_stream(w, DataSet::Test, Selection::LoadsOnly),
+        ));
+    }
+    out.push((
+        "suite0/all".to_string(),
+        value_stream(&suite()[0], DataSet::Train, Selection::RegisterDefining),
+    ));
+    // One entity dominating: entity sharding cannot balance this, but it
+    // must still be exact.
+    out.push(("hot-entity".to_string(), (0..4000u64).map(|i| (3, i % 5)).collect()));
+    // Many entities with colliding values and a long invariant tail.
+    out.push((
+        "mixed".to_string(),
+        (0..20_000u64)
+            .map(|i| {
+                let pc = (i * 7 % 23) as u32;
+                let value = if i % 3 == 0 { 42 } else { i % 11 };
+                (pc, value)
+            })
+            .collect(),
+    ));
+    out.push(("empty".to_string(), Vec::new()));
+    out
+}
+
+#[test]
+fn entity_sharded_full_profiler_is_bit_identical_to_serial() {
+    for (name, events) in streams() {
+        let mut serial = InstructionProfiler::new(TrackerConfig::with_full());
+        serial.observe_batch(&events);
+        for shards in SHARD_COUNTS {
+            let sharded = profile_sharded(&events, shards, || {
+                InstructionProfiler::new(TrackerConfig::with_full())
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "{name} shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "{name} shards={shards}");
+        }
+    }
+}
+
+#[test]
+fn entity_sharded_convergent_profiler_is_bit_identical_to_serial() {
+    let config = ConvergentConfig::default();
+    for (name, events) in streams() {
+        let mut serial = ConvergentProfiler::new(TrackerConfig::default(), config);
+        for &(pc, value) in &events {
+            serial.observe(pc, value);
+        }
+        for shards in SHARD_COUNTS {
+            let sharded = profile_sharded(&events, shards, || {
+                ConvergentProfiler::new(TrackerConfig::default(), config)
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "{name} shards={shards}");
+            assert_eq!(sharded.stats(), serial.stats(), "{name} shards={shards}");
+            assert_eq!(sharded.events(), serial.events(), "{name} shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "{name} shards={shards}");
+            assert_eq!(
+                sharded.overall_profile_fraction(),
+                serial.overall_profile_fraction(),
+                "{name} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn entity_sharded_periodic_sampling_is_bit_identical_to_serial() {
+    // Periodic sampling keeps one countdown per instruction, so entity
+    // sharding preserves it exactly. `SampleStrategy::Random` is excluded
+    // by design: its profiler-global generator is consumed in stream
+    // order, which no split preserves (see `vp_core::shard`).
+    let strategy = SampleStrategy::Periodic { period: 13 };
+    for (name, events) in streams() {
+        let mut serial = SampledProfiler::new(TrackerConfig::default(), strategy);
+        for &(pc, value) in &events {
+            serial.observe(pc, value);
+        }
+        for shards in SHARD_COUNTS {
+            let sharded = profile_sharded(&events, shards, || {
+                SampledProfiler::new(TrackerConfig::default(), strategy)
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "{name} shards={shards}");
+            assert_eq!(sharded.events(), serial.events(), "{name} shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "{name} shards={shards}");
+        }
+    }
+}
+
+/// TNV tables on different shards evict independently, so time-sharded
+/// `inv_top*` may under-estimate more deeply than a serial table's. The
+/// bound matches the merge oracle in `vp-core`'s proptest suite.
+const TNV_EPSILON: f64 = 0.35;
+
+#[test]
+fn time_sharded_scalar_metrics_exact_and_tnv_bounded() {
+    for (name, events) in streams() {
+        let mut serial = InstructionProfiler::new(TrackerConfig::with_full());
+        serial.observe_batch(&events);
+        for shards in SHARD_COUNTS {
+            let mut parts = split_by_time(&events, shards).into_iter();
+            let mut merged = InstructionProfiler::new(TrackerConfig::with_full());
+            merged.observe_batch(parts.next().expect("at least one part"));
+            for part in parts {
+                let mut shard = InstructionProfiler::new(TrackerConfig::with_full());
+                shard.observe_batch(part);
+                merged.merge(shard);
+            }
+            let (sm, xm) = (serial.metrics(), merged.metrics());
+            assert_eq!(sm.len(), xm.len(), "{name} shards={shards}");
+            for (s, x) in sm.iter().zip(&xm) {
+                let at = format!("{name} shards={shards} pc={}", s.id);
+                // Scalar counters and full-histogram metrics are exact —
+                // including LVP hits across shard boundaries, which the
+                // merge re-links via the boundary values.
+                assert_eq!(s.id, x.id, "{at}");
+                assert_eq!(s.executions, x.executions, "{at}");
+                assert_eq!(s.lvp, x.lvp, "{at}");
+                assert_eq!(s.pct_zero, x.pct_zero, "{at}");
+                assert_eq!(s.inv_all1, x.inv_all1, "{at}");
+                assert_eq!(s.inv_alln, x.inv_alln, "{at}");
+                assert_eq!(s.distinct, x.distinct, "{at}");
+                // TNV-derived estimates carry the documented ε-bound.
+                assert!((s.inv_top1 - x.inv_top1).abs() <= TNV_EPSILON, "{at}");
+                assert!((s.inv_topn - x.inv_topn).abs() <= TNV_EPSILON, "{at}");
+            }
+        }
+    }
+}
+
+/// Value streams that exercise the TNV fast path and every way out of it:
+/// top-slot runs, churn, collisions, and clear-boundary straddles.
+fn value_streams() -> Vec<(String, Vec<u64>)> {
+    let mut out = vec![
+        ("empty".to_string(), Vec::new()),
+        ("constant".to_string(), vec![7; 5000]),
+        ("alternating".to_string(), (0..5000).map(|i| u64::from(i % 2 == 0)).collect()),
+        ("counter".to_string(), (0..5000).collect()),
+        ("runs".to_string(), (0..5000).map(|i| i / 97).collect()),
+        ("skewed".to_string(), (0..5000u64).map(|i| if i % 5 == 4 { i % 23 } else { 9 }).collect()),
+    ];
+    for (_, events) in streams() {
+        if let Some(&(pc, _)) = events.first() {
+            let values =
+                events.iter().filter(|&&(p, _)| p == pc).map(|&(_, v)| v).collect::<Vec<u64>>();
+            out.push((format!("trace-pc{pc}"), values));
+        }
+    }
+    out
+}
+
+#[test]
+fn tnv_observe_batch_equals_observe_loop_exactly() {
+    // `clear_interval: 5` forces many clear boundaries inside a single
+    // batch; the fast path must take none of the boundary observations.
+    let policies = [
+        Policy::default(),
+        Policy::LfuClear { steady: 2, clear_interval: 5 },
+        Policy::Lfu,
+        Policy::Lru,
+    ];
+    for policy in policies {
+        for (name, values) in value_streams() {
+            let mut scalar = TnvTable::new(8, policy);
+            for &v in &values {
+                scalar.observe(v);
+            }
+            for batch in [1usize, 3, 64, values.len().max(1)] {
+                let mut batched = TnvTable::new(8, policy);
+                for chunk in values.chunks(batch) {
+                    batched.observe_batch(chunk);
+                }
+                assert_eq!(batched, scalar, "{name} policy={policy:?} batch={batch}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tracker_observe_batch_equals_observe_loop_exactly() {
+    for config in [TrackerConfig::default(), TrackerConfig::with_full()] {
+        for (name, values) in value_streams() {
+            let mut scalar = ValueTracker::new(config);
+            for &v in &values {
+                scalar.observe(v);
+            }
+            for batch in [1usize, 7, 1024] {
+                let mut batched = ValueTracker::new(config);
+                for chunk in values.chunks(batch) {
+                    batched.observe_batch(chunk);
+                }
+                let at = format!("{name} batch={batch}");
+                assert_eq!(batched.executions(), scalar.executions(), "{at}");
+                assert_eq!(batched.lvp(), scalar.lvp(), "{at}");
+                assert_eq!(batched.pct_zero(), scalar.pct_zero(), "{at}");
+                assert_eq!(batched.last_value(), scalar.last_value(), "{at}");
+                assert_eq!(batched.tnv(), scalar.tnv(), "{at}");
+                assert_eq!(batched.inv_all(1), scalar.inv_all(1), "{at}");
+                assert_eq!(batched.distinct(), scalar.distinct(), "{at}");
+            }
+        }
+    }
+}
+
+#[test]
+fn profiler_observe_batch_equals_observe_loop_exactly() {
+    for (name, events) in streams() {
+        let mut scalar = InstructionProfiler::new(TrackerConfig::with_full());
+        for &(pc, value) in &events {
+            scalar.observe(pc, value);
+        }
+        for batch in [1usize, 5, 333, events.len().max(1)] {
+            let mut batched = InstructionProfiler::new(TrackerConfig::with_full());
+            for chunk in events.chunks(batch) {
+                batched.observe_batch(chunk);
+            }
+            assert_eq!(batched.metrics(), scalar.metrics(), "{name} batch={batch}");
+            assert_eq!(batched.tnv_events(), scalar.tnv_events(), "{name} batch={batch}");
+        }
+    }
+}
