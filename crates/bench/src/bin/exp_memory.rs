@@ -9,6 +9,7 @@
 
 use vp_core::{render_metric_table, report::row, track::TrackerConfig, MemoryProfiler};
 use vp_instrument::{Instrumenter, Selection};
+use vp_obs::{telemetry::record, CounterId, Counts, Json};
 use vp_workloads::{suite, DataSet};
 
 fn main() {
@@ -16,6 +17,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut hot_lines = Vec::new();
+    let mut events = Counts::new();
     for w in suite() {
         let mut profiler = MemoryProfiler::new(TrackerConfig::with_full());
         Instrumenter::new()
@@ -23,6 +25,15 @@ fn main() {
             .run(w.program(), w.machine_config(DataSet::Test), vp_bench::BUDGET, &mut profiler)
             .expect("memory profile run");
         rows.push(row(w.name(), &profiler.metrics()));
+        profiler.tnv_events().add_to(&mut events);
+        events.add(CounterId::MemDropped, profiler.dropped());
+        if profiler.dropped() > 0 {
+            eprintln!(
+                "warning: {}: {} stores dropped at the location cap — rows are incomplete",
+                w.name(),
+                profiler.dropped()
+            );
+        }
         let hottest: Vec<String> = profiler
             .hottest(3)
             .into_iter()
@@ -41,5 +52,17 @@ fn main() {
     println!("location counts and hot spots:");
     for line in hot_lines {
         println!("  {line}");
+    }
+
+    // One run record with the summed TNV and drop counters, so `vprof
+    // stats` can surface cap-dropped stores across E9.
+    let records = vec![record(
+        "run",
+        "exp-memory",
+        vec![("tool", Json::Str("exp-memory".to_string())), ("events", events.to_json())],
+    )];
+    let path = vp_bench::default_path();
+    if let Err(e) = vp_bench::append_jsonl(&path, &records) {
+        eprintln!("warning: cannot append telemetry to {}: {e}", path.display());
     }
 }

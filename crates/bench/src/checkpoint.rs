@@ -21,7 +21,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use vp_core::{aggregate, durable, EntityMetrics, FaultPlan};
+use vp_core::{aggregate, durable, EntityMetrics, FaultPlan, GovernorStats};
 use vp_obs::telemetry::{parse_jsonl_lenient, record, to_jsonl};
 use vp_obs::{Counts, Json};
 
@@ -100,20 +100,30 @@ fn metric_from_json(j: &Json) -> Result<EntityMetrics, String> {
     })
 }
 
-/// Serializes one finished workload as a checkpoint record.
+/// Serializes one finished workload as a checkpoint record. The governor
+/// field is emitted only on governed runs, so ungoverned checkpoint files
+/// stay byte-identical to the pre-governor format.
 fn checkpoint_record(profile: &WorkloadProfile) -> Json {
-    record(
-        KIND,
-        profile.name,
-        vec![
-            ("profile_fraction", bits(profile.profile_fraction)),
-            ("instructions", Json::U64(profile.instructions)),
-            ("wall_ns", Json::U64(profile.wall_ns)),
-            ("baseline_wall_ns", opt_u64(profile.baseline_wall_ns)),
-            ("events", profile.events.to_json()),
-            ("metrics", Json::Arr(profile.metrics.iter().map(metric_to_json).collect())),
-        ],
-    )
+    let mut fields = vec![
+        ("profile_fraction", bits(profile.profile_fraction)),
+        ("instructions", Json::U64(profile.instructions)),
+        ("wall_ns", Json::U64(profile.wall_ns)),
+        ("baseline_wall_ns", opt_u64(profile.baseline_wall_ns)),
+        ("events", profile.events.to_json()),
+        ("metrics", Json::Arr(profile.metrics.iter().map(metric_to_json).collect())),
+    ];
+    if let Some(gov) = &profile.governor {
+        fields.push((
+            "governor",
+            Json::Arr(vec![
+                Json::U64(gov.bytes_peak),
+                Json::U64(gov.entities_degraded),
+                Json::U64(gov.entities_dropped),
+                Json::U64(gov.observations_dropped),
+            ]),
+        ));
+    }
+    record(KIND, profile.name, fields)
 }
 
 /// Everything a checkpoint record stores about one workload — the name is
@@ -127,6 +137,21 @@ struct Restored {
     events: Counts,
     wall_ns: u64,
     baseline_wall_ns: Option<u64>,
+    governor: Option<GovernorStats>,
+}
+
+fn governor_from_json(j: &Json) -> Result<GovernorStats, String> {
+    let Json::Arr(v) = j else { return Err("governor is not an array".to_string()) };
+    if v.len() != 4 {
+        return Err(format!("governor has {} fields, expected 4", v.len()));
+    }
+    let u = |i: usize| v[i].as_u64().ok_or_else(|| format!("bad integer in governor field {i}"));
+    Ok(GovernorStats {
+        bytes_peak: u(0)?,
+        entities_degraded: u(1)?,
+        entities_dropped: u(2)?,
+        observations_dropped: u(3)?,
+    })
 }
 
 fn parse_checkpoint(rec: &Json) -> Result<(String, Restored), String> {
@@ -154,6 +179,11 @@ fn parse_checkpoint(rec: &Json) -> Result<(String, Restored), String> {
         events: Counts::from_json(field("events")?),
         wall_ns: field("wall_ns")?.as_u64().ok_or_else(|| format!("{name}: bad wall_ns"))?,
         baseline_wall_ns: opt_from_u64(field("baseline_wall_ns")?)
+            .map_err(|e| format!("{name}: {e}"))?,
+        governor: rec
+            .get("governor")
+            .map(governor_from_json)
+            .transpose()
             .map_err(|e| format!("{name}: {e}"))?,
     };
     Ok((name, restored))
@@ -241,6 +271,7 @@ impl Checkpoint {
             events: r.events,
             wall_ns: r.wall_ns,
             baseline_wall_ns: r.baseline_wall_ns,
+            governor: r.governor,
         })
     }
 

@@ -9,15 +9,17 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 use vp_core::{
     aggregate, merge_entity_metrics, profile_sharded, render_metric_table, report::row,
     track::TrackerConfig, Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics,
-    FaultPlan, InstructionProfiler, ReportRow, SampleStrategy, SampledProfiler,
+    FaultPlan, GovernorStats, InstructionProfiler, MemBudget, ReportRow, SampleStrategy,
+    SampledProfiler,
 };
 use vp_instrument::{
-    parallel_map_observed, trace_codec, try_parallel_map_observed, Analysis, InstrumentedRun,
-    Instrumenter, Selection,
+    parallel_map_observed, trace_codec, try_parallel_map_deadline, Analysis, FailureKind,
+    InstrumentedRun, Instrumenter, Selection,
 };
 use vp_obs::recorder::Stopwatch;
 use vp_obs::{CounterId, Counts, HistId, NullRecorder, Recorder};
@@ -63,6 +65,11 @@ pub struct WorkloadProfile {
     /// baseline measurement was requested — the denominator of the
     /// profiling-slowdown figure.
     pub baseline_wall_ns: Option<u64>,
+    /// Memory-governor counters of this workload's run, present only when
+    /// a budget was armed ([`SuiteRunner::mem_budget`]). `None` on
+    /// ungoverned runs, keeping their profiles byte-identical to before
+    /// the governor existed.
+    pub governor: Option<GovernorStats>,
 }
 
 impl WorkloadProfile {
@@ -165,8 +172,23 @@ pub struct WorkloadFailure {
     pub name: &'static str,
     /// Attempts made (first run plus retries).
     pub attempts: u64,
-    /// The final attempt's panic message.
+    /// How the final attempt failed: a caught panic, or cooperative
+    /// cancellation after the wall-clock deadline.
+    pub kind: FailureKind,
+    /// The final attempt's panic message (a fixed `deadline exceeded` for
+    /// timeouts, kept deterministic).
     pub error: String,
+}
+
+impl WorkloadFailure {
+    /// Stable lower-case label of [`kind`](WorkloadFailure::kind), as
+    /// rendered in failure tables and telemetry.
+    pub fn kind_str(&self) -> &'static str {
+        match self.kind {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        }
+    }
 }
 
 /// Result of a fault-tolerant suite run: the profiles that succeeded, the
@@ -180,8 +202,9 @@ pub struct SuiteOutcome {
     /// Workloads quarantined after exhausting the retry budget.
     pub failures: Vec<WorkloadFailure>,
     /// Fault counters of this run: `WorkloadPanic` per caught panic,
-    /// `WorkloadRetry` per workload-retry, `WorkloadQuarantined` per
-    /// giving-up. All zero on a clean run.
+    /// `WorkloadTimeout` per deadline cancellation, `WorkloadRetry` per
+    /// workload-retry, `WorkloadQuarantined` per giving-up. All zero on a
+    /// clean run.
     pub faults: Counts,
 }
 
@@ -198,9 +221,15 @@ impl SuiteOutcome {
             return String::new();
         }
         let mut out = String::new();
-        out.push_str(&format!("{:<16} {:>8}  error\n", "failed", "attempts"));
+        out.push_str(&format!("{:<16} {:>8}  {:<8}  error\n", "failed", "attempts", "kind"));
         for f in &self.failures {
-            out.push_str(&format!("{:<16} {:>8}  {}\n", f.name, f.attempts, f.error));
+            out.push_str(&format!(
+                "{:<16} {:>8}  {:<8}  {}\n",
+                f.name,
+                f.attempts,
+                f.kind_str(),
+                f.error
+            ));
         }
         out
     }
@@ -228,6 +257,8 @@ pub struct SuiteRunner {
     retry: RetryPolicy,
     faults: Arc<FaultPlan>,
     checkpoint: Option<Arc<Checkpoint>>,
+    deadline: Option<Duration>,
+    mem_budget: Option<MemBudget>,
 }
 
 impl fmt::Debug for SuiteRunner {
@@ -244,6 +275,8 @@ impl fmt::Debug for SuiteRunner {
             .field("retry", &self.retry)
             .field("faults", &!self.faults.is_empty())
             .field("checkpoint", &self.checkpoint.as_ref().map(|c| c.path().to_path_buf()))
+            .field("deadline", &self.deadline)
+            .field("mem_budget", &self.mem_budget)
             .finish()
     }
 }
@@ -269,6 +302,8 @@ impl SuiteRunner {
             retry: RetryPolicy::default(),
             faults: Arc::new(FaultPlan::empty()),
             checkpoint: None,
+            deadline: None,
+            mem_budget: None,
         }
     }
 
@@ -350,6 +385,33 @@ impl SuiteRunner {
         self
     }
 
+    /// Arms a per-workload wall-clock deadline for
+    /// [`try_run`](SuiteRunner::try_run): an attempt still running when
+    /// the deadline fires is cancelled cooperatively (at the next
+    /// instruction-chunk or claim boundary), counted as a
+    /// `WorkloadTimeout`, retried per the [`RetryPolicy`], and
+    /// quarantined when the budget is exhausted — the rest of the suite
+    /// always completes. Workloads that finish before the deadline are
+    /// byte-identical to an undeadlined run. `None` (the default)
+    /// disables the watchdog entirely.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> SuiteRunner {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Arms a per-workload memory budget for [`ProfileMode::Full`]: each
+    /// workload's profiler accounts every tracked byte and, when over
+    /// budget, walks the degradation ladder (full-profile → TNV-only →
+    /// dropped; see [`vp_core::govern`]). Sharded runs split the budget
+    /// evenly across shards ([`MemBudget::split`]), so the summed peaks
+    /// stay bounded. Convergent and sampled modes already run in constant
+    /// space per entity and are not governed. `None` (the default) leaves
+    /// every profile byte-identical to an ungoverned run.
+    pub fn mem_budget(mut self, budget: Option<MemBudget>) -> SuiteRunner {
+        self.mem_budget = budget;
+        self
+    }
+
     /// Attaches a [`Checkpoint`]: each workload completed by
     /// [`try_run`](SuiteRunner::try_run) is durably appended the moment it
     /// finishes, and workloads the checkpoint already holds are restored
@@ -422,22 +484,33 @@ impl SuiteRunner {
         let mut results: Vec<Option<WorkloadProfile>> =
             (0..workloads.len()).map(|_| None).collect();
         let mut attempts = vec![0u64; workloads.len()];
-        let mut last_error: Vec<Option<String>> = vec![None; workloads.len()];
+        let mut last_error: Vec<Option<(FailureKind, String)>> = vec![None; workloads.len()];
         let mut faults = Counts::new();
         let mut pending: Vec<usize> = (0..workloads.len()).collect();
         let mut round = 0u64;
         loop {
             let subset: Vec<&Workload> = pending.iter().map(|&i| &workloads[i]).collect();
-            let outs =
-                try_parallel_map_observed(self.jobs, &subset, |w| run_one(w), &*self.recorder);
+            let outs = try_parallel_map_deadline(
+                self.jobs,
+                &subset,
+                |w| run_one(w),
+                &*self.recorder,
+                self.deadline,
+            );
             let mut still = Vec::new();
             for (slot, &i) in outs.into_iter().zip(&pending) {
                 attempts[i] += 1;
                 match slot {
                     Ok(profile) => results[i] = Some(profile),
                     Err(failure) => {
-                        faults.add(CounterId::WorkloadPanic, 1);
-                        last_error[i] = Some(failure.message);
+                        faults.add(
+                            match failure.kind {
+                                FailureKind::Panic => CounterId::WorkloadPanic,
+                                FailureKind::Timeout => CounterId::WorkloadTimeout,
+                            },
+                            1,
+                        );
+                        last_error[i] = Some((failure.kind, failure.message));
                         still.push(i);
                     }
                 }
@@ -459,10 +532,10 @@ impl SuiteRunner {
         }
         let failures = pending
             .iter()
-            .map(|&i| WorkloadFailure {
-                name: workloads[i].name(),
-                attempts: attempts[i],
-                error: last_error[i].take().unwrap_or_default(),
+            .map(|&i| {
+                let (kind, error) =
+                    last_error[i].take().unwrap_or((FailureKind::Panic, String::new()));
+                WorkloadFailure { name: workloads[i].name(), attempts: attempts[i], kind, error }
             })
             .collect();
         SuiteOutcome {
@@ -480,16 +553,20 @@ impl SuiteRunner {
         ds: DataSet,
         instrumenter: &Instrumenter,
         events: &mut Counts,
-    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun) {
+    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun, Option<GovernorStats>) {
         let fail = |e| panic!("{} [{}]: {e}", w.name(), ds.name());
         let cfg = w.machine_config(ds);
         match self.mode {
             ProfileMode::Full => {
-                let mut p = InstructionProfiler::new(self.tracker);
+                let mut p = match self.mem_budget {
+                    Some(budget) => InstructionProfiler::with_budget(self.tracker, budget),
+                    None => InstructionProfiler::new(self.tracker),
+                };
                 let run =
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
-                (p.metrics(), 1.0, run)
+                let governor = p.governor_stats().copied();
+                (p.metrics(), 1.0, run, governor)
             }
             ProfileMode::Convergent(config) => {
                 let mut p = ConvergentProfiler::new(self.tracker, config);
@@ -497,7 +574,7 @@ impl SuiteRunner {
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run)
+                (p.metrics(), p.overall_profile_fraction(), run, None)
             }
             ProfileMode::Sampled(strategy) => {
                 let mut p = SampledProfiler::new(self.tracker, strategy);
@@ -505,7 +582,7 @@ impl SuiteRunner {
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run)
+                (p.metrics(), p.overall_profile_fraction(), run, None)
             }
         }
     }
@@ -522,7 +599,7 @@ impl SuiteRunner {
         ds: DataSet,
         instrumenter: &Instrumenter,
         events: &mut Counts,
-    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun) {
+    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun, Option<GovernorStats>) {
         struct Collector(Vec<(u32, u64)>);
         impl Analysis for Collector {
             fn after_instr(&mut self, _m: &Machine, event: &InstrEvent) {
@@ -556,9 +633,23 @@ impl SuiteRunner {
         let tracker = self.tracker;
         match self.mode {
             ProfileMode::Full => {
-                let p = profile_sharded(&trace, self.shards, || InstructionProfiler::new(tracker));
+                // Each shard runs under an even split of the budget, so the
+                // summed shard peaks stay bounded by the whole budget; the
+                // merged profiler's stats are the summed shard stats.
+                let p = match self.mem_budget {
+                    Some(budget) => {
+                        let split = budget.split(self.shards);
+                        profile_sharded(&trace, self.shards, move || {
+                            InstructionProfiler::with_budget(tracker, split)
+                        })
+                    }
+                    None => {
+                        profile_sharded(&trace, self.shards, || InstructionProfiler::new(tracker))
+                    }
+                };
                 p.tnv_events().add_to(events);
-                (p.metrics(), 1.0, run)
+                let governor = p.governor_stats().copied();
+                (p.metrics(), 1.0, run, governor)
             }
             ProfileMode::Convergent(config) => {
                 let p = profile_sharded(&trace, self.shards, || {
@@ -566,7 +657,7 @@ impl SuiteRunner {
                 });
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run)
+                (p.metrics(), p.overall_profile_fraction(), run, None)
             }
             ProfileMode::Sampled(strategy) => {
                 let p = profile_sharded(&trace, self.shards, || {
@@ -574,7 +665,7 @@ impl SuiteRunner {
                 });
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run)
+                (p.metrics(), p.overall_profile_fraction(), run, None)
             }
         }
     }
@@ -584,12 +675,16 @@ impl SuiteRunner {
         let cfg = w.machine_config(ds);
         let mut events = Counts::new();
         let clock = Stopwatch::start();
-        let (metrics, profile_fraction, run) = if self.shards > 1 {
+        let (metrics, profile_fraction, run, governor) = if self.shards > 1 {
             self.profile_one_sharded(w, ds, &instrumenter, &mut events)
         } else {
             self.profile_one_serial(w, ds, &instrumenter, &mut events)
         };
         let wall_ns = clock.elapsed_ns();
+        if let Some(gov) = &governor {
+            events.add(CounterId::EntitiesDegraded, gov.entities_degraded);
+            events.add(CounterId::EntitiesDropped, gov.entities_dropped);
+        }
         events.add(CounterId::InstrEvents, run.counts.instr_events);
         events.add(CounterId::LoadEvents, run.counts.load_events);
         events.add(CounterId::StoreEvents, run.counts.store_events);
@@ -621,6 +716,7 @@ impl SuiteRunner {
             events,
             wall_ns,
             baseline_wall_ns,
+            governor,
         }
     }
 }
@@ -800,6 +896,69 @@ mod tests {
         let counts = rec.snapshot();
         assert_eq!(counts.get(CounterId::WorkloadPanic), 1);
         assert_eq!(counts.get(CounterId::WorkloadRetry), 1);
+    }
+
+    #[test]
+    fn generous_mem_budget_matches_ungoverned_run() {
+        let workloads = &suite()[..2];
+        let plain = SuiteRunner::new().run_workloads(workloads, DataSet::Test);
+        let governed = SuiteRunner::new()
+            .mem_budget(Some(MemBudget::mib(64)))
+            .run_workloads(workloads, DataSet::Test);
+        for (p, g) in plain.workloads.iter().zip(&governed.workloads) {
+            assert_eq!(p.metrics, g.metrics, "{}", p.name);
+            assert_eq!(p.events, g.events, "{}", p.name);
+            assert!(p.governor.is_none());
+            let gov = g.governor.expect("governed run reports stats");
+            assert!(!gov.intervened(), "{}: {gov:?}", g.name);
+            assert!(gov.bytes_peak > 0);
+        }
+    }
+
+    #[test]
+    fn governed_sharded_run_matches_governed_serial() {
+        let workloads = &suite()[..2];
+        let budget = Some(MemBudget::bytes(48 * 1024));
+        let serial = SuiteRunner::new().mem_budget(budget).run_workloads(workloads, DataSet::Test);
+        let sharded = SuiteRunner::new()
+            .mem_budget(budget)
+            .shards(1)
+            .jobs(4)
+            .run_workloads(workloads, DataSet::Test);
+        for (s, h) in serial.workloads.iter().zip(&sharded.workloads) {
+            assert_eq!(s.metrics, h.metrics, "{}", s.name);
+            assert_eq!(s.governor, h.governor, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn hang_fault_times_out_and_quarantines_only_that_workload() {
+        let plan = Arc::new(FaultPlan::parse("hang:workload/gcc").unwrap());
+        let clean = SuiteRunner::new().run_workloads(&suite()[..3], DataSet::Test);
+        let outcome = SuiteRunner::new()
+            .faults(plan)
+            .retry(RetryPolicy::none())
+            .deadline(Some(Duration::from_millis(150)))
+            .try_run_workloads(&suite()[..3], DataSet::Test);
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!(f.name, "gcc");
+        assert_eq!(f.kind, FailureKind::Timeout);
+        assert_eq!(f.kind_str(), "timeout");
+        assert_eq!(f.error, "deadline exceeded");
+        assert_eq!(outcome.faults.get(CounterId::WorkloadTimeout), 1);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadPanic), 0);
+        assert_eq!(outcome.faults.get(CounterId::WorkloadQuarantined), 1);
+        // Everything that was not hung completed identically to a clean run.
+        let done: Vec<_> = outcome.profile.workloads.iter().map(|w| w.name).collect();
+        assert_eq!(done, ["compress", "li"]);
+        for w in &outcome.profile.workloads {
+            let reference = clean.workloads.iter().find(|c| c.name == w.name).unwrap();
+            assert_eq!(w.metrics, reference.metrics, "{}", w.name);
+        }
+        let table = outcome.render_failures();
+        assert!(table.starts_with("failed"), "{table}");
+        assert!(table.contains("timeout") && table.contains("deadline exceeded"), "{table}");
     }
 
     #[test]

@@ -83,6 +83,17 @@ pub fn suite_records(
         if let Some(slowdown) = w.slowdown() {
             fields.push(("slowdown", Json::F64(slowdown)));
         }
+        if let Some(gov) = &w.governor {
+            fields.push((
+                "governor",
+                Json::obj(vec![
+                    ("bytes_peak", Json::U64(gov.bytes_peak)),
+                    ("entities_degraded", Json::U64(gov.entities_degraded)),
+                    ("entities_dropped", Json::U64(gov.entities_dropped)),
+                    ("observations_dropped", Json::U64(gov.observations_dropped)),
+                ]),
+            ));
+        }
         records.push(record("workload", w.name, fields));
     }
 
@@ -107,7 +118,13 @@ pub fn fault_records(tool: &str, outcome: &SuiteOutcome) -> Vec<Json> {
         records.push(record(
             "failure",
             f.name,
-            vec![("attempts", Json::U64(f.attempts)), ("error", Json::Str(f.error.clone()))],
+            vec![
+                ("attempts", Json::U64(f.attempts)),
+                // `kind` is taken by the record type; the failure's own
+                // classification gets its own key.
+                ("failure_kind", Json::Str(f.kind_str().to_string())),
+                ("error", Json::Str(f.error.clone())),
+            ],
         ));
     }
     records

@@ -23,8 +23,9 @@ const USAGE: &str = "usage:
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
   vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--shards N] [--baseline]
                       [--telemetry FILE] [--retries N] [--checkpoint FILE [--resume]]
-  vprof record <target> [-o <file.vpc>] [--train] [--all]
-  vprof replay <file.vpc> [--shards N] [--save FILE]
+                      [--deadline-ms N] [--mem-budget-mb N]
+  vprof record <target> [-o <file.vpc>] [--train] [--all] [--deadline-ms N]
+  vprof replay <file.vpc> [--shards N] [--save FILE] [--deadline-ms N] [--mem-budget-mb N]
   vprof stats <telemetry.jsonl>
   vprof verify <profile.tsv> [--lenient]
   vprof histogram <target> [--train] [--all]
@@ -77,6 +78,22 @@ fn flag(args: &[String], name: &str) -> bool {
 
 fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Parses `--deadline-ms N` into a wall-clock deadline.
+fn deadline_arg(args: &[String]) -> Result<Option<std::time::Duration>, String> {
+    option_value(args, "--deadline-ms")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --deadline-ms value `{v}`")))
+        .transpose()
+        .map(|ms| ms.map(std::time::Duration::from_millis))
+}
+
+/// Parses `--mem-budget-mb N` into a per-workload memory budget.
+fn mem_budget_arg(args: &[String]) -> Result<Option<vp_core::MemBudget>, String> {
+    option_value(args, "--mem-budget-mb")
+        .map(|v| v.parse::<usize>().map_err(|_| format!("bad --mem-budget-mb value `{v}`")))
+        .transpose()
+        .map(|mb| mb.map(vp_core::MemBudget::mib))
 }
 
 /// Resolves a target to (program, input): a workload name or a `.s` path.
@@ -175,6 +192,12 @@ fn profile(args: &[String]) -> Result<(), String> {
             .select(Selection::MemoryOps)
             .run(&program, cfg, BUDGET, &mut profiler)
             .map_err(|e| e.to_string())?;
+        if profiler.dropped() > 0 {
+            eprintln!(
+                "warning: {} stores dropped at the memory profiler's location cap — per-location results are incomplete",
+                profiler.dropped()
+            );
+        }
         let rows = [row(target, &profiler.metrics())];
         println!("{}", render_metric_table("memory locations (stored values)", &rows));
         println!("hottest locations:");
@@ -273,6 +296,14 @@ fn profile(args: &[String]) -> Result<(), String> {
 /// of re-profiling them, producing output identical to an uninterrupted
 /// run. `$VP_FAULTS` arms deterministic fault injection (see
 /// `vp_core::fault`).
+///
+/// `--deadline-ms N` arms a per-workload wall-clock deadline: an attempt
+/// still running when it fires is cancelled cooperatively, counted as a
+/// timeout (distinct from a panic), retried, and quarantined when the
+/// retry budget runs out. `--mem-budget-mb N` caps each workload's
+/// profiler memory: over budget, entities degrade full-profile →
+/// TNV-only → dropped (see `vp_core::govern`), and the governor counters
+/// land in the output and telemetry.
 fn profile_suite(args: &[String]) -> Result<(), String> {
     use std::sync::Arc;
     use vp_bench::{Checkpoint, ProfileMode, RetryPolicy, SuiteRunner};
@@ -293,6 +324,8 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         v.parse().map_err(|_| format!("bad --retries value `{v}`"))
     })?;
     let plan = vp_core::FaultPlan::from_env()?;
+    let deadline = deadline_arg(args)?;
+    let mem_budget = mem_budget_arg(args)?;
 
     let recorder = Arc::new(MemRecorder::new());
     let mut runner = SuiteRunner::new()
@@ -302,6 +335,8 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         .recorder(recorder.clone())
         .retry(policy)
         .faults(Arc::new(plan))
+        .deadline(deadline)
+        .mem_budget(mem_budget)
         .measure_baseline(flag(args, "--baseline"));
     if flag(args, "--convergent") {
         runner = runner
@@ -368,6 +403,21 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         profile.workloads.len(),
         profile.total_instructions()
     );
+    let governed: Vec<_> =
+        profile.workloads.iter().filter_map(|w| w.governor.map(|g| (w.name, g))).collect();
+    if let Some(budget) = mem_budget {
+        println!("governor (budget {} bytes/workload):", budget.limit_bytes());
+        for (name, g) in &governed {
+            println!(
+                "  {:<10} peak {:>12}  degraded {:>6}  dropped {:>6}  obs dropped {:>9}",
+                name, g.bytes_peak, g.entities_degraded, g.entities_dropped, g.observations_dropped
+            );
+        }
+        let dropped: u64 = governed.iter().map(|(_, g)| g.entities_dropped).sum();
+        if dropped > 0 {
+            println!("warning: {dropped} entities dropped — raise --mem-budget-mb to recover them");
+        }
+    }
     if !outcome.is_clean() {
         println!();
         print!("{}", outcome.render_failures());
@@ -464,12 +514,15 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
 /// CRC-checked binary trace format (`vp_instrument::trace_codec`). The
 /// workload executes once; `vprof replay` can then re-profile the trace
 /// any number of times — serially or sharded — without re-running it.
+/// `--deadline-ms N` bounds the recording run's wall clock: a run past
+/// its deadline is cancelled cooperatively and no trace file is written.
 fn record_cmd(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let target = target_arg(args)?;
     let (program, input) = resolve(target, ds)?;
     let selection =
         if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
+    let deadline = deadline_arg(args)?;
     let out =
         option_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{target}.vpc"));
     struct Recorder(vp_instrument::TraceEncoder);
@@ -481,10 +534,18 @@ fn record_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     let mut rec = Recorder(vp_instrument::TraceEncoder::new());
-    Instrumenter::new()
-        .select(selection)
-        .run(&program, MachineConfig::new().input(input), BUDGET, &mut rec)
-        .map_err(|e| e.to_string())?;
+    let run = |rec: &mut Recorder| {
+        Instrumenter::new()
+            .select(selection)
+            .run(&program, MachineConfig::new().input(input.clone()), BUDGET, rec)
+            .map_err(|e| e.to_string())
+            .map(|_| ())
+    };
+    match deadline {
+        Some(d) => vp_instrument::cancel::run_with_deadline(d, || run(&mut rec))
+            .map_err(|_| format!("record {target}: deadline exceeded"))??,
+        None => run(&mut rec)?,
+    }
     let bytes = rec.0.finish();
     let stats = vp_instrument::trace_codec::stats(&bytes).map_err(|e| e.to_string())?;
     vp_core::durable::write_atomic(std::path::Path::new(&out), &bytes)
@@ -501,31 +562,50 @@ fn record_cmd(args: &[String]) -> Result<(), String> {
 /// worker threads; the output is byte-identical to a serial replay (see
 /// `vp_core::shard`). An empty trace replays to the same zero-row
 /// profile an empty workload produces; a corrupt or truncated trace is
-/// rejected, never mis-decoded.
+/// rejected, never mis-decoded. `--deadline-ms N` bounds the replay's
+/// wall clock (checked at every chunk boundary); `--mem-budget-mb N`
+/// caps profiler memory via the degradation ladder (`vp_core::govern`),
+/// split evenly across shards on a sharded replay.
 fn replay_cmd(args: &[String]) -> Result<(), String> {
     let target = target_arg(args)?;
     let shards: usize = option_value(args, "--shards")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    let deadline = deadline_arg(args)?;
+    let mem_budget = mem_budget_arg(args)?;
     let bytes = std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
-    let mut reader =
-        vp_instrument::ChunkReader::new(&bytes).map_err(|e| format!("{target}: {e}"))?;
-    // Serial replay streams each decoded chunk straight into the batched
-    // observe path; a sharded replay materializes the stream first so it
-    // can be partitioned by entity.
-    let mut profiler = InstructionProfiler::new(TrackerConfig::with_full());
-    let mut trace: Vec<(u32, u64)> = Vec::new();
-    loop {
-        match reader.next_chunk().map_err(|e| format!("{target}: {e}"))? {
-            Some(chunk) if shards > 1 => trace.extend(chunk),
-            Some(chunk) => profiler.observe_batch(&chunk),
-            None => break,
+    let make = move |budget: Option<vp_core::MemBudget>| match budget {
+        Some(b) => InstructionProfiler::with_budget(TrackerConfig::with_full(), b),
+        None => InstructionProfiler::new(TrackerConfig::with_full()),
+    };
+    // The whole decode-and-profile pass runs under the optional deadline;
+    // every chunk boundary is a cancellation checkpoint.
+    let replay = || -> Result<(InstructionProfiler, u64, u64), String> {
+        let mut reader =
+            vp_instrument::ChunkReader::new(&bytes).map_err(|e| format!("{target}: {e}"))?;
+        // Serial replay streams each decoded chunk straight into the
+        // batched observe path; a sharded replay materializes the stream
+        // first so it can be partitioned by entity.
+        let mut profiler = make(mem_budget);
+        let mut trace: Vec<(u32, u64)> = Vec::new();
+        loop {
+            vp_instrument::cancel::checkpoint();
+            match reader.next_chunk().map_err(|e| format!("{target}: {e}"))? {
+                Some(chunk) if shards > 1 => trace.extend(chunk),
+                Some(chunk) => profiler.observe_batch(&chunk),
+                None => break,
+            }
         }
-    }
-    if shards > 1 {
-        profiler = vp_core::profile_sharded(&trace, shards, || {
-            InstructionProfiler::new(TrackerConfig::with_full())
-        });
-    }
+        if shards > 1 {
+            let split = mem_budget.map(|b| b.split(shards));
+            profiler = vp_core::profile_sharded(&trace, shards, move || make(split));
+        }
+        Ok((profiler, reader.events_read() as u64, reader.chunks_read() as u64))
+    };
+    let (profiler, events_read, chunks_read) = match deadline {
+        Some(d) => vp_instrument::cancel::run_with_deadline(d, replay)
+            .map_err(|_| format!("replay {target}: deadline exceeded"))??,
+        None => replay()?,
+    };
     if let Some(out) = option_value(args, "--save") {
         vp_core::durable::write_profile(std::path::Path::new(out), &profiler.metrics())
             .map_err(|e| format!("cannot write `{out}`: {e}"))?;
@@ -535,13 +615,17 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
         "{}",
         render_metric_table(
             &format!(
-                "value profile replayed from {target} ({} events, {} chunks, {shards} shard(s))",
-                reader.events_read(),
-                reader.chunks_read()
+                "value profile replayed from {target} ({events_read} events, {chunks_read} chunks, {shards} shard(s))",
             ),
             &rows
         )
     );
+    if let Some(g) = profiler.governor_stats() {
+        println!(
+            "governor: peak {} bytes, degraded {}, dropped {}, obs dropped {}",
+            g.bytes_peak, g.entities_degraded, g.entities_dropped, g.observations_dropped
+        );
+    }
     Ok(())
 }
 
@@ -804,6 +888,74 @@ mod tests {
         assert!(dispatch(&args(&["profile-suite", "--retries", "many"]))
             .unwrap_err()
             .contains("bad --retries"));
+    }
+
+    #[test]
+    fn governed_suite_and_flag_errors() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-governor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("g.jsonl");
+        let tel_s = tel.to_str().unwrap();
+        // A generous budget and deadline leave the suite clean, emit the
+        // governor section, and land governor objects in telemetry.
+        assert!(dispatch(&args(&[
+            "profile-suite",
+            "--telemetry",
+            tel_s,
+            "--mem-budget-mb",
+            "64",
+            "--deadline-ms",
+            "60000"
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&tel).unwrap();
+        assert!(text.contains("\"governor\""), "{text}");
+        assert!(dispatch(&args(&["stats", tel_s])).is_ok());
+        assert!(dispatch(&args(&["profile-suite", "--deadline-ms", "soon"]))
+            .unwrap_err()
+            .contains("bad --deadline-ms"));
+        assert!(dispatch(&args(&["profile-suite", "--mem-budget-mb", "lots"]))
+            .unwrap_err()
+            .contains("bad --mem-budget-mb"));
+    }
+
+    #[test]
+    fn record_and_replay_accept_governor_flags() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-governed-replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("li.vpc");
+        let out_s = out.to_str().unwrap();
+        assert!(dispatch(&args(&["record", "li", "-o", out_s, "--deadline-ms", "60000"])).is_ok());
+        // A generous budget replays to the same profile as an ungoverned
+        // replay, serially and sharded.
+        let plain = dir.join("plain.tsv");
+        let governed = dir.join("governed.tsv");
+        let sharded = dir.join("sharded.tsv");
+        assert!(dispatch(&args(&["replay", out_s, "--save", plain.to_str().unwrap()])).is_ok());
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--mem-budget-mb",
+            "64",
+            "--deadline-ms",
+            "60000",
+            "--save",
+            governed.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--mem-budget-mb",
+            "64",
+            "--shards",
+            "4",
+            "--save",
+            sharded.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&governed).unwrap());
+        assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&sharded).unwrap());
     }
 
     #[test]

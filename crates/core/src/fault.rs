@@ -16,8 +16,10 @@
 //! Each comma-separated entry is `ACTION:POINT[@START][xCOUNT]`:
 //!
 //! * `ACTION` — `panic`, `err` (an injected `io::Error`), `slow` (a fixed
-//!   busy spin, no clock reads), or `kill` (`process::abort`, simulating
-//!   an unclean death such as SIGKILL);
+//!   busy spin, no clock reads), `kill` (`process::abort`, simulating
+//!   an unclean death such as SIGKILL), or `hang` (block until
+//!   cooperatively cancelled — the deterministic stand-in for an
+//!   infinite loop, used to exercise deadline enforcement);
 //! * `POINT` — the fault-point name, matched exactly;
 //! * `@START` — first hit (1-based) on which the fault fires (default 1);
 //! * `xCOUNT` — number of consecutive hits that fire (default unlimited),
@@ -46,6 +48,12 @@ pub enum FaultAction {
     Slow,
     /// Abort the process without unwinding or flushing, like SIGKILL.
     Kill,
+    /// Block until cooperatively cancelled (see
+    /// [`vp_instrument::cancel`]) — a hung workload that only a deadline
+    /// can cut loose. Without an armed deadline this blocks forever,
+    /// which is the point: it is the deterministic model of an infinite
+    /// loop.
+    Hang,
 }
 
 impl FaultAction {
@@ -55,7 +63,8 @@ impl FaultAction {
             "err" => Ok(FaultAction::Err),
             "slow" => Ok(FaultAction::Slow),
             "kill" => Ok(FaultAction::Kill),
-            other => Err(format!("unknown fault action `{other}` (panic|err|slow|kill)")),
+            "hang" => Ok(FaultAction::Hang),
+            other => Err(format!("unknown fault action `{other}` (panic|err|slow|kill|hang)")),
         }
     }
 }
@@ -181,6 +190,18 @@ impl FaultPlan {
                 std::hint::black_box(acc);
                 Ok(())
             }
+            Some(FaultAction::Hang) => {
+                // Spin-sleep until the current cancel token fires, then
+                // unwind like any cooperatively cancelled work. The sleep
+                // keeps the hang cheap; the cancellation decides *when*
+                // it ends, so no clock appears in any assertion.
+                loop {
+                    if vp_instrument::cancel::cancelled() {
+                        vp_instrument::cancel::unwind();
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
         }
     }
 }
@@ -250,6 +271,20 @@ mod tests {
         let plan = FaultPlan::parse("panic:workload/vortex").unwrap();
         assert_eq!(plan.entries[0].point, "workload/vortex");
         assert_eq!(plan.check("workload/vortex"), Some(FaultAction::Panic));
+    }
+
+    #[test]
+    fn hang_blocks_until_cancelled_then_unwinds_as_timeout() {
+        use vp_instrument::cancel;
+        let plan = FaultPlan::parse("hang:stuck/point").unwrap();
+        // A pre-cancelled token makes the hang end on its first poll, so
+        // the test is instant and clock-free.
+        let token = cancel::CancelToken::new();
+        token.cancel();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cancel::with_token(&token, || plan.fire("stuck/point"))
+        }));
+        assert!(cancel::is_cancel_payload(caught.unwrap_err().as_ref()));
     }
 
     #[test]

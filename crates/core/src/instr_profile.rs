@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use vp_instrument::Analysis;
 use vp_sim::{InstrEvent, Machine};
 
+use crate::govern::{Governor, GovernorStats, MemBudget};
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
 use crate::track::{TrackerConfig, ValueTracker};
 
@@ -51,13 +52,33 @@ use crate::track::{TrackerConfig, ValueTracker};
 pub struct InstructionProfiler {
     config: TrackerConfig,
     trackers: HashMap<u32, ValueTracker>,
+    governor: Option<Governor>,
 }
 
 impl InstructionProfiler {
     /// Creates a profiler; each instruction gets a tracker configured by
     /// `config` the first time it executes.
     pub fn new(config: TrackerConfig) -> InstructionProfiler {
-        InstructionProfiler { config, trackers: HashMap::new() }
+        InstructionProfiler { config, trackers: HashMap::new(), governor: None }
+    }
+
+    /// Creates a profiler whose resident tracker state is governed by
+    /// `budget`: when ingest pushes the estimated footprint over the
+    /// budget, entities walk the degradation ladder (full profile → TNV
+    /// only → dropped; see [`crate::govern`]). Under a budget the
+    /// profiler never exceeds, behavior is identical to
+    /// [`new`](InstructionProfiler::new).
+    pub fn with_budget(config: TrackerConfig, budget: MemBudget) -> InstructionProfiler {
+        InstructionProfiler {
+            config,
+            trackers: HashMap::new(),
+            governor: Some(Governor::new(budget)),
+        }
+    }
+
+    /// The governor's intervention counters, when a budget is in force.
+    pub fn governor_stats(&self) -> Option<&GovernorStats> {
+        self.governor.as_ref().map(Governor::stats)
     }
 
     /// The tracker of one instruction, if it ever executed.
@@ -92,6 +113,10 @@ impl InstructionProfiler {
     /// entry point; the [`Analysis`] callback delegates here.
     pub fn observe(&mut self, index: u32, value: u64) {
         let config = self.config;
+        if let Some(governor) = &mut self.governor {
+            governor.observe(&mut self.trackers, config, index, value);
+            return;
+        }
         self.trackers.entry(index).or_insert_with(|| ValueTracker::new(config)).observe(value);
     }
 
@@ -100,7 +125,17 @@ impl InstructionProfiler {
     /// per event, but consecutive events of the same instruction (the
     /// common shape of a loop's hot load) resolve one hash-map lookup for
     /// the whole run and take the tracker's batched fast path.
+    ///
+    /// Under a governor the batch degenerates to the per-event path, so
+    /// budget enforcement happens at exactly the same points as a scalar
+    /// feed — governed batch and scalar ingestion stay bit-identical.
     pub fn observe_batch(&mut self, events: &[(u32, u64)]) {
+        if self.governor.is_some() {
+            for &(index, value) in events {
+                self.observe(index, value);
+            }
+            return;
+        }
         let config = self.config;
         let mut values: Vec<u64> = Vec::new();
         let mut i = 0;
@@ -132,19 +167,32 @@ impl InstructionProfiler {
     ///
     /// # Panics
     ///
-    /// Panics if the tracker configurations differ.
+    /// Panics if the tracker configurations differ, or if one side is
+    /// governed and the other is not.
     pub fn merge(&mut self, other: InstructionProfiler) {
         assert_eq!(
             self.config, other.config,
             "cannot merge instruction profilers with different tracker configs"
         );
-        for (index, theirs) in other.trackers {
+        assert_eq!(
+            self.governor.is_some(),
+            other.governor.is_some(),
+            "cannot merge governed and ungoverned instruction profilers"
+        );
+        let InstructionProfiler { trackers: other_trackers, governor: other_governor, .. } = other;
+        for (index, theirs) in other_trackers {
             match self.trackers.entry(index) {
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(theirs);
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&theirs),
             }
+        }
+        if let (Some(governor), Some(theirs)) = (&mut self.governor, &other_governor) {
+            // Merged shard results may exceed a per-shard budget; the
+            // governor resumes enforcing only if ingest continues.
+            let resident = self.trackers.values().map(ValueTracker::footprint_bytes).sum();
+            governor.absorb(theirs, resident);
         }
     }
 
@@ -236,6 +284,46 @@ mod tests {
         let ms = p.metrics();
         let counter = ms.iter().find(|m| m.distinct == Some(50)).unwrap();
         assert!(counter.inv_top1 < 0.1);
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        use crate::govern::MemBudget;
+        let events: Vec<(u32, u64)> =
+            (0..4000u32).map(|i| (i % 13, u64::from(i % 31) * 7)).collect();
+        let mut plain = InstructionProfiler::new(TrackerConfig::with_full());
+        plain.observe_batch(&events);
+        let mut governed =
+            InstructionProfiler::with_budget(TrackerConfig::with_full(), MemBudget::mib(64));
+        governed.observe_batch(&events);
+        assert_eq!(governed.metrics(), plain.metrics());
+        assert_eq!(governed.tnv_events(), plain.tnv_events());
+        let stats = governed.governor_stats().unwrap();
+        assert!(!stats.intervened());
+        assert_eq!(stats.bytes_peak as usize, governed.footprint_bytes());
+    }
+
+    #[test]
+    fn tight_budget_degrades_but_keeps_tnv_metrics_exact() {
+        use crate::govern::MemBudget;
+        let events: Vec<(u32, u64)> =
+            (0..20_000u32).map(|i| (i % 5, u64::from(i).wrapping_mul(2654435761) % 4096)).collect();
+        let mut plain = InstructionProfiler::new(TrackerConfig::with_full());
+        plain.observe_batch(&events);
+        let budget = MemBudget::bytes(16 * 1024);
+        let mut governed = InstructionProfiler::with_budget(TrackerConfig::with_full(), budget);
+        governed.observe_batch(&events);
+        let stats = *governed.governor_stats().unwrap();
+        assert!(stats.entities_degraded > 0);
+        assert!(stats.bytes_peak <= budget.limit_bytes() as u64);
+        for truth in plain.metrics() {
+            let Some(m) = governed.metrics_for(truth.id as u32) else {
+                continue; // entity dropped entirely (rung 2)
+            };
+            assert_eq!(m.executions, truth.executions, "entity {}", truth.id);
+            assert_eq!(m.inv_top1, truth.inv_top1, "entity {}", truth.id);
+            assert_eq!(m.lvp, truth.lvp, "entity {}", truth.id);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@
 pub mod convergent;
 pub mod durable;
 pub mod fault;
+pub mod govern;
 pub mod instr_profile;
 pub mod memory;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub use durable::{
     CheckedProfile, Integrity, IntegrityMode, LoadProfileError,
 };
 pub use fault::{FaultAction, FaultPlan};
+pub use govern::{Governor, GovernorStats, MemBudget};
 pub use instr_profile::InstructionProfiler;
 pub use memory::MemoryProfiler;
 pub use metrics::{

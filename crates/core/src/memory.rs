@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use vp_instrument::Analysis;
 use vp_sim::{Machine, MemAccess};
 
+use crate::govern::{Governor, GovernorStats, MemBudget};
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
 use crate::track::{TrackerConfig, ValueTracker};
 
@@ -63,6 +64,7 @@ pub struct MemoryProfiler {
     include_loads: bool,
     trackers: HashMap<u64, ValueTracker>,
     dropped: u64,
+    governor: Option<Governor>,
 }
 
 impl MemoryProfiler {
@@ -79,7 +81,22 @@ impl MemoryProfiler {
             include_loads: false,
             trackers: HashMap::new(),
             dropped: 0,
+            governor: None,
         }
+    }
+
+    /// Puts the resident tracker state under a byte budget with the
+    /// degradation ladder of [`crate::govern`]. The location *count* cap
+    /// ([`with_max_locations`](MemoryProfiler::with_max_locations)) still
+    /// applies independently; the budget governs *bytes*.
+    pub fn with_budget(mut self, budget: MemBudget) -> MemoryProfiler {
+        self.governor = Some(Governor::new(budget));
+        self
+    }
+
+    /// The governor's intervention counters, when a budget is in force.
+    pub fn governor_stats(&self) -> Option<&GovernorStats> {
+        self.governor.as_ref().map(Governor::stats)
     }
 
     /// Also observe values *read* from each location, so the profile
@@ -162,7 +179,13 @@ impl MemoryProfiler {
             self.include_loads, other.include_loads,
             "cannot merge memory profilers with different load inclusion"
         );
+        assert_eq!(
+            self.governor.is_some(),
+            other.governor.is_some(),
+            "cannot merge governed and ungoverned memory profilers"
+        );
         self.dropped += other.dropped;
+        let other_governor = other.governor;
         for (address, theirs) in other.trackers {
             if let Some(mine) = self.trackers.get_mut(&address) {
                 mine.merge(&theirs);
@@ -171,6 +194,10 @@ impl MemoryProfiler {
             } else {
                 self.dropped += theirs.executions();
             }
+        }
+        if let (Some(governor), Some(theirs)) = (&mut self.governor, &other_governor) {
+            let resident = self.trackers.values().map(ValueTracker::footprint_bytes).sum();
+            governor.absorb(theirs, resident);
         }
     }
 
@@ -195,6 +222,20 @@ impl MemoryProfiler {
 impl MemoryProfiler {
     fn observe_access(&mut self, access: &MemAccess) {
         let key = access.address & !(self.granularity - 1);
+        if let Some(governor) = &mut self.governor {
+            // The location-count cap fires before the byte budget for new
+            // locations; it keeps its own counter, distinct from the
+            // governor's budget-driven drops.
+            if !self.trackers.contains_key(&key)
+                && !governor.is_dropped(key)
+                && self.trackers.len() >= self.max_locations
+            {
+                self.dropped += 1;
+                return;
+            }
+            governor.observe(&mut self.trackers, self.config, key, access.value);
+            return;
+        }
         if let Some(t) = self.trackers.get_mut(&key) {
             t.observe(access.value);
         } else if self.trackers.len() < self.max_locations {
@@ -355,5 +396,56 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_granularity_panics() {
         let _ = MemoryProfiler::new(TrackerConfig::default()).with_granularity(6);
+    }
+
+    const COUNTER_STORES: &str = r#"
+        .data
+        buf: .space 32
+        .text
+        main:
+            la r8, buf
+            li r9, 200
+        loop:
+            std r9, 0(r8)
+            std r9, 8(r8)
+            std r9, 16(r8)
+            std r9, 24(r8)
+            addi r9, r9, -1
+            bnz r9, loop
+            sys exit
+    "#;
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        use crate::govern::MemBudget;
+        let mut plain = MemoryProfiler::new(TrackerConfig::with_full());
+        run(COUNTER_STORES, &mut plain);
+        let mut governed =
+            MemoryProfiler::new(TrackerConfig::with_full()).with_budget(MemBudget::mib(64));
+        run(COUNTER_STORES, &mut governed);
+        assert_eq!(governed.metrics(), plain.metrics());
+        assert_eq!(governed.dropped(), 0);
+        assert!(!governed.governor_stats().unwrap().intervened());
+    }
+
+    #[test]
+    fn tight_budget_degrades_locations_but_keeps_scalars() {
+        use crate::govern::MemBudget;
+        let mut plain = MemoryProfiler::new(TrackerConfig::with_full());
+        run(COUNTER_STORES, &mut plain);
+        let budget = MemBudget::bytes(4 * 1024);
+        let mut governed = MemoryProfiler::new(TrackerConfig::with_full()).with_budget(budget);
+        run(COUNTER_STORES, &mut governed);
+        let stats = *governed.governor_stats().unwrap();
+        assert!(stats.entities_degraded > 0);
+        assert!(stats.bytes_peak <= budget.limit_bytes() as u64);
+        for truth in plain.metrics() {
+            let Some(m) = governed.metrics().into_iter().find(|m| m.id == truth.id) else {
+                continue; // location evicted (rung 2)
+            };
+            assert_eq!(m.executions, truth.executions, "location {:#x}", truth.id);
+            assert_eq!(m.inv_top1, truth.inv_top1, "location {:#x}", truth.id);
+            assert_eq!(m.lvp, truth.lvp, "location {:#x}", truth.id);
+        }
     }
 }

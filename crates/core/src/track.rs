@@ -75,8 +75,15 @@ impl FullProfile {
 
     /// Estimated memory footprint in bytes: grows with the number of
     /// distinct values (hash-map entry ≈ key + count + bucket overhead).
+    ///
+    /// Accounts for the map's allocated *capacity*, not its entry count:
+    /// a hash map over-allocates buckets ahead of its load factor, and a
+    /// memory budget must track what is actually resident. Capacity is a
+    /// deterministic function of the insertion history, so the estimate —
+    /// and everything the governor derives from it — is reproducible, and
+    /// it never shrinks under `observe`, so the footprint is monotone.
     pub fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<FullProfile>() + self.counts.len() * 3 * std::mem::size_of::<u64>()
+        std::mem::size_of::<FullProfile>() + self.counts.capacity() * 3 * std::mem::size_of::<u64>()
     }
 }
 
@@ -297,6 +304,28 @@ impl ValueTracker {
     pub fn footprint_bytes(&self) -> usize {
         self.tnv.footprint_bytes() + self.full.as_ref().map_or(0, FullProfile::footprint_bytes)
     }
+
+    /// Whether the tracker still holds the exact histogram (i.e. has not
+    /// been degraded and was configured with `keep_full`).
+    pub fn has_full(&self) -> bool {
+        self.full.is_some()
+    }
+
+    /// Degrades the tracker one rung: drops the exact histogram, keeping
+    /// the constant-space TNV table and every scalar counter. Returns the
+    /// bytes freed (0 when there was no histogram to drop).
+    ///
+    /// After degradation the tracker reports `inv_all*`/`distinct` as
+    /// `None` — exactly the shape [`merge`](ValueTracker::merge) already
+    /// produces when one shard lacks the full profile, which the metric
+    /// aggregation tolerates — while `inv_top*`, LVP, `% zero`, and
+    /// executions stay bit-identical to an undegraded tracker's.
+    pub fn degrade(&mut self) -> usize {
+        match self.full.take() {
+            Some(full) => full.footprint_bytes(),
+            None => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +428,53 @@ mod tests {
             with_full.footprint_bytes() > base_full + 10_000 * 8,
             "full profile grows with distinct values"
         );
+    }
+
+    #[test]
+    fn footprint_is_monotone_under_observe() {
+        // The budget relies on footprints never shrinking as values are
+        // observed: hash-map capacity only grows.
+        let mut full = FullProfile::new();
+        let mut tracker = ValueTracker::new(TrackerConfig::with_full());
+        let mut last_full = full.footprint_bytes();
+        let mut last_tracker = tracker.footprint_bytes();
+        for v in 0..4096u64 {
+            full.observe(v % 977); // repeats exercise the no-growth case
+            tracker.observe(v % 977);
+            let now_full = full.footprint_bytes();
+            let now_tracker = tracker.footprint_bytes();
+            assert!(now_full >= last_full, "full profile footprint shrank at {v}");
+            assert!(now_tracker >= last_tracker, "tracker footprint shrank at {v}");
+            last_full = now_full;
+            last_tracker = now_tracker;
+        }
+        // Capacity accounting: the map allocates at least one bucket per
+        // resident entry.
+        assert!(last_full >= std::mem::size_of::<FullProfile>() + 977 * 3 * 8);
+    }
+
+    #[test]
+    fn degrade_drops_only_the_full_profile() {
+        let mut governed = ValueTracker::new(TrackerConfig::with_full());
+        let mut reference = ValueTracker::new(TrackerConfig::with_full());
+        for v in [4u64, 4, 0, 9, 4, 4, 7, 4] {
+            governed.observe(v);
+            reference.observe(v);
+        }
+        assert!(governed.has_full());
+        let freed = governed.degrade();
+        assert!(freed > 0);
+        assert!(!governed.has_full());
+        assert_eq!(governed.degrade(), 0, "second degrade frees nothing");
+        assert_eq!(governed.footprint_bytes() + freed, reference.footprint_bytes());
+        // Everything except the exact histogram is untouched.
+        assert!(governed.inv_all(1).is_none());
+        assert!(governed.distinct().is_none());
+        assert_eq!(governed.executions(), reference.executions());
+        assert_eq!(governed.lvp(), reference.lvp());
+        assert_eq!(governed.pct_zero(), reference.pct_zero());
+        assert_eq!(governed.inv_top(1), reference.inv_top(1));
+        assert_eq!(governed.last_value(), reference.last_value());
     }
 
     #[test]

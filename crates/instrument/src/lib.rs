@@ -19,7 +19,11 @@
 //! * [`Trace`] — record the event stream once, replay it into any number
 //!   of analyses offline (the era's trace-driven methodology),
 //! * [`trace_codec`] — the compact varint-chunked `(pc, value)` trace
-//!   format behind `vprof record`/`replay` and intra-workload sharding.
+//!   format behind `vprof record`/`replay` and intra-workload sharding,
+//! * [`cancel`] — cooperative cancellation tokens and deadlines; the
+//!   runner, replay, and the parallel maps check them at chunk
+//!   boundaries so a hung workload can be cut loose without killing
+//!   anything.
 //!
 //! ## Example: counting load instructions
 //!
@@ -50,6 +54,7 @@
 //! # }
 //! ```
 
+pub mod cancel;
 pub mod parallel;
 pub mod plan;
 pub mod runner;
@@ -57,9 +62,10 @@ pub mod trace;
 pub mod trace_codec;
 pub mod view;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use parallel::{
     effective_jobs, parallel_map, parallel_map_observed, try_parallel_map,
-    try_parallel_map_observed, ItemFailure,
+    try_parallel_map_deadline, try_parallel_map_observed, FailureKind, ItemFailure,
 };
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};

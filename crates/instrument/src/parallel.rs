@@ -5,15 +5,32 @@
 //! is claimed from a shared atomic index and its result written into a
 //! dedicated output slot, so results come back in input order regardless
 //! of which worker ran which item or in what order they finished.
+//!
+//! All the maps cooperate with [`cancel`](crate::cancel): the token
+//! installed on the calling thread (if any) is re-installed in every
+//! worker, workers stop claiming items once it is cancelled, and the map
+//! re-raises the cancellation on the calling thread before returning —
+//! so a cancelled map never fabricates partial results.
+//! [`try_parallel_map_deadline`] additionally arms a watchdog thread that
+//! cancels any single item running longer than a per-item wall-clock
+//! deadline; such items come back as [`FailureKind::Timeout`] failures,
+//! distinct from caught panics.
 
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
 
 use vp_obs::recorder::Stopwatch;
 use vp_obs::{CounterId, HistId, NullRecorder, Recorder};
+
+use crate::cancel::{self, CancelToken};
+
+/// How often the deadline watchdog samples in-flight items. The deadline
+/// is enforced with this granularity; results never depend on it.
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
 
 /// Resolves a `--jobs` argument: `0` means "use the machine's available
 /// parallelism" (falling back to 1 when that cannot be determined).
@@ -57,6 +74,9 @@ where
 {
     let jobs = effective_jobs(jobs).min(items.len());
     if jobs <= 1 {
+        // Caller-thread path: the caller's cancel token is already
+        // installed, and an unwind from a checkpoint inside `f`
+        // propagates with its payload intact.
         if !rec.enabled() {
             return items.iter().map(f).collect();
         }
@@ -79,59 +99,98 @@ where
         return out;
     }
 
+    let parent = cancel::current();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| {
-                let enabled = rec.enabled();
-                let wall = enabled.then(Stopwatch::start);
-                let mut busy = 0u64;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                let work = || {
+                    let enabled = rec.enabled();
+                    let wall = enabled.then(Stopwatch::start);
+                    let mut busy = 0u64;
+                    loop {
+                        if parent.as_ref().is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let item_clock = enabled.then(Stopwatch::start);
+                        // Catch so a cancellation unwind inside `f` ends
+                        // this worker cleanly instead of being swallowed
+                        // by the scope's generic join panic; genuine
+                        // panics keep propagating.
+                        let out = panic::catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        if let Some(clock) = item_clock {
+                            let item_ns = clock.elapsed_ns();
+                            busy += item_ns;
+                            rec.observe(HistId::ItemNs, item_ns);
+                            rec.add(CounterId::WorkerItems, 1);
+                        }
+                        match out {
+                            Ok(out) => *slots[i].lock().unwrap() = Some(out),
+                            Err(payload) if cancel::is_cancel_payload(payload.as_ref()) => break,
+                            Err(payload) => panic::resume_unwind(payload),
+                        }
                     }
-                    if enabled {
-                        let item_clock = Stopwatch::start();
-                        let out = f(&items[i]);
-                        let item_ns = item_clock.elapsed_ns();
-                        busy += item_ns;
-                        rec.observe(HistId::ItemNs, item_ns);
-                        rec.add(CounterId::WorkerItems, 1);
-                        *slots[i].lock().unwrap() = Some(out);
-                    } else {
-                        let out = f(&items[i]);
-                        *slots[i].lock().unwrap() = Some(out);
+                    if let Some(wall) = wall {
+                        // Everything a worker spends outside `f` is time
+                        // waiting on (or contending for) the shared queue.
+                        rec.observe(HistId::WorkerBusyNs, busy);
+                        rec.observe(
+                            HistId::WorkerQueueWaitNs,
+                            wall.elapsed_ns().saturating_sub(busy),
+                        );
                     }
-                }
-                if let Some(wall) = wall {
-                    // Everything a worker spends outside `f` is time waiting
-                    // on (or contending for) the shared queue.
-                    rec.observe(HistId::WorkerBusyNs, busy);
-                    rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+                };
+                match &parent {
+                    Some(token) => cancel::with_token(token, work),
+                    None => work(),
                 }
             });
         }
     });
+    // Re-raise a cancellation on the calling thread *before* touching the
+    // slots: a cancelled map may have unfilled slots, and must never
+    // return partial results.
+    cancel::checkpoint();
     slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
         .collect()
 }
 
-/// A panic captured from one item of a [`try_parallel_map`] run.
+/// How one item of a `try_parallel_map*` run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The closure panicked; the payload is in
+    /// [`message`](ItemFailure::message).
+    Panic,
+    /// The closure was cancelled cooperatively after exceeding its
+    /// wall-clock deadline (see [`try_parallel_map_deadline`]).
+    Timeout,
+}
+
+/// A failure captured from one item of a [`try_parallel_map`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ItemFailure {
-    /// Index of the input item whose closure panicked.
+    /// Index of the input item whose closure failed.
     pub index: usize,
-    /// The panic payload, rendered as a string.
+    /// Whether the item panicked or timed out.
+    pub kind: FailureKind,
+    /// The panic payload rendered as a string, or a fixed description for
+    /// timeouts (kept deterministic so failure output is reproducible).
     pub message: String,
 }
 
 impl fmt::Display for ItemFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "item {} panicked: {}", self.index, self.message)
+        match self.kind {
+            FailureKind::Panic => write!(f, "item {} panicked: {}", self.index, self.message),
+            FailureKind::Timeout => write!(f, "item {} timed out: {}", self.index, self.message),
+        }
     }
 }
 
@@ -147,13 +206,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Turns a caught unwind payload into the right kind of [`ItemFailure`]:
+/// a cooperative-cancellation payload is a timeout, anything else a panic.
+fn classify(index: usize, payload: Box<dyn std::any::Any + Send>) -> ItemFailure {
+    if cancel::is_cancel_payload(payload.as_ref()) {
+        ItemFailure { index, kind: FailureKind::Timeout, message: cancel::Cancelled.to_string() }
+    } else {
+        ItemFailure { index, kind: FailureKind::Panic, message: panic_message(payload) }
+    }
+}
+
 /// Process-wide count of in-flight [`try_parallel_map`] runs; while it is
 /// nonzero the panic hook stays quiet, so captured per-item panics do not
 /// spray stack traces over the tool's output.
 static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
 static QUIET_HOOK: Once = Once::new();
 
-struct QuietPanics;
+pub(crate) struct QuietPanics;
 
 impl QuietPanics {
     fn engage() -> QuietPanics {
@@ -174,6 +243,13 @@ impl Drop for QuietPanics {
     fn drop(&mut self) {
         QUIET_DEPTH.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// Suppresses panic-hook output for the guard's lifetime — used by
+/// [`cancel::run_with_deadline`] so its cooperative unwinds stay quiet
+/// exactly like captured per-item panics.
+pub(crate) fn quiet_panics() -> QuietPanics {
+    QuietPanics::engage()
 }
 
 /// [`parallel_map`] with per-item panic isolation: a panic in `f` is
@@ -208,41 +284,146 @@ where
     O: Send,
     F: Fn(&T) -> O + Sync,
 {
+    try_parallel_map_deadline(jobs, items, f, rec, None)
+}
+
+/// [`try_parallel_map_observed`] with an optional per-item wall-clock
+/// deadline. With `deadline: None` the behavior is identical; with a
+/// deadline armed, a watchdog thread samples every in-flight item and
+/// cancels (cooperatively — see [`cancel`]) any running longer than the
+/// deadline. A cancelled item's slot holds a [`FailureKind::Timeout`]
+/// failure; every other item still runs to completion, so one hung item
+/// can never stall the map.
+///
+/// The watchdog needs worker threads to observe, so an armed deadline
+/// forces the threaded path even for `jobs == 1`; per-item isolation
+/// keeps the results identical to the serial path regardless.
+///
+/// The deadline bounds items that *cooperate* (reach checkpoints — the
+/// instrumentation runner and trace replay do); it cannot interrupt a
+/// closure that never checks, and never corrupts one mid-operation.
+pub fn try_parallel_map_deadline<T, O, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    rec: &dyn Recorder,
+    deadline: Option<Duration>,
+) -> Vec<Result<O, ItemFailure>>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
     let _quiet = QuietPanics::engage();
-    let run_one = |index: usize| -> Result<O, ItemFailure> {
-        panic::catch_unwind(AssertUnwindSafe(|| f(&items[index])))
-            .map_err(|payload| ItemFailure { index, message: panic_message(payload) })
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let parent = cancel::current();
+
+    let Some(deadline) = deadline else {
+        let run_one = |index: usize| -> Result<O, ItemFailure> {
+            panic::catch_unwind(AssertUnwindSafe(|| f(&items[index])))
+                .map_err(|payload| classify(index, payload))
+        };
+
+        let jobs = effective_jobs(jobs).min(items.len());
+        if jobs <= 1 {
+            if !rec.enabled() {
+                return (0..items.len()).map(run_one).collect();
+            }
+            let wall = Stopwatch::start();
+            let mut busy = 0u64;
+            let out = (0..items.len())
+                .map(|index| {
+                    let item_clock = Stopwatch::start();
+                    let result = run_one(index);
+                    let item_ns = item_clock.elapsed_ns();
+                    busy += item_ns;
+                    rec.observe(HistId::ItemNs, item_ns);
+                    rec.add(CounterId::WorkerItems, 1);
+                    result
+                })
+                .collect();
+            rec.observe(HistId::WorkerBusyNs, busy);
+            rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<O, ItemFailure>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let work = || {
+                        let enabled = rec.enabled();
+                        let wall = enabled.then(Stopwatch::start);
+                        let mut busy = 0u64;
+                        loop {
+                            if parent.as_ref().is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            if enabled {
+                                let item_clock = Stopwatch::start();
+                                let out = run_one(i);
+                                let item_ns = item_clock.elapsed_ns();
+                                busy += item_ns;
+                                rec.observe(HistId::ItemNs, item_ns);
+                                rec.add(CounterId::WorkerItems, 1);
+                                *slots[i].lock().unwrap() = Some(out);
+                            } else {
+                                let out = run_one(i);
+                                *slots[i].lock().unwrap() = Some(out);
+                            }
+                        }
+                        if let Some(wall) = wall {
+                            rec.observe(HistId::WorkerBusyNs, busy);
+                            rec.observe(
+                                HistId::WorkerQueueWaitNs,
+                                wall.elapsed_ns().saturating_sub(busy),
+                            );
+                        }
+                    };
+                    match &parent {
+                        Some(token) => cancel::with_token(token, work),
+                        None => work(),
+                    }
+                });
+            }
+        });
+        cancel::checkpoint();
+        return slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
+            .collect();
     };
 
+    // Deadline armed: threaded path always, one in-flight registry slot
+    // per worker for the watchdog to sample. Workers do not stop claiming
+    // on parent cancellation here — each item runs under a child token
+    // (cancelled transitively), so every slot is filled and `completed`
+    // reliably reaches `items.len()`, which is the watchdog's exit
+    // condition.
     let jobs = effective_jobs(jobs).min(items.len());
-    if jobs <= 1 {
-        if !rec.enabled() {
-            return (0..items.len()).map(run_one).collect();
-        }
-        let wall = Stopwatch::start();
-        let mut busy = 0u64;
-        let out = (0..items.len())
-            .map(|index| {
-                let item_clock = Stopwatch::start();
-                let result = run_one(index);
-                let item_ns = item_clock.elapsed_ns();
-                busy += item_ns;
-                rec.observe(HistId::ItemNs, item_ns);
-                rec.add(CounterId::WorkerItems, 1);
-                result
-            })
-            .collect();
-        rec.observe(HistId::WorkerBusyNs, busy);
-        rec.observe(HistId::WorkerQueueWaitNs, wall.elapsed_ns().saturating_sub(busy));
-        return out;
-    }
-
     let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let inflight: Vec<Mutex<Option<(Instant, CancelToken)>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
     let slots: Vec<Mutex<Option<Result<O, ItemFailure>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        for worker in 0..jobs {
+            let parent = &parent;
+            let next = &next;
+            let completed = &completed;
+            let inflight = &inflight;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
                 let enabled = rec.enabled();
                 let wall = enabled.then(Stopwatch::start);
                 let mut busy = 0u64;
@@ -251,18 +432,25 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    if enabled {
-                        let item_clock = Stopwatch::start();
-                        let out = run_one(i);
-                        let item_ns = item_clock.elapsed_ns();
+                    let token = match parent {
+                        Some(p) => p.child(),
+                        None => CancelToken::new(),
+                    };
+                    *inflight[worker].lock().unwrap() = Some((Instant::now(), token.clone()));
+                    let item_clock = enabled.then(Stopwatch::start);
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        cancel::with_token(&token, || f(&items[i]))
+                    }));
+                    *inflight[worker].lock().unwrap() = None;
+                    if let Some(clock) = item_clock {
+                        let item_ns = clock.elapsed_ns();
                         busy += item_ns;
                         rec.observe(HistId::ItemNs, item_ns);
                         rec.add(CounterId::WorkerItems, 1);
-                        *slots[i].lock().unwrap() = Some(out);
-                    } else {
-                        let out = run_one(i);
-                        *slots[i].lock().unwrap() = Some(out);
                     }
+                    *slots[i].lock().unwrap() =
+                        Some(result.map_err(|payload| classify(i, payload)));
+                    completed.fetch_add(1, Ordering::Release);
                 }
                 if let Some(wall) = wall {
                     rec.observe(HistId::WorkerBusyNs, busy);
@@ -270,7 +458,22 @@ where
                 }
             });
         }
+        // The watchdog: cancel any in-flight item past its deadline, exit
+        // once every item has completed (cancelled items complete too).
+        scope.spawn(|| {
+            while completed.load(Ordering::Acquire) < items.len() {
+                for slot in &inflight {
+                    if let Some((started, token)) = &*slot.lock().unwrap() {
+                        if started.elapsed() >= deadline {
+                            token.cancel();
+                        }
+                    }
+                }
+                std::thread::sleep(WATCHDOG_POLL);
+            }
+        });
     });
+    cancel::checkpoint();
     slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
@@ -343,6 +546,7 @@ mod tests {
                 if i % 13 == 5 {
                     let failure = slot.as_ref().unwrap_err();
                     assert_eq!(failure.index, i);
+                    assert_eq!(failure.kind, FailureKind::Panic);
                     assert_eq!(failure.message, format!("boom at {i}"));
                     assert!(failure.to_string().contains("panicked"));
                 } else {
@@ -394,5 +598,90 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn deadline_map_times_out_only_the_hung_item() {
+        let items: Vec<u64> = (0..8).collect();
+        for jobs in [1, 4] {
+            let out = try_parallel_map_deadline(
+                jobs,
+                &items,
+                |&x| {
+                    if x == 3 {
+                        loop {
+                            cancel::checkpoint();
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    x * 10
+                },
+                &NullRecorder,
+                Some(Duration::from_millis(30)),
+            );
+            assert_eq!(out.len(), 8, "jobs={jobs}");
+            for (i, slot) in out.iter().enumerate() {
+                if i == 3 {
+                    let failure = slot.as_ref().unwrap_err();
+                    assert_eq!(failure.kind, FailureKind::Timeout);
+                    assert_eq!(failure.message, "deadline exceeded");
+                    assert!(failure.to_string().contains("timed out"));
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i as u64 * 10, "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let items: Vec<u64> = (0..12).collect();
+        let plain = try_parallel_map(4, &items, |&x| x + 1);
+        let dead = try_parallel_map_deadline(
+            4,
+            &items,
+            |&x| x + 1,
+            &NullRecorder,
+            Some(Duration::from_secs(60)),
+        );
+        assert_eq!(plain, dead);
+    }
+
+    #[test]
+    fn deadline_map_still_classifies_real_panics() {
+        let items: Vec<u64> = (0..4).collect();
+        let out = try_parallel_map_deadline(
+            2,
+            &items,
+            |&x| {
+                if x == 1 {
+                    panic!("genuine failure");
+                }
+                x
+            },
+            &NullRecorder,
+            Some(Duration::from_secs(60)),
+        );
+        let failure = out[1].as_ref().unwrap_err();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert_eq!(failure.message, "genuine failure");
+    }
+
+    #[test]
+    fn cancelled_parent_aborts_the_map() {
+        let token = CancelToken::new();
+        let items: Vec<u64> = (0..64).collect();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            cancel::with_token(&token, || {
+                parallel_map(4, &items, |&x| {
+                    if x == 0 {
+                        token.cancel();
+                    }
+                    cancel::checkpoint();
+                    x
+                })
+            })
+        }));
+        assert!(cancel::is_cancel_payload(caught.unwrap_err().as_ref()));
     }
 }

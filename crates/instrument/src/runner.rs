@@ -142,8 +142,17 @@ impl Instrumenter {
         // Shadow call stack: (procedure index, expected return instruction).
         let mut call_stack: Vec<(usize, u32)> = Vec::new();
         let procs = self.procedures;
+        // Cooperative cancellation point every 4096 executed instructions
+        // — frequent enough that a hung (e.g. fault-injected) workload is
+        // cut loose within milliseconds, cheap enough to vanish in the
+        // uninstrumented path (one counter increment and branch).
+        let mut tick = 0u64;
 
         let outcome = machine.run_with(budget, |m, event| {
+            tick += 1;
+            if tick & 0xFFF == 0 {
+                crate::cancel::checkpoint();
+            }
             if selected.get(event.index as usize).copied().unwrap_or(false) {
                 counts.instr_events += 1;
                 analysis.after_instr(m, event);

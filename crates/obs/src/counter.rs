@@ -64,6 +64,14 @@ pub enum CounterId {
     TraceEvents,
     /// Binary trace chunks encoded or decoded.
     TraceChunks,
+    /// Workload attempts cancelled for exceeding the wall-clock deadline.
+    WorkloadTimeout,
+    /// Entities degraded full-profile → TNV-only by the memory governor.
+    EntitiesDegraded,
+    /// Entities dropped entirely by the memory governor.
+    EntitiesDropped,
+    /// Stores dropped by the memory profiler's location cap.
+    MemDropped,
 }
 
 impl CounterId {
@@ -71,7 +79,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 24] = [
+    pub const ALL: [CounterId; 28] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -96,6 +104,10 @@ impl CounterId {
         CounterId::TraceShards,
         CounterId::TraceEvents,
         CounterId::TraceChunks,
+        CounterId::WorkloadTimeout,
+        CounterId::EntitiesDegraded,
+        CounterId::EntitiesDropped,
+        CounterId::MemDropped,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -125,6 +137,10 @@ impl CounterId {
             CounterId::TraceShards => "trace_shards",
             CounterId::TraceEvents => "trace_events",
             CounterId::TraceChunks => "trace_chunks",
+            CounterId::WorkloadTimeout => "workload_timeouts",
+            CounterId::EntitiesDegraded => "entities_degraded",
+            CounterId::EntitiesDropped => "entities_dropped",
+            CounterId::MemDropped => "mem_dropped",
         }
     }
 

@@ -5,7 +5,7 @@
 //! kinds are counted but otherwise ignored, so the command keeps working
 //! when newer producers add record types.
 
-use crate::counter::Counts;
+use crate::counter::{CounterId, Counts};
 use crate::json::Json;
 use crate::telemetry::parse_jsonl;
 
@@ -50,6 +50,12 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
         out.push('\n');
         out.push_str(&workload_table(&workloads));
     }
+    let governed: Vec<&Json> =
+        workloads.iter().copied().filter(|r| r.get("governor").is_some()).collect();
+    if !governed.is_empty() {
+        out.push('\n');
+        out.push_str(&governor_table(&governed));
+    }
     if !failures.is_empty() {
         out.push('\n');
         out.push_str(&failure_table(&failures));
@@ -80,12 +86,48 @@ fn faults_line(rec: &Json) -> String {
 
 fn failure_table(failures: &[&Json]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<16} {:>8}  error\n", "failed", "attempts"));
+    out.push_str(&format!("{:<16} {:>8}  {:<8}  error\n", "failed", "attempts", "kind"));
     for rec in failures {
         let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
         let attempts = rec.get("attempts").and_then(Json::as_u64).unwrap_or(0);
+        // Records from producers predating the deadline watchdog carry no
+        // failure_kind — everything they quarantined was a panic.
+        let kind = rec.get("failure_kind").and_then(Json::as_str).unwrap_or("panic");
         let error = rec.get("error").and_then(Json::as_str).unwrap_or("?");
-        out.push_str(&format!("{name:<16} {attempts:>8}  {error}\n"));
+        out.push_str(&format!("{name:<16} {attempts:>8}  {kind:<8}  {error}\n"));
+    }
+    out
+}
+
+/// Renders the memory-governor section: one row per governed workload,
+/// plus a warning when any entity was dropped outright (its metrics are
+/// missing from the profile, not just degraded).
+fn governor_table(workloads: &[&Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>10} {:>9} {:>12}\n",
+        "governor", "peak bytes", "degraded", "dropped", "obs dropped"
+    ));
+    let mut entities_dropped = 0u64;
+    for rec in workloads {
+        let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+        let gov = rec.get("governor").expect("caller filtered on governor presence");
+        let field = |key: &str| gov.get(key).and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<16} {:>14} {:>10} {:>9} {:>12}\n",
+            name,
+            group_digits(field("bytes_peak")),
+            group_digits(field("entities_degraded")),
+            group_digits(field("entities_dropped")),
+            group_digits(field("observations_dropped")),
+        ));
+        entities_dropped += field("entities_dropped");
+    }
+    if entities_dropped > 0 {
+        out.push_str(&format!(
+            "warning: {} entities dropped by the memory governor — their metrics are missing; raise the budget to recover them\n",
+            group_digits(entities_dropped)
+        ));
     }
     out
 }
@@ -108,6 +150,13 @@ fn run_header(rec: &Json) -> String {
         line.push_str(&format!("  total events: {}\n", group_digits(counts.total())));
         for (id, value) in counts.iter_nonzero() {
             line.push_str(&format!("    {:<20} {:>16}\n", id.name(), group_digits(value)));
+        }
+        let mem_dropped = counts.get(CounterId::MemDropped);
+        if mem_dropped > 0 {
+            line.push_str(&format!(
+                "  warning: {} stores dropped at the memory profiler's location cap — per-location results are incomplete\n",
+                group_digits(mem_dropped)
+            ));
         }
     }
     line
@@ -254,6 +303,62 @@ mod tests {
         assert!(text.contains("gcc"), "{text}");
         assert!(text.contains("fault injected: workload/gcc"), "{text}");
         assert!(!text.contains("unknown kind"), "{text}");
+    }
+
+    #[test]
+    fn governor_section_and_timeout_kind_render() {
+        let mut counts = Counts::new();
+        counts.add(CounterId::WorkloadTimeout, 1);
+        counts.add(CounterId::MemDropped, 7);
+        let records = vec![
+            record(
+                "run",
+                "profile-suite",
+                vec![("jobs", Json::U64(1)), ("events", counts.to_json())],
+            ),
+            record(
+                "workload",
+                "gcc",
+                vec![
+                    ("instructions", Json::U64(10)),
+                    (
+                        "governor",
+                        Json::obj(vec![
+                            ("bytes_peak", Json::U64(65_536)),
+                            ("entities_degraded", Json::U64(4)),
+                            ("entities_dropped", Json::U64(1)),
+                            ("observations_dropped", Json::U64(2_000)),
+                        ]),
+                    ),
+                ],
+            ),
+            record("faults", "profile-suite", vec![("events", counts.to_json())]),
+            record(
+                "failure",
+                "li",
+                vec![
+                    ("attempts", Json::U64(1)),
+                    ("failure_kind", Json::Str("timeout".to_string())),
+                    ("error", Json::Str("deadline exceeded".to_string())),
+                ],
+            ),
+        ];
+        let text = summarize_records(&records).unwrap();
+        assert!(text.contains("workload_timeouts=1"), "{text}");
+        assert!(text.contains("governor"), "{text}");
+        assert!(text.contains("65,536"), "{text}");
+        assert!(text.contains("entities dropped by the memory governor"), "{text}");
+        assert!(text.contains("stores dropped at the memory profiler's location cap"), "{text}");
+        // The table row itself carries the timeout classification — a
+        // bare substring would also match "workload_timeouts" above.
+        assert!(text.contains("  timeout   deadline exceeded"), "{text}");
+    }
+
+    #[test]
+    fn ungoverned_records_render_without_governor_section() {
+        let text = summarize(&sample_jsonl()).unwrap();
+        assert!(!text.contains("governor"), "{text}");
+        assert!(!text.contains("warning"), "{text}");
     }
 
     #[test]

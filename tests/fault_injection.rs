@@ -72,6 +72,7 @@ fn injected_panic_quarantines_one_workload_and_keeps_the_rest() {
     assert_eq!(records[1].get("kind").unwrap().as_str(), Some("failure"));
     assert_eq!(records[1].get("name").unwrap().as_str(), Some("gcc"));
     assert_eq!(records[1].get("attempts").unwrap().as_u64(), Some(2));
+    assert_eq!(records[1].get("failure_kind").unwrap().as_str(), Some("panic"));
 }
 
 #[test]
