@@ -8,6 +8,13 @@
 //! that batching eliminates enough per-event dispatch to be ≥ 1.5× the
 //! scalar path, and that sharding stacks on top for large streams.
 //!
+//! A second group measures *replay* — decode the binary trace container,
+//! then profile — pitting the current zero-copy path (SWAR varints,
+//! sliced CRC, one reused scratch buffer) against a faithful replica of
+//! the previous release's decoder (byte-at-a-time varints, bit-at-a-time
+//! CRC, a fresh `Vec` per chunk). The claim is ≥ 1.5× events/sec on the
+//! recorded stream.
+//!
 //! With `BENCH_SHARD_JSON=<path>` set (and outside `cargo test`'s
 //! `--test` smoke mode), a machine-readable events/sec summary is also
 //! written to `<path>` — the vendored criterion stand-in has no JSON
@@ -18,8 +25,71 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 use vp_bench::value_stream;
 use vp_core::{profile_sharded, track::TrackerConfig, InstructionProfiler};
-use vp_instrument::Selection;
+use vp_instrument::{trace_codec, Selection};
 use vp_workloads::{suite, DataSet};
+
+/// Faithful replica of the pre-zero-copy decoder, kept as the bench
+/// baseline: LEB128 a byte at a time, CRC32 a bit at a time, and a
+/// freshly sized `Vec` per chunk.
+mod baseline {
+    fn crc32_step(crc: u32, byte: u8) -> u32 {
+        let mut crc = crc ^ u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+        crc
+    }
+
+    fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = bytes[*pos];
+            *pos += 1;
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return value;
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes one well-formed trace chunk-by-chunk, handing each chunk's
+    /// freshly allocated event `Vec` to `sink` — the shape of the old
+    /// serial replay loop. Panics on malformed input (bench streams are
+    /// pristine by construction).
+    pub fn replay(bytes: &[u8], mut sink: impl FnMut(Vec<(u32, u64)>)) {
+        assert_eq!(&bytes[..4], b"VPC1");
+        let mut pos = 4usize;
+        loop {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if len == 0 {
+                return; // trailer
+            }
+            let count = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+            let stored = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+            let payload = &bytes[pos + 12..pos + 12 + len];
+            let mut crc = !0u32;
+            for &b in &bytes[pos..pos + 8] {
+                crc = crc32_step(crc, b);
+            }
+            for &b in payload {
+                crc = crc32_step(crc, b);
+            }
+            assert_eq!(!crc, stored, "baseline replica sees a valid chunk");
+            let mut chunk: Vec<(u32, u64)> = Vec::with_capacity(count);
+            let mut p = 0usize;
+            while p < len {
+                let pc = read_varint(payload, &mut p) as u32;
+                let value = read_varint(payload, &mut p);
+                chunk.push((pc, value));
+            }
+            sink(chunk);
+            pos += 12 + len;
+        }
+    }
+}
 
 /// Semi-invariant stream over a rotating set of entities: 80% one value,
 /// the rest churn — the mix workload TNV tables actually face. Each
@@ -72,6 +142,46 @@ fn bench_ingestion(c: &mut Criterion) {
     }
 }
 
+/// Old replay loop: decode each chunk into a fresh `Vec`, profile it.
+fn replay_baseline(encoded: &[u8]) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::default());
+    baseline::replay(black_box(encoded), |chunk| p.observe_batch(&chunk));
+    p
+}
+
+/// Current replay loop: zero-copy chunk reader decoding into one reused
+/// scratch buffer — the `vprof replay` serial path.
+fn replay_zerocopy(encoded: &[u8]) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::default());
+    let mut reader = trace_codec::ChunkReader::new(black_box(encoded)).unwrap();
+    let mut scratch: Vec<(u32, u64)> = Vec::new();
+    while reader.next_chunk_into(&mut scratch).unwrap() {
+        p.observe_batch(&scratch);
+    }
+    p
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let streams: Vec<(&str, Vec<(u32, u64)>)> = vec![
+        ("synthetic", synthetic(200_000)),
+        ("recorded", value_stream(&suite()[0], DataSet::Test, Selection::LoadsOnly)),
+    ];
+    for (name, events) in &streams {
+        let encoded = trace_codec::encode(events, trace_codec::DEFAULT_CHUNK_EVENTS);
+        // The replica must agree with the real decoder before it is a
+        // meaningful baseline.
+        let mut replica: Vec<(u32, u64)> = Vec::new();
+        baseline::replay(&encoded, |chunk| replica.extend(chunk));
+        assert_eq!(&replica, events, "{name}: baseline replica decodes correctly");
+
+        let mut group = c.benchmark_group(format!("trace_replay/{name}"));
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_function("pr4_baseline", |b| b.iter(|| black_box(replay_baseline(&encoded))));
+        group.bench_function("zerocopy", |b| b.iter(|| black_box(replay_zerocopy(&encoded))));
+        group.finish();
+    }
+}
+
 /// One way of ingesting an event stream into a profiler.
 type Ingest<'a> = &'a dyn Fn(&[(u32, u64)]) -> InstructionProfiler;
 
@@ -107,12 +217,25 @@ fn write_json_summary() {
         let batched_eps = rate(events, &batched);
         let sharded2_eps = rate(events, &|e| sharded(e, 2));
         let sharded4_eps = rate(events, &|e| sharded(e, 4));
+        let encoded = trace_codec::encode(events, trace_codec::DEFAULT_CHUNK_EVENTS);
+        let replay_pr4_eps = rate(events, &|e| {
+            let _ = e;
+            replay_baseline(&encoded)
+        });
+        let replay_zerocopy_eps = rate(events, &|e| {
+            let _ = e;
+            replay_zerocopy(&encoded)
+        });
         entries.push(format!(
             "{{\"stream\":\"{name}\",\"events\":{},\"scalar_eps\":{scalar_eps:.0},\
              \"batched_eps\":{batched_eps:.0},\"sharded2_eps\":{sharded2_eps:.0},\
-             \"sharded4_eps\":{sharded4_eps:.0},\"batched_over_scalar\":{:.3}}}",
+             \"sharded4_eps\":{sharded4_eps:.0},\"batched_over_scalar\":{:.3},\
+             \"replay_pr4_eps\":{replay_pr4_eps:.0},\
+             \"replay_zerocopy_eps\":{replay_zerocopy_eps:.0},\
+             \"replay_speedup\":{:.3}}}",
             events.len(),
             batched_eps / scalar_eps,
+            replay_zerocopy_eps / replay_pr4_eps,
         ));
     }
     let json = format!("{{\"bench\":\"trace_shard\",\"streams\":[{}]}}\n", entries.join(","));
@@ -124,6 +247,7 @@ fn write_json_summary() {
 
 fn bench_all(c: &mut Criterion) {
     bench_ingestion(c);
+    bench_replay(c);
     write_json_summary();
 }
 

@@ -617,16 +617,14 @@ impl SuiteRunner {
         // CRC-checked path as `vprof record` / `vprof replay`.
         let encoded = trace_codec::encode(&collector.0, trace_codec::DEFAULT_CHUNK_EVENTS);
         drop(collector);
-        let mut reader = trace_codec::ChunkReader::new(&encoded)
+        let file = vp_instrument::TraceFile::from_bytes(encoded);
+        let mut reader = file
+            .reader()
             .unwrap_or_else(|e| panic!("{} [{}]: trace codec: {e}", w.name(), ds.name()));
         let mut trace: Vec<(u32, u64)> = Vec::new();
-        loop {
-            match reader.next_chunk() {
-                Ok(Some(chunk)) => trace.extend(chunk),
-                Ok(None) => break,
-                Err(e) => panic!("{} [{}]: trace codec: {e}", w.name(), ds.name()),
-            }
-        }
+        reader
+            .read_to_end_into(&mut trace)
+            .unwrap_or_else(|e| panic!("{} [{}]: trace codec: {e}", w.name(), ds.name()));
         events.add(CounterId::TraceShards, self.shards as u64);
         events.add(CounterId::TraceEvents, trace.len() as u64);
         events.add(CounterId::TraceChunks, reader.chunks_read() as u64);
@@ -638,7 +636,10 @@ impl SuiteRunner {
                 // merged profiler's stats are the summed shard stats.
                 let p = match self.mem_budget {
                     Some(budget) => {
-                        let split = budget.split(self.shards);
+                        // One profiler exists per *partition* (the stream is
+                        // over-decomposed for work stealing), so split by the
+                        // partition count to keep summed caps within budget.
+                        let split = budget.split(vp_core::partition_count(self.shards));
                         profile_sharded(&trace, self.shards, move || {
                             InstructionProfiler::with_budget(tracker, split)
                         })

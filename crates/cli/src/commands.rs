@@ -314,6 +314,9 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --jobs value `{v}`")))?;
     let shards: usize = option_value(args, "--shards")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    if shards == 0 {
+        return Err("bad --shards value `0` (need at least one shard)".to_string());
+    }
     let selection =
         if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
     let what = if flag(args, "--all") { "all register-defining instructions" } else { "loads" };
@@ -570,9 +573,15 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
     let target = target_arg(args)?;
     let shards: usize = option_value(args, "--shards")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    if shards == 0 {
+        return Err("bad --shards value `0` (need at least one shard)".to_string());
+    }
     let deadline = deadline_arg(args)?;
     let mem_budget = mem_budget_arg(args)?;
-    let bytes = std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    // Zero-copy input: the trace is mapped (or read, on the fallback
+    // paths) once, and every chunk decodes straight out of it.
+    let file = vp_instrument::TraceFile::open(std::path::Path::new(target))
+        .map_err(|e| format!("cannot read `{target}`: {e}"))?;
     let make = move |budget: Option<vp_core::MemBudget>| match budget {
         Some(b) => InstructionProfiler::with_budget(TrackerConfig::with_full(), b),
         None => InstructionProfiler::new(TrackerConfig::with_full()),
@@ -580,26 +589,33 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
     // The whole decode-and-profile pass runs under the optional deadline;
     // every chunk boundary is a cancellation checkpoint.
     let replay = || -> Result<(InstructionProfiler, u64, u64), String> {
-        let mut reader =
-            vp_instrument::ChunkReader::new(&bytes).map_err(|e| format!("{target}: {e}"))?;
-        // Serial replay streams each decoded chunk straight into the
-        // batched observe path; a sharded replay materializes the stream
-        // first so it can be partitioned by entity.
+        let mut reader = file.reader().map_err(|e| format!("{target}: {e}"))?;
+        // Serial replay decodes each chunk into one reused scratch buffer
+        // and streams it straight into the batched observe path; a
+        // sharded replay appends the scratch to the full stream so it
+        // can be partitioned by entity.
         let mut profiler = make(mem_budget);
+        let mut scratch: Vec<(u32, u64)> = Vec::new();
         let mut trace: Vec<(u32, u64)> = Vec::new();
         loop {
             vp_instrument::cancel::checkpoint();
-            match reader.next_chunk().map_err(|e| format!("{target}: {e}"))? {
-                Some(chunk) if shards > 1 => trace.extend(chunk),
-                Some(chunk) => profiler.observe_batch(&chunk),
-                None => break,
+            if !reader.next_chunk_into(&mut scratch).map_err(|e| format!("{target}: {e}"))? {
+                break;
+            }
+            if shards > 1 {
+                trace.extend_from_slice(&scratch);
+            } else {
+                profiler.observe_batch(&scratch);
             }
         }
         if shards > 1 {
-            let split = mem_budget.map(|b| b.split(shards));
+            // One profiler exists per work-stealing partition, so the
+            // budget splits by the partition count, keeping the summed
+            // caps within the whole budget.
+            let split = mem_budget.map(|b| b.split(vp_core::partition_count(shards)));
             profiler = vp_core::profile_sharded(&trace, shards, move || make(split));
         }
-        Ok((profiler, reader.events_read() as u64, reader.chunks_read() as u64))
+        Ok((profiler, reader.events_read(), reader.chunks_read() as u64))
     };
     let (profiler, events_read, chunks_read) = match deadline {
         Some(d) => vp_instrument::cancel::run_with_deadline(d, replay)
@@ -821,6 +837,9 @@ mod tests {
         assert!(dispatch(&args(&["profile-suite", "--shards", "many"]))
             .unwrap_err()
             .contains("bad --shards"));
+        assert!(dispatch(&args(&["profile-suite", "--shards", "0"]))
+            .unwrap_err()
+            .contains("need at least one shard"));
     }
 
     #[test]
@@ -1029,6 +1048,9 @@ mod tests {
         assert!(dispatch(&args(&["replay", out_s, "--shards", "many"]))
             .unwrap_err()
             .contains("bad --shards"));
+        assert!(dispatch(&args(&["replay", out_s, "--shards", "0"]))
+            .unwrap_err()
+            .contains("need at least one shard"));
         // Corruption anywhere in the file is rejected, never mis-decoded.
         let mut bytes = std::fs::read(&out).unwrap();
         let mid = bytes.len() / 2;

@@ -1,0 +1,302 @@
+//! Per-workload arena accounting and the slab-style value-count table
+//! behind [`crate::track::FullProfile`].
+//!
+//! PR 5's governor could only *estimate* resident bytes, because
+//! `FullProfile` sat on `std::collections::HashMap`, whose bucket layout
+//! (control bytes, group padding) is an implementation detail. This
+//! module removes the estimate in two moves:
+//!
+//! * [`ValueMap`] — an open-addressed `u64 → u64` count table whose
+//!   entire storage is one `Box<[Slot]>` of power-of-two length. Its
+//!   footprint is `capacity × 16` bytes *by construction*: there is
+//!   nothing else to account for, so `footprint_bytes()` is ground
+//!   truth, not a model.
+//! * [`Arena`] — the bump-style byte meter a governed workload charges
+//!   every tracker allocation against. `live_bytes` tracks the exact
+//!   resident total; [`Arena::mark`] records the high-water mark of
+//!   *settled* states (the governor marks after enforcement, so the peak
+//!   never reports a transient the budget already rolled back).
+//!
+//! Both are deterministic: capacities are a pure function of the
+//! observation sequence, so governed runs — and their reported peaks —
+//! reproduce bit-for-bit.
+
+/// Exact byte meter for one workload's profile state.
+///
+/// The arena does not own allocations; it owns the *accounting*. Every
+/// tracker block in a governed profiler has a capacity-determined exact
+/// size ([`ValueMap::footprint_bytes`], `TnvTable::footprint_bytes`), so
+/// charging those sizes here makes `live_bytes` the true resident total
+/// and `high_water_bytes` the true peak — which is what
+/// `GovernorStats::bytes_peak` now reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Arena {
+    live: usize,
+    high: usize,
+}
+
+impl Arena {
+    /// An empty meter.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Records `bytes` of new allocation.
+    pub fn charge(&mut self, bytes: usize) {
+        self.live += bytes;
+    }
+
+    /// Records `bytes` freed (a degraded histogram, a dropped tracker).
+    pub fn release(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.live, "released more than was charged");
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Folds the current live total into the high-water mark. Callers
+    /// mark at settled points — after budget enforcement, not between
+    /// charge and release — so the peak reflects states that actually
+    /// persisted.
+    pub fn mark(&mut self) {
+        self.high = self.high.max(self.live);
+    }
+
+    /// Exact resident bytes right now.
+    pub fn live_bytes(&self) -> usize {
+        self.live
+    }
+
+    /// Highest `live_bytes` ever observed by [`Arena::mark`].
+    pub fn high_water_bytes(&self) -> usize {
+        self.high
+    }
+
+    /// Overwrites the live total (merging shards replaces this meter's
+    /// view with the combined profiler's exact footprint). The next
+    /// `mark` folds the new level into the high-water mark.
+    pub fn reset_live(&mut self, bytes: usize) {
+        self.live = bytes;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    key: u64,
+    count: u64, // 0 ⟺ slot empty; live entries always have count ≥ 1
+}
+
+/// Open-addressed `u64 → u64` count map with linear probing over a
+/// single power-of-two slab.
+///
+/// Replaces `HashMap<u64, u64>` in the exact histogram for two reasons:
+/// the slab makes the footprint exact (see module docs), and the
+/// fixed mixer below replaces SipHash — value counting needs speed and
+/// determinism, not DoS keying. Grows by doubling at 7/8 load, so
+/// capacity — and therefore footprint — is a deterministic, monotone
+/// function of the observation sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ValueMap {
+    slots: Box<[Slot]>,
+    len: usize,
+}
+
+/// SplitMix64 finalizer: full-avalanche mixing so clustered values
+/// (small integers, aligned pointers) spread across the slab.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ValueMap {
+    /// An empty map (no slab until the first insertion).
+    pub fn new() -> ValueMap {
+        ValueMap::default()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slots (the whole slab, not just the occupied part).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The count for `key`, or `None` if it was never bumped.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.count == 0 {
+                return None;
+            }
+            if slot.key == key {
+                return Some(slot.count);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Adds `by` (> 0) to `key`'s count, inserting it at zero first.
+    pub fn bump(&mut self, key: u64, by: u64) {
+        debug_assert!(by > 0, "a zero bump would plant an empty-looking live slot");
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.count == 0 {
+                *slot = Slot { key, count: by };
+                self.len += 1;
+                return;
+            }
+            if slot.key == key {
+                slot.count += by;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Iterates `(key, count)` pairs in slab order (an arbitrary but
+    /// deterministic order — callers that need a canonical order sort).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.slots.iter().filter(|s| s.count != 0).map(|s| (s.key, s.count))
+    }
+
+    /// Exact bytes of the slab. The map's entire heap state is the one
+    /// `Box<[Slot]>`, so this is not an estimate.
+    pub fn footprint_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::default(); new_cap].into());
+        let mask = new_cap - 1;
+        for slot in old.iter().filter(|s| s.count != 0) {
+            let mut i = (mix(slot.key) as usize) & mask;
+            while self.slots[i].count != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = *slot;
+        }
+    }
+}
+
+impl PartialEq for ValueMap {
+    /// Content equality: same keys with same counts, regardless of slab
+    /// capacity or slot placement.
+    fn eq(&self, other: &ValueMap) -> bool {
+        self.len == other.len && self.iter().all(|(k, c)| other.get(k) == Some(c))
+    }
+}
+
+impl Eq for ValueMap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn slot_is_sixteen_bytes() {
+        // The footprint-exactness story is `capacity × 16`; a padding
+        // surprise here would silently turn it back into an estimate.
+        assert_eq!(std::mem::size_of::<Slot>(), 16);
+    }
+
+    #[test]
+    fn value_map_matches_hash_map_reference() {
+        let mut map = ValueMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        // Clustered, colliding, and wide keys; repeated bumps.
+        let keys: Vec<u64> =
+            (0..5000u64).map(|i| (i * i) % 701).chain((0..64).map(|i| i << 56)).collect();
+        for (n, &k) in keys.iter().enumerate() {
+            let by = (n as u64 % 3) + 1;
+            map.bump(k, by);
+            *reference.entry(k).or_insert(0) += by;
+        }
+        assert_eq!(map.len(), reference.len());
+        for (&k, &c) in &reference {
+            assert_eq!(map.get(k), Some(c), "key {k}");
+        }
+        assert_eq!(map.get(u64::MAX), None);
+        let mut collected: Vec<(u64, u64)> = map.iter().collect();
+        collected.sort_unstable();
+        let mut expect: Vec<(u64, u64)> = reference.into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn capacity_is_deterministic_and_monotone() {
+        let mut a = ValueMap::new();
+        let mut b = ValueMap::new();
+        let mut last_cap = 0;
+        for i in 0..10_000u64 {
+            a.bump(i % 3001, 1);
+            b.bump(i % 3001, 1);
+            assert!(a.capacity() >= last_cap, "slab shrank at {i}");
+            last_cap = a.capacity();
+            assert_eq!(a.capacity(), b.capacity(), "same stream, same slab at {i}");
+        }
+        assert!(last_cap.is_power_of_two());
+        assert_eq!(a.footprint_bytes(), last_cap * 16);
+        // 7/8 load ceiling actually holds.
+        assert!(a.len() * 8 <= a.capacity() * 7);
+    }
+
+    #[test]
+    fn content_equality_ignores_slab_shape() {
+        // Same content via different insertion orders (and therefore
+        // possibly different probe placements) compares equal.
+        let mut fwd = ValueMap::new();
+        let mut rev = ValueMap::new();
+        for k in 0..100u64 {
+            fwd.bump(k, k + 1);
+        }
+        for k in (0..100u64).rev() {
+            rev.bump(k, k + 1);
+        }
+        assert_eq!(fwd, rev);
+        rev.bump(7, 1);
+        assert_ne!(fwd, rev);
+    }
+
+    #[test]
+    fn arena_tracks_live_and_marked_peak() {
+        let mut arena = Arena::new();
+        arena.charge(100);
+        arena.mark();
+        arena.charge(400);
+        // Not yet marked: a transient spike the governor rolls back
+        // before settling must not become the reported peak.
+        arena.release(300);
+        arena.mark();
+        assert_eq!(arena.live_bytes(), 200);
+        assert_eq!(arena.high_water_bytes(), 200);
+        arena.release(200);
+        arena.mark();
+        assert_eq!(arena.live_bytes(), 0);
+        assert_eq!(arena.high_water_bytes(), 200, "peak is sticky");
+        arena.reset_live(5000);
+        arena.mark();
+        assert_eq!(arena.high_water_bytes(), 5000);
+    }
+}

@@ -25,11 +25,18 @@
 //! [`GovernorStats::bytes_peak`] — sampled post-enforcement — never
 //! exceeds the budget.
 //!
+//! The byte accounting runs on a per-workload [`Arena`] meter, and since
+//! every tracker block now has a capacity-determined exact size
+//! (`TnvTable`'s entry array, [`FullProfile`]'s `ValueMap` slab),
+//! `bytes_peak` *is* the arena high-water mark: ground truth, not an
+//! estimate of allocator internals.
+//!
 //! [`FullProfile`]: crate::track::FullProfile
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
+use crate::arena::Arena;
 use crate::track::{TrackerConfig, ValueTracker};
 
 /// A byte budget for one profiler's resident tracker state.
@@ -102,7 +109,7 @@ impl GovernorStats {
 #[derive(Debug, Clone)]
 pub struct Governor {
     budget: MemBudget,
-    bytes_current: usize,
+    arena: Arena,
     stats: GovernorStats,
     dropped: HashSet<u64>,
 }
@@ -112,7 +119,7 @@ impl Governor {
     pub fn new(budget: MemBudget) -> Governor {
         Governor {
             budget,
-            bytes_current: 0,
+            arena: Arena::new(),
             stats: GovernorStats::default(),
             dropped: HashSet::new(),
         }
@@ -125,7 +132,15 @@ impl Governor {
 
     /// Current resident governed footprint in bytes.
     pub fn bytes_current(&self) -> usize {
-        self.bytes_current
+        self.arena.live_bytes()
+    }
+
+    /// The arena meter behind the accounting. `bytes_peak` in
+    /// [`GovernorStats`] equals `arena().high_water_bytes()` exactly for
+    /// an unmerged governor (after shard absorption the stats carry the
+    /// summed per-shard peaks instead).
+    pub fn arena(&self) -> &Arena {
+        &self.arena
     }
 
     /// The intervention counters so far.
@@ -162,11 +177,14 @@ impl Governor {
         let after = tracker.footprint_bytes();
         // Footprints are monotone under observe (tested in `track`), so
         // the delta is non-negative.
-        self.bytes_current += after - before;
-        if self.bytes_current > self.budget.limit_bytes {
+        self.arena.charge(after - before);
+        if self.arena.live_bytes() > self.budget.limit_bytes {
             self.enforce(trackers);
         }
-        self.stats.bytes_peak = self.stats.bytes_peak.max(self.bytes_current as u64);
+        // Mark only the settled state: a transient over-budget spike the
+        // ladder just rolled back is not a resident peak.
+        self.arena.mark();
+        self.stats.bytes_peak = self.stats.bytes_peak.max(self.arena.high_water_bytes() as u64);
     }
 
     /// Walks the degradation ladder until the budget holds: degrade the
@@ -177,7 +195,7 @@ impl Governor {
     where
         K: Copy + Eq + Ord + Hash + Into<u64>,
     {
-        while self.bytes_current > self.budget.limit_bytes && !trackers.is_empty() {
+        while self.arena.live_bytes() > self.budget.limit_bytes && !trackers.is_empty() {
             let degradable = trackers
                 .iter()
                 .filter(|(_, t)| t.has_full())
@@ -185,7 +203,7 @@ impl Governor {
                 .map(|(&id, _)| id);
             if let Some(id) = degradable {
                 let freed = trackers.get_mut(&id).expect("victim exists").degrade();
-                self.bytes_current -= freed;
+                self.arena.release(freed);
                 self.stats.entities_degraded += 1;
                 continue;
             }
@@ -195,7 +213,7 @@ impl Governor {
                 .map(|(&id, _)| id)
                 .expect("non-empty map has a largest entity");
             let tracker = trackers.remove(&victim).expect("victim exists");
-            self.bytes_current -= tracker.footprint_bytes();
+            self.arena.release(tracker.footprint_bytes());
             self.stats.entities_dropped += 1;
             self.dropped.insert(victim.into());
         }
@@ -210,7 +228,7 @@ impl Governor {
     pub fn absorb(&mut self, other: &Governor, resident_bytes: usize) {
         self.stats.merge(&other.stats);
         self.dropped.extend(other.dropped.iter().copied());
-        self.bytes_current = resident_bytes;
+        self.arena.reset_live(resident_bytes);
     }
 }
 
@@ -354,6 +372,26 @@ mod tests {
         assert_eq!(a.observations_dropped, 10);
         assert!(a.intervened());
         assert!(!GovernorStats::default().intervened());
+    }
+
+    #[test]
+    fn bytes_peak_is_the_arena_high_water_mark_exactly() {
+        // Under any budget — generous or degrading — an unmerged
+        // governor's reported peak is the arena's high-water mark, and
+        // the arena's live total is the exact summed tracker footprint.
+        for budget in [MemBudget::mib(64), MemBudget::bytes(16 * 1024), MemBudget::bytes(64)] {
+            let mut governor = Governor::new(budget);
+            let mut trackers: HashMap<u32, ValueTracker> = HashMap::new();
+            feed(&mut governor, &mut trackers, &spread(6, 1200));
+            let total: usize = trackers.values().map(ValueTracker::footprint_bytes).sum();
+            assert_eq!(governor.arena().live_bytes(), total, "live is exact");
+            assert_eq!(
+                governor.stats().bytes_peak,
+                governor.arena().high_water_bytes() as u64,
+                "peak is the marked high water"
+            );
+            assert!(governor.stats().bytes_peak <= budget.limit_bytes() as u64);
+        }
     }
 
     #[test]

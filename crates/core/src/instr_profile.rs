@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use vp_instrument::Analysis;
 use vp_sim::{InstrEvent, Machine};
 
+use crate::arena::Arena;
 use crate::govern::{Governor, GovernorStats, MemBudget};
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
 use crate::track::{TrackerConfig, ValueTracker};
@@ -79,6 +80,12 @@ impl InstructionProfiler {
     /// The governor's intervention counters, when a budget is in force.
     pub fn governor_stats(&self) -> Option<&GovernorStats> {
         self.governor.as_ref().map(Governor::stats)
+    }
+
+    /// The governor's arena byte meter, when a budget is in force —
+    /// `bytes_peak` in the stats equals its high-water mark exactly.
+    pub fn arena(&self) -> Option<&Arena> {
+        self.governor.as_ref().map(Governor::arena)
     }
 
     /// The tracker of one instruction, if it ever executed.

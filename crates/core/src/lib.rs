@@ -58,6 +58,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod convergent;
 pub mod durable;
 pub mod fault;
@@ -74,6 +75,7 @@ pub mod temporal;
 pub mod tnv;
 pub mod track;
 
+pub use arena::{Arena, ValueMap};
 pub use convergent::{ConvergentConfig, ConvergentProfiler, ConvergentStats};
 pub use durable::{
     append_jsonl, crc32, load_profile, parse_profile_checked, write_atomic, write_profile,
@@ -90,7 +92,9 @@ pub use params::{ParamMetrics, ParamProfiler, ParamSlot};
 pub use profile_io::{parse_profile, render_profile, ParseProfileError};
 pub use report::{compare, group_by_class, render_metric_table, ProfileComparison, ReportRow};
 pub use sampled::{SampleStrategy, SampledProfiler};
-pub use shard::{partition_by_entity, profile_sharded, split_by_time, StreamProfiler};
+pub use shard::{
+    partition_by_entity, partition_count, profile_sharded, split_by_time, StreamProfiler,
+};
 pub use temporal::{TemporalProfiler, WindowMetrics};
 pub use tnv::{Policy, TnvEntry, TnvTable};
 pub use track::{FullProfile, TrackerConfig, ValueTracker};

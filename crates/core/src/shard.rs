@@ -88,7 +88,13 @@ impl StreamProfiler for SampledProfiler {
 
 /// Routes each event to shard `pc % shards`, preserving per-entity order.
 /// Every entity's full subsequence lands on exactly one shard.
+///
+/// **Invariant:** `shards >= 1`. Callers are expected to reject zero
+/// before routing (the CLI turns `--shards 0` into an argument error);
+/// this function debug-asserts the invariant and, in release builds,
+/// clamps to 1 rather than dividing by zero.
 pub fn partition_by_entity(events: &[(u32, u64)], shards: usize) -> Vec<Vec<(u32, u64)>> {
+    debug_assert!(shards > 0, "partition_by_entity requires at least one shard");
     let shards = shards.max(1);
     let mut parts: Vec<Vec<(u32, u64)>> = (0..shards).map(|_| Vec::new()).collect();
     for &event in events {
@@ -99,7 +105,10 @@ pub fn partition_by_entity(events: &[(u32, u64)], shards: usize) -> Vec<Vec<(u32
 
 /// Splits the stream into up to `shards` contiguous chunks of near-equal
 /// length (fewer when there are fewer events than shards).
+///
+/// **Invariant:** `shards >= 1`, handled as in [`partition_by_entity`].
 pub fn split_by_time(events: &[(u32, u64)], shards: usize) -> Vec<&[(u32, u64)]> {
+    debug_assert!(shards > 0, "split_by_time requires at least one shard");
     let shards = shards.max(1);
     if events.is_empty() {
         return vec![events];
@@ -108,10 +117,40 @@ pub fn split_by_time(events: &[(u32, u64)], shards: usize) -> Vec<&[(u32, u64)]>
     events.chunks(chunk).collect()
 }
 
-/// Profiles `events` across `shards` entity-sharded workers (one thread
-/// per shard via [`parallel_map`]) and merges the shard profilers in
-/// shard order. `make` builds one identically-configured profiler per
-/// shard.
+/// Work-stealing over-decomposition factor: each requested shard worker
+/// gets this many entity partitions to claim from.
+const STEAL_FACTOR: usize = 8;
+
+/// Number of entity partitions [`profile_sharded`] creates for a request
+/// of `shards` workers: 1 for a serial request, `shards ×`
+/// [`STEAL_FACTOR`] otherwise.
+///
+/// Budgeted callers must split their `MemBudget` by *this* count (not by
+/// `shards`): one partition profiler exists per partition, so splitting
+/// by the partition count keeps the per-profiler budgets summing to at
+/// most the whole.
+pub fn partition_count(shards: usize) -> usize {
+    if shards <= 1 {
+        1
+    } else {
+        shards * STEAL_FACTOR
+    }
+}
+
+/// Profiles `events` across `shards` workers and merges the partition
+/// profilers in partition order. `make` builds one identically-configured
+/// profiler per partition.
+///
+/// The scheduler is work-stealing in the claim-based sense: the stream
+/// is over-decomposed into [`partition_count`] entity partitions —
+/// several per worker — and [`parallel_map`]'s workers claim partitions
+/// dynamically. A skewed `pc % N` split (one bucket holding a dominant
+/// entity) therefore pins only the one worker that claims the hot
+/// partition, while the others drain the remaining partitions instead of
+/// idling behind a static 1:1 assignment. Entity-disjointness keeps the
+/// merged result bit-identical to serial no matter which worker ran
+/// which partition, and the partition-order merge keeps intermediate
+/// state deterministic too.
 ///
 /// With `shards <= 1` the stream is profiled on the calling thread (via
 /// the batched path), which is the serial reference the differential
@@ -126,7 +165,7 @@ where
         profiler.observe_batch(events);
         return profiler;
     }
-    let parts = partition_by_entity(events, shards);
+    let parts = partition_by_entity(events, partition_count(shards));
     let mut results: Vec<P> = parallel_map(shards, &parts, |part| {
         let mut profiler = make();
         profiler.observe_batch(part);
@@ -195,5 +234,24 @@ mod tests {
     fn empty_stream_profiles_to_nothing() {
         let p = profile_sharded(&[], 4, || InstructionProfiler::new(TrackerConfig::default()));
         assert_eq!(p.profiled_instructions(), 0);
+    }
+
+    #[test]
+    fn work_stealing_overdecomposition_stays_exact_on_skew() {
+        // One dominant entity plus a sprinkle of others: the hot
+        // partition pins a single worker while the rest are claimed
+        // dynamically — and the result must still be bit-identical.
+        let mut events: Vec<(u32, u64)> = (0..20_000u64).map(|i| (3, i % 13)).collect();
+        events.extend((0..500u64).map(|i| ((i % 29) as u32, i)));
+        let serial =
+            profile_sharded(&events, 1, || InstructionProfiler::new(TrackerConfig::with_full()));
+        for shards in [2, 4] {
+            assert!(partition_count(shards) > shards, "several partitions per worker");
+            let sharded = profile_sharded(&events, shards, || {
+                InstructionProfiler::new(TrackerConfig::with_full())
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "shards={shards}");
+        }
     }
 }

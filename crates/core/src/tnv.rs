@@ -263,6 +263,11 @@ impl TnvTable {
         // regardless of residency order.
         self.entries.sort_by(|a, b| b.count.cmp(&a.count).then(a.value.cmp(&b.value)));
         self.entries.truncate(self.capacity);
+        // The pushes above may have grown the allocation past `capacity`;
+        // give the excess back so `footprint_bytes` (capacity-based, and
+        // now ground truth for the arena-backed budget) stays exact after
+        // shard merges too.
+        self.entries.shrink_to(self.capacity);
         self.observations += other.observations;
         self.clock += other.clock;
         self.events.merge(&other.events);

@@ -2,17 +2,18 @@
 //! the paper's metrics (LVP, % zero, execution count, last value), and the
 //! exact [`FullProfile`] used as ground truth.
 
-use std::collections::HashMap;
-
+use crate::arena::ValueMap;
 use crate::tnv::{Policy, TnvTable};
 
 /// Exact value histogram — the "full profile" the paper uses as ground
 /// truth when evaluating TNV-table accuracy (`Inv-All`, `Diff`). Space is
 /// proportional to the number of *distinct* values, which is exactly the
-/// cost the TNV table avoids.
+/// cost the TNV table avoids. Counts live in an arena-style
+/// [`ValueMap`] slab, so [`FullProfile::footprint_bytes`] is exact, not
+/// an estimate.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FullProfile {
-    counts: HashMap<u64, u64>,
+    counts: ValueMap,
     observations: u64,
 }
 
@@ -24,7 +25,7 @@ impl FullProfile {
 
     /// Records one occurrence of `value`.
     pub fn observe(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
+        self.counts.bump(value, 1);
         self.observations += 1;
     }
 
@@ -34,8 +35,8 @@ impl FullProfile {
     /// streams, so all derived metrics (`inv_all`, `distinct`, `top`) match
     /// an unsharded run bit for bit.
     pub fn merge(&mut self, other: &FullProfile) {
-        for (&value, &count) in &other.counts {
-            *self.counts.entry(value).or_insert(0) += count;
+        for (value, count) in other.counts.iter() {
+            self.counts.bump(value, count);
         }
         self.observations += other.observations;
     }
@@ -53,7 +54,7 @@ impl FullProfile {
     /// The `n` most frequent `(value, count)` pairs, most frequent first.
     /// Ties are broken by value for determinism.
     pub fn top(&self, n: usize) -> Vec<(u64, u64)> {
-        let mut all: Vec<(u64, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        let mut all: Vec<(u64, u64)> = self.counts.iter().collect();
         all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
@@ -70,20 +71,21 @@ impl FullProfile {
 
     /// Exact count for a specific value.
     pub fn count_of(&self, value: u64) -> u64 {
-        self.counts.get(&value).copied().unwrap_or(0)
+        self.counts.get(value).unwrap_or(0)
     }
 
-    /// Estimated memory footprint in bytes: grows with the number of
-    /// distinct values (hash-map entry ≈ key + count + bucket overhead).
+    /// Exact memory footprint in bytes: the struct itself plus the
+    /// [`ValueMap`] slab, whose size is its allocated *capacity* — what
+    /// is actually resident, not just occupied.
     ///
-    /// Accounts for the map's allocated *capacity*, not its entry count:
-    /// a hash map over-allocates buckets ahead of its load factor, and a
-    /// memory budget must track what is actually resident. Capacity is a
-    /// deterministic function of the insertion history, so the estimate —
-    /// and everything the governor derives from it — is reproducible, and
-    /// it never shrinks under `observe`, so the footprint is monotone.
+    /// Exact by construction: the slab is the profile's only heap block
+    /// and its byte size is `capacity × 16` with no hidden metadata, so
+    /// the governor's `bytes_peak` is ground truth rather than a model
+    /// of `HashMap` internals. Capacity is a deterministic, monotone
+    /// function of the observation history, so the footprint reproduces
+    /// across runs and never shrinks under `observe`.
     pub fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<FullProfile>() + self.counts.capacity() * 3 * std::mem::size_of::<u64>()
+        std::mem::size_of::<FullProfile>() + self.counts.footprint_bytes()
     }
 }
 

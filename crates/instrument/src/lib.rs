@@ -70,5 +70,5 @@ pub use parallel::{
 pub use plan::Selection;
 pub use runner::{Analysis, EventCounts, InstrumentedRun, Instrumenter};
 pub use trace::{Trace, TraceError, TraceEvent};
-pub use trace_codec::{ChunkReader, CodecError, TraceEncoder, TraceStats};
+pub use trace_codec::{ChunkReader, CodecError, TraceEncoder, TraceFile, TraceStats};
 pub use view::{InstrRef, ProcView, ProgramView};

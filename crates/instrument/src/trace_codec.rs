@@ -17,7 +17,7 @@
 //!            len   — payload bytes, always > 0
 //!            count — events in the payload
 //!            crc   — CRC32 of len‖count‖payload
-//! payload := count × ( varint(pc) varint(value) )   (LEB128)
+//! payload := count × ( varint(pc) varint(value) )   (LEB128, canonical)
 //! trailer := 0:u32le total:u64le crc:u32le
 //!            total — events in the whole file
 //!            crc   — CRC32 of 0‖total
@@ -30,10 +30,27 @@
 //! chunk's checksum and event count, the trailer's checksum and total,
 //! and that the file ends exactly at the trailer — truncated or
 //! bit-flipped traces are rejected, never mis-decoded.
+//!
+//! Varints are **canonical** LEB128: the final byte of a multi-byte
+//! encoding must be nonzero, so every `u64` has exactly one wire form
+//! and decode∘encode is byte-identity on valid files. Overlong forms
+//! (`80 00` for 0, say) are rejected as corruption — without this rule
+//! two distinct CRC-valid payloads could decode to identical events.
+//!
+//! Replay reads the file *in place*: [`TraceFile`] owns the bytes (an
+//! `mmap` on Linux, an owned read elsewhere), [`ChunkReader`] borrows
+//! them, and [`ChunkReader::next_chunk_into`] decodes each chunk into a
+//! caller-reused scratch buffer — no chunk is ever copied into an
+//! intermediate `Vec` on the way to `observe_batch`. The varint decoder
+//! takes a SWAR (word-at-a-time) fast path for the 1- and 2-byte
+//! encodings that dominate real traces; see DESIGN.md §13 for the
+//! exactness argument.
 
 use std::fmt;
+use std::io;
+use std::path::Path;
 
-use vp_obs::crc32;
+use vp_obs::{crc32, Crc32};
 
 /// File magic, versioned (`VPC` + format version `1`).
 pub const MAGIC: &[u8; 4] = b"VPC1";
@@ -59,7 +76,8 @@ pub enum CodecError {
     CorruptTrailer,
     /// Bytes follow the trailer.
     TrailingData,
-    /// A varint is malformed (more than 10 bytes / overflows u64).
+    /// A varint is malformed: more than 10 bytes, overflows u64, or is
+    /// a non-canonical overlong encoding.
     BadVarint,
 }
 
@@ -96,7 +114,36 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Decodes one canonical varint. The SWAR fast path loads eight bytes at
+/// once and settles the 1- and 2-byte encodings (pcs and small values —
+/// the overwhelming majority of a real trace) branch-lean; anything
+/// longer, or too close to the end of `bytes` for a full word, takes the
+/// scalar loop. Both paths reject overlong encodings, so they accept
+/// exactly the same byte strings.
+#[inline]
 fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let p = *pos;
+    if let Some(window) = bytes.get(p..p.saturating_add(8)) {
+        let word = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+        if word & 0x80 == 0 {
+            *pos = p + 1;
+            return Ok(word & 0x7F);
+        }
+        if word & 0x8000 == 0 {
+            // Two bytes: the terminating byte must be nonzero, or the
+            // value fit in one byte and the encoding is overlong.
+            let hi = (word >> 8) & 0x7F;
+            if hi == 0 {
+                return Err(CodecError::BadVarint);
+            }
+            *pos = p + 2;
+            return Ok((word & 0x7F) | (hi << 7));
+        }
+    }
+    read_varint_slow(bytes, pos)
+}
+
+fn read_varint_slow(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -109,6 +156,11 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
         }
         value |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
+            // Canonical form: a multi-byte encoding never ends in a zero
+            // byte — that value already fit in fewer bytes.
+            if byte == 0 && shift > 0 {
+                return Err(CodecError::BadVarint);
+            }
             return Ok(value);
         }
         shift += 7;
@@ -204,15 +256,14 @@ impl TraceEncoder {
         debug_assert!(!self.payload.is_empty());
         let len = (self.payload.len() as u32).to_le_bytes();
         let count = self.chunk_events.to_le_bytes();
-        let mut crc = !0u32;
-        for bytes in [&len[..], &count[..], &self.payload] {
-            for &b in bytes {
-                crc = crc32_step(crc, b);
-            }
-        }
+        // Streaming CRC over header + payload, no scratch concatenation.
+        let mut crc = Crc32::new();
+        crc.update(&len);
+        crc.update(&count);
+        crc.update(&self.payload);
         self.out.extend_from_slice(&len);
         self.out.extend_from_slice(&count);
-        self.out.extend_from_slice(&(!crc).to_le_bytes());
+        self.out.extend_from_slice(&crc.finish().to_le_bytes());
         self.out.extend_from_slice(&self.payload);
         self.payload.clear();
         self.chunk_events = 0;
@@ -239,18 +290,6 @@ impl Default for TraceEncoder {
     fn default() -> TraceEncoder {
         TraceEncoder::new()
     }
-}
-
-// One step of the same reflected IEEE CRC32 `vp_obs::crc32` computes,
-// letting the encoder checksum header + payload without concatenating
-// them into a scratch buffer.
-fn crc32_step(crc: u32, byte: u8) -> u32 {
-    // Single-bit-at-a-time update; chunk sealing is not the hot path.
-    let mut crc = crc ^ u32::from(byte);
-    for _ in 0..8 {
-        crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-    }
-    crc
 }
 
 /// One-shot convenience: encodes `events` with the given chunk size.
@@ -289,8 +328,32 @@ impl<'a> ChunkReader<'a> {
     /// been reached and verified. After `None`, further calls keep
     /// returning `None`.
     pub fn next_chunk(&mut self) -> Result<Option<Vec<(u32, u64)>>, CodecError> {
+        let mut events = Vec::new();
+        Ok(if self.decode_chunk_append(&mut events)? { Some(events) } else { None })
+    }
+
+    /// Zero-copy replay primitive: decodes the next chunk into `events`
+    /// (cleared first), so a caller looping over chunks reuses one
+    /// scratch allocation for the whole trace. Returns `Ok(true)` when a
+    /// chunk was decoded and `Ok(false)` once the trailer has been
+    /// reached and verified; after that, further calls keep returning
+    /// `Ok(false)`.
+    pub fn next_chunk_into(&mut self, events: &mut Vec<(u32, u64)>) -> Result<bool, CodecError> {
+        events.clear();
+        self.decode_chunk_append(events)
+    }
+
+    /// Decodes every remaining chunk, appending the events to `out` —
+    /// the whole-stream analogue of [`ChunkReader::next_chunk_into`],
+    /// with no per-chunk intermediate `Vec`.
+    pub fn read_to_end_into(&mut self, out: &mut Vec<(u32, u64)>) -> Result<(), CodecError> {
+        while self.decode_chunk_append(out)? {}
+        Ok(())
+    }
+
+    fn decode_chunk_append(&mut self, out: &mut Vec<(u32, u64)>) -> Result<bool, CodecError> {
         if self.done {
-            return Ok(None);
+            return Ok(false);
         }
         let header_start = self.pos;
         let len = read_u32(self.bytes, &mut self.pos)? as usize;
@@ -307,7 +370,7 @@ impl<'a> ChunkReader<'a> {
                 return Err(CodecError::TrailingData);
             }
             self.done = true;
-            return Ok(None);
+            return Ok(false);
         }
         let count = read_u32(self.bytes, &mut self.pos)? as usize;
         let stored_crc = read_u32(self.bytes, &mut self.pos)?;
@@ -316,19 +379,26 @@ impl<'a> ChunkReader<'a> {
             .checked_add(len)
             .filter(|&e| e <= self.bytes.len())
             .ok_or(CodecError::Truncated)?;
-        let mut crc = !0u32;
-        for &b in &self.bytes[header_start..header_start + 8] {
-            crc = crc32_step(crc, b);
-        }
-        for &b in &self.bytes[self.pos..payload_end] {
-            crc = crc32_step(crc, b);
-        }
-        if !crc != stored_crc {
-            return Err(CodecError::CorruptChunk { index: self.chunk_index });
-        }
-        let mut events = Vec::with_capacity(count);
-        let payload = &self.bytes[..payload_end];
         let corrupt = CodecError::CorruptChunk { index: self.chunk_index };
+        // Every event is at least two payload bytes (pc varint + value
+        // varint), so a count above `len` is corrupt no matter what the
+        // payload holds. Reject it *before* trusting it with an
+        // allocation: the header is length-prefixed, not authenticated,
+        // so an adversarial file can pair a CRC-valid `count` of
+        // u32::MAX with a tiny payload.
+        if count > len {
+            return Err(corrupt);
+        }
+        let mut crc = Crc32::new();
+        crc.update(&self.bytes[header_start..header_start + 8]);
+        crc.update(&self.bytes[self.pos..payload_end]);
+        if crc.finish() != stored_crc {
+            return Err(corrupt);
+        }
+        // The two-bytes-per-event floor also bounds the preallocation.
+        out.reserve(count.min(len / 2));
+        let before = out.len();
+        let payload = &self.bytes[..payload_end];
         while self.pos < payload_end {
             // Any malformed varint here is chunk corruption: the bytes
             // passed the checksum but do not parse as `count` pairs.
@@ -337,14 +407,14 @@ impl<'a> ChunkReader<'a> {
             if pc > u64::from(u32::MAX) {
                 return Err(corrupt);
             }
-            events.push((pc as u32, value));
+            out.push((pc as u32, value));
         }
-        if events.len() != count {
-            return Err(CodecError::CorruptChunk { index: self.chunk_index });
+        if out.len() - before != count {
+            return Err(corrupt);
         }
-        self.decoded += events.len() as u64;
+        self.decoded += count as u64;
         self.chunk_index += 1;
-        Ok(Some(events))
+        Ok(true)
     }
 
     /// Chunks decoded so far.
@@ -362,10 +432,212 @@ impl<'a> ChunkReader<'a> {
 pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, u64)>, CodecError> {
     let mut reader = ChunkReader::new(bytes)?;
     let mut events = Vec::new();
-    while let Some(chunk) = reader.next_chunk()? {
-        events.extend_from_slice(&chunk);
-    }
+    reader.read_to_end_into(&mut events)?;
     Ok(events)
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy trace input
+// ---------------------------------------------------------------------
+
+/// Read-only file mapping via raw syscalls, on the supported mmap
+/// targets: Linux on the two architectures whose syscall ABI the stub
+/// below encodes (everything else takes the owned-buffer fallback). The
+/// workspace carries no libc binding, and the two kernel calls a
+/// read-only mapping needs (`mmap`, `munmap`) are stable ABI, so they
+/// are inlined here rather than pulling in a dependency.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod mmap {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// An owned read-only, private mapping; unmapped on drop.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime and owned by
+    // exactly one `Mapping`, so sharing it across threads is sound.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the first `len` bytes of `file`. `len` must be nonzero
+        /// (the kernel rejects zero-length mappings).
+        pub fn new(file: &File, len: usize) -> io::Result<Mapping> {
+            let ret = unsafe { sys_mmap(len, file.as_raw_fd()) };
+            if (-4095..0).contains(&ret) {
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            Ok(Mapping { ptr: ret as *const u8, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // Safety: `ptr` is a live PROT_READ mapping of `len` bytes
+            // until drop. MAP_PRIVATE means later writers of the file
+            // can at worst change the observed bytes, never the
+            // mapping's validity — and changed bytes fail the chunk
+            // CRCs.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe { sys_munmap(self.ptr, self.len) };
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sys_mmap(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret, // SYS_mmap
+            in("rdi") 0usize,               // addr: kernel chooses
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,                // offset
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn sys_munmap(ptr: *const u8, len: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => ret, // SYS_munmap
+            in("rdi") ptr as usize,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sys_mmap(len: usize, fd: i32) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") 0isize => ret, // addr in, result out
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize, // offset
+            in("x8") 222usize, // SYS_mmap
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn sys_munmap(ptr: *const u8, len: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") ptr as usize as isize => ret,
+            in("x1") len,
+            in("x8") 215usize, // SYS_munmap
+            options(nostack)
+        );
+        ret
+    }
+}
+
+/// Owner of a trace's bytes with zero-copy intent: on Linux the file is
+/// `mmap`'d read-only, so chunk decoding borrows straight out of the
+/// page cache and the trace is never copied onto the heap at all. The
+/// fallback — non-Linux platforms, empty files, a failed mapping
+/// syscall, or `VP_NO_MMAP=1` in the environment — reads the file into
+/// an owned buffer instead. Either way [`TraceFile::reader`] hands out
+/// the same borrowing [`ChunkReader`], so the two paths are
+/// bit-identical by construction (and checked differentially by
+/// `tests/zerocopy_replay.rs`).
+#[derive(Debug)]
+pub struct TraceFile {
+    data: TraceData,
+}
+
+#[derive(Debug)]
+enum TraceData {
+    Owned(Vec<u8>),
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Mapped(mmap::Mapping),
+}
+
+impl TraceFile {
+    /// Opens `path`, mapping it when the platform supports it and
+    /// falling back to a full read otherwise. Set `VP_NO_MMAP=1` to
+    /// force the fallback (differential testing, filesystems that
+    /// refuse mappings).
+    pub fn open(path: &Path) -> io::Result<TraceFile> {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if std::env::var_os("VP_NO_MMAP").is_none_or(|v| v != "1") {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > 0 && len <= usize::MAX as u64 {
+                if let Ok(map) = mmap::Mapping::new(&file, len as usize) {
+                    return Ok(TraceFile { data: TraceData::Mapped(map) });
+                }
+            }
+            // Zero-length or unmappable: fall through to the read below.
+        }
+        Ok(TraceFile { data: TraceData::Owned(std::fs::read(path)?) })
+    }
+
+    /// Wraps bytes already in memory (a trace recorded this run rather
+    /// than loaded from disk) behind the same interface.
+    pub fn from_bytes(bytes: Vec<u8>) -> TraceFile {
+        TraceFile { data: TraceData::Owned(bytes) }
+    }
+
+    /// The raw encoded bytes, wherever they live.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            TraceData::Owned(bytes) => bytes,
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            TraceData::Mapped(map) => map.bytes(),
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the trace is empty (zero bytes — not even a magic).
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// True when the bytes are a kernel mapping rather than a heap copy.
+    pub fn is_mapped(&self) -> bool {
+        match &self.data {
+            TraceData::Owned(_) => false,
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            TraceData::Mapped(_) => true,
+        }
+    }
+
+    /// Starts decoding; fails immediately on a bad magic.
+    pub fn reader(&self) -> Result<ChunkReader<'_>, CodecError> {
+        ChunkReader::new(self.bytes())
+    }
 }
 
 /// Shape of a decoded trace, for `vprof record`/`replay` reporting.
@@ -383,7 +655,8 @@ pub struct TraceStats {
 /// the decoded events.
 pub fn stats(bytes: &[u8]) -> Result<TraceStats, CodecError> {
     let mut reader = ChunkReader::new(bytes)?;
-    while reader.next_chunk()?.is_some() {}
+    let mut scratch = Vec::new();
+    while reader.next_chunk_into(&mut scratch)? {}
     Ok(TraceStats {
         events: reader.events_read(),
         chunks: reader.chunks_read() as u64,
@@ -470,5 +743,107 @@ mod tests {
         let events =
             vec![(0, 0), (u32::MAX, u64::MAX), (1, 1 << 63), (42, 0x7F), (42, 0x80), (42, 0x3FFF)];
         assert_eq!(decode(&encode(&events, 2)).unwrap(), events);
+    }
+
+    /// A single-chunk file with a *valid* CRC over an arbitrary header
+    /// `count` and payload — the shape an adversarial writer controls.
+    fn craft_chunk(count: u32, payload: &[u8]) -> Vec<u8> {
+        let mut out = MAGIC.to_vec();
+        let len = (payload.len() as u32).to_le_bytes();
+        let count_bytes = count.to_le_bytes();
+        let mut crc = Crc32::new();
+        crc.update(&len);
+        crc.update(&count_bytes);
+        crc.update(payload);
+        out.extend_from_slice(&len);
+        out.extend_from_slice(&count_bytes);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out.extend_from_slice(payload);
+        let mut trailer = Vec::new();
+        trailer.extend_from_slice(&0u32.to_le_bytes());
+        trailer.extend_from_slice(&u64::from(count).to_le_bytes());
+        let trailer_crc = crc32(&trailer);
+        out.extend_from_slice(&trailer);
+        out.extend_from_slice(&trailer_crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn adversarial_count_is_rejected_before_allocation() {
+        // CRC-valid header claiming u32::MAX events over a 4-byte
+        // payload. Pre-fix, this asked `Vec::with_capacity` for ~64 GiB
+        // before the post-decode count check could fire.
+        let bomb = craft_chunk(u32::MAX, &[0x00, 0x01, 0x00, 0x02]);
+        assert_eq!(decode(&bomb), Err(CodecError::CorruptChunk { index: 0 }));
+    }
+
+    #[test]
+    fn count_mismatch_within_bounds_is_still_rejected() {
+        // Two events in the payload, three claimed: passes the count
+        // ≤ len screen, so only the decoded-count check catches it.
+        let bad = craft_chunk(3, &[0x00, 0x01, 0x00, 0x02]);
+        assert_eq!(decode(&bad), Err(CodecError::CorruptChunk { index: 0 }));
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected_as_corruption() {
+        // `80 00` is an overlong encoding of pc 0. The CRC is valid, so
+        // only the canonical-varint rule distinguishes this payload from
+        // `00 07` — without it, two distinct CRC-valid files would
+        // decode to the same events.
+        let bad = craft_chunk(1, &[0x80, 0x00, 0x07]);
+        assert_eq!(decode(&bad), Err(CodecError::CorruptChunk { index: 0 }));
+        let good = craft_chunk(1, &[0x00, 0x07]);
+        assert_eq!(decode(&good).unwrap(), vec![(0, 7)]);
+
+        // Same overlong form with ≥ 8 payload bytes remaining, so the
+        // SWAR fast path (not the scalar tail loop) must reject it.
+        let bad = craft_chunk(4, &[0x80, 0x00, 0x07, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03]);
+        assert_eq!(decode(&bad), Err(CodecError::CorruptChunk { index: 0 }));
+
+        // Ten-byte zero-extension: the maximal-length overlong form.
+        let bad =
+            craft_chunk(1, &[0x01, 0xFF, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00]);
+        assert_eq!(decode(&bad), Err(CodecError::CorruptChunk { index: 0 }));
+    }
+
+    #[test]
+    fn next_chunk_into_reuses_one_scratch_buffer() {
+        let events = sample();
+        let bytes = encode(&events, 64);
+        let mut reader = ChunkReader::new(&bytes).unwrap();
+        let mut scratch = Vec::new();
+        let mut all = Vec::new();
+        while reader.next_chunk_into(&mut scratch).unwrap() {
+            assert!(scratch.len() <= 64, "scratch holds exactly one chunk");
+            all.extend_from_slice(&scratch);
+        }
+        assert_eq!(all, events);
+        assert!(!reader.next_chunk_into(&mut scratch).unwrap(), "stays done");
+    }
+
+    #[test]
+    fn trace_file_round_trips_from_disk_and_memory() {
+        let events = sample();
+        let bytes = encode(&events, 128);
+
+        let mem = TraceFile::from_bytes(bytes.clone());
+        assert!(!mem.is_mapped());
+        let mut out = Vec::new();
+        mem.reader().unwrap().read_to_end_into(&mut out).unwrap();
+        assert_eq!(out, events);
+
+        let path = std::env::temp_dir().join(format!("vp-trace-file-{}.vpc", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let file = TraceFile::open(&path).unwrap();
+        assert_eq!(file.len(), bytes.len());
+        assert_eq!(decode(file.bytes()).unwrap(), events);
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        assert!(
+            file.is_mapped() || std::env::var_os("VP_NO_MMAP").is_some(),
+            "linux opens traces as mappings"
+        );
+        drop(file);
+        std::fs::remove_file(&path).ok();
     }
 }

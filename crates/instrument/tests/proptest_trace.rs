@@ -4,6 +4,65 @@
 
 use proptest::prelude::*;
 use vp_instrument::trace_codec::{decode, encode, stats};
+use vp_obs::Crc32;
+
+/// Canonical LEB128: minimal length, final byte nonzero for multi-byte.
+fn write_varint_canonical(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// The same value spelled with `pad` redundant trailing groups — a
+/// non-canonical form the decoder must reject.
+fn write_varint_overlong(out: &mut Vec<u8>, v: u64, pad: usize) {
+    let mut bytes = Vec::new();
+    write_varint_canonical(&mut bytes, v);
+    // Ten 7-bit groups exhaust a u64; don't overflow the decoder's limit.
+    let pad = pad.min(10 - bytes.len());
+    if pad == 0 {
+        out.extend_from_slice(&bytes);
+        return;
+    }
+    let last = bytes.len() - 1;
+    bytes[last] |= 0x80;
+    bytes.extend(std::iter::repeat_n(0x80, pad - 1));
+    bytes.push(0x00);
+    out.extend_from_slice(&bytes);
+}
+
+/// A syntactically valid single-chunk trace around `payload`: magic,
+/// CRC-correct chunk header claiming `count` events, matching trailer.
+fn craft_trace(count: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = b"VPC1".to_vec();
+    let len = (payload.len() as u32).to_le_bytes();
+    let count_bytes = count.to_le_bytes();
+    let mut crc = Crc32::new();
+    crc.update(&len);
+    crc.update(&count_bytes);
+    crc.update(payload);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(&count_bytes);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut trailer = Vec::new();
+    trailer.extend_from_slice(&0u32.to_le_bytes());
+    trailer.extend_from_slice(&u64::from(count).to_le_bytes());
+    let trailer_crc = {
+        let mut c = Crc32::new();
+        c.update(&trailer);
+        c.finish()
+    };
+    out.extend_from_slice(&trailer);
+    out.extend_from_slice(&trailer_crc.to_le_bytes());
+    out
+}
 
 /// Values skewed toward the varint boundaries (0, one-byte, two-byte,
 /// max) with a uniform tail — the cases where a length bug would hide.
@@ -46,6 +105,36 @@ proptest! {
         // Any two chunkings of the same stream decode identically; only
         // the container layout differs.
         prop_assert_eq!(decode(&encode(&events, a)).unwrap(), decode(&encode(&events, b)).unwrap());
+    }
+
+    #[test]
+    fn encoding_is_bijective_on_the_wire(events in arb_events(), chunk in 1usize..600) {
+        // Canonical varints make the wire form unique: re-encoding the
+        // decoded stream reproduces the original container byte for byte,
+        // so decode ∘ encode is the identity in *both* directions.
+        let bytes = encode(&events, chunk);
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(encode(&decoded, chunk), bytes);
+    }
+
+    #[test]
+    fn overlong_varint_payloads_are_rejected(value in any::<u64>(), pad in 1usize..3) {
+        // Hand-build a chunk whose first varint carries `pad` redundant
+        // continuation bytes (same value, non-canonical form). The CRC is
+        // valid, so only the canonical-varint rule can reject it — and it
+        // must.
+        let mut payload = Vec::new();
+        write_varint_overlong(&mut payload, 7, pad); // pc
+        write_varint_canonical(&mut payload, value); // value
+        let trace = craft_trace(1, &payload);
+        prop_assert!(decode(&trace).is_err());
+
+        // The canonical spelling of the same event decodes fine.
+        let mut canon = Vec::new();
+        write_varint_canonical(&mut canon, 7);
+        write_varint_canonical(&mut canon, value);
+        let trace = craft_trace(1, &canon);
+        prop_assert_eq!(decode(&trace).unwrap(), vec![(7u32, value)]);
     }
 
     #[test]

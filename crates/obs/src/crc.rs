@@ -4,9 +4,18 @@
 //! workspace: the durable profile files in `vp-core` and the binary
 //! trace chunks in `vp-instrument` (which sits *below* `vp-core` in the
 //! dependency order, so the shared code lives here at the bottom).
+//!
+//! Two entry points: the one-shot [`crc32`] and the streaming [`Crc32`]
+//! hasher, which lets callers checksum several regions (a chunk header
+//! followed by its payload, say) without concatenating them first. Both
+//! run the same slicing-by-8 kernel — eight bytes per table round — so
+//! checksum verification stays off the replay-path flame graph.
 
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 lookup tables. `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[k][i]` extends the remainder of `TABLES[k-1][i]` by one
+/// more zero byte, letting eight input bytes fold in one round.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -15,19 +24,85 @@ const CRC_TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
+
+/// Advances the raw (pre-inversion) CRC state over `bytes`.
+fn update_state(mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        crc ^= u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        crc = TABLES[7][(crc & 0xFF) as usize]
+            ^ TABLES[6][((crc >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((crc >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(crc >> 24) as usize]
+            ^ TABLES[3][w[4] as usize]
+            ^ TABLES[2][w[5] as usize]
+            ^ TABLES[1][w[6] as usize]
+            ^ TABLES[0][w[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
 
 /// CRC32 (IEEE) of a byte slice.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    !update_state(!0, bytes)
+}
+
+/// Streaming CRC32: `update` over any sequence of slices yields the same
+/// checksum as [`crc32`] over their concatenation.
+///
+/// ```
+/// use vp_obs::crc::{crc32, Crc32};
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"value ");
+/// crc.update(b"profiling");
+/// assert_eq!(crc.finish(), crc32(b"value profiling"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (empty input hashes to 0).
+    pub const fn new() -> Crc32 {
+        Crc32 { state: !0 }
     }
-    !crc
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.state = update_state(self.state, bytes);
+    }
+
+    /// The checksum of everything updated so far. Non-destructive: more
+    /// `update` calls may follow.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -47,5 +122,31 @@ mod tests {
         let mut bytes = b"value profiling".to_vec();
         bytes[3] ^= 0x10;
         assert_ne!(crc32(&bytes), base);
+    }
+
+    #[test]
+    fn sliced_kernel_matches_byte_at_a_time_reference() {
+        // Lengths straddling the 8-byte fold boundary, content chosen so
+        // every table index fires.
+        let data: Vec<u8> = (0u32..1024).map(|i| (i.wrapping_mul(251) >> 3) as u8).collect();
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 255, 1024] {
+            let mut reference = !0u32;
+            for &b in &data[..len] {
+                reference = (reference >> 8) ^ TABLES[0][((reference ^ b as u32) & 0xFF) as usize];
+            }
+            assert_eq!(crc32(&data[..len]), !reference, "len={len}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_every_split() {
+        let data: Vec<u8> = (0u32..300).map(|i| (i * 7 + 13) as u8).collect();
+        let expect = crc32(&data);
+        for split in [0, 1, 3, 8, 9, 150, 299, 300] {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), expect, "split={split}");
+        }
     }
 }

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use counter::{ConvEvents, CounterId, Counts, SampleEvents, TnvEvents};
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use hist::Log2Histogram;
 pub use json::Json;
 pub use recorder::{HistId, MemRecorder, NullRecorder, Recorder, Stopwatch};

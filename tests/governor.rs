@@ -148,6 +148,35 @@ fn governed_run_is_independent_of_worker_count() {
 }
 
 #[test]
+fn bytes_peak_is_exactly_the_arena_high_water_mark() {
+    use value_profiling::core::{InstructionProfiler, TrackerConfig};
+
+    // The governor's byte meter is arena-backed: every tracker allocation
+    // is charged and every degradation release is credited, so
+    // `bytes_peak` is the arena's high-water mark by construction — not
+    // an estimate. Exercise both a budget that never intervenes and one
+    // that forces degradation mid-stream.
+    for budget in [MemBudget::mib(64), MemBudget::bytes(48 * 1024)] {
+        let mut profiler = InstructionProfiler::with_budget(TrackerConfig::with_full(), budget);
+        for i in 0..40_000u64 {
+            profiler.observe((i % 97) as u32, i % 1013);
+        }
+        let stats = profiler.governor_stats().expect("budgeted profiler reports stats");
+        let arena = profiler.arena().expect("budgeted profiler exposes its arena");
+        assert_eq!(
+            stats.bytes_peak,
+            arena.high_water_bytes() as u64,
+            "budget {budget:?}: peak is the arena high-water mark, exactly"
+        );
+        assert!(stats.bytes_peak > 0, "the stream allocated tracker state");
+        assert!(
+            stats.bytes_peak <= budget.limit_bytes() as u64,
+            "budget {budget:?}: settled peak never exceeds the budget"
+        );
+    }
+}
+
+#[test]
 fn governed_sharded_run_matches_governed_serial_totals() {
     let workloads = &suite()[..2];
     let budget = MemBudget::mib(64);

@@ -1,0 +1,113 @@
+//! Differential oracle for the zero-copy replay path: an mmap-backed
+//! [`TraceFile`] must decode and profile **bit-identically** to the
+//! read-to-`Vec` fallback over the golden suite traces and the
+//! adversarial synthetic streams.
+//!
+//! The mapped and owned inputs go through the exact same `ChunkReader`
+//! over `&[u8]`, so the only thing that can differ is where the bytes
+//! live — which is precisely what this oracle pins down: same decoded
+//! events, same profiler metrics, same telemetry counters, chunk by
+//! chunk and end to end.
+
+use value_profiling::core::{track::TrackerConfig, InstructionProfiler};
+use value_profiling::instrument::{trace_codec, Selection, TraceFile};
+use value_profiling::workloads::{suite, DataSet};
+use vp_bench::value_stream;
+
+/// Golden traces: real recorded workload streams plus synthetic shapes
+/// (hot entity, colliding values, empty).
+fn golden_streams() -> Vec<(String, Vec<(u32, u64)>)> {
+    let mut out: Vec<(String, Vec<(u32, u64)>)> = Vec::new();
+    for w in &suite()[..3] {
+        out.push((
+            format!("{}/loads", w.name()),
+            value_stream(w, DataSet::Test, Selection::LoadsOnly),
+        ));
+    }
+    out.push(("hot-entity".to_string(), (0..4000u64).map(|i| (3, i % 5)).collect()));
+    out.push((
+        "mixed".to_string(),
+        (0..20_000u64).map(|i| ((i * 7 % 23) as u32, i % 11)).collect(),
+    ));
+    out.push(("empty".to_string(), Vec::new()));
+    out
+}
+
+fn decode_all(file: &TraceFile) -> Vec<(u32, u64)> {
+    let mut reader = file.reader().expect("golden trace has a valid header");
+    let mut events = Vec::new();
+    reader.read_to_end_into(&mut events).expect("golden trace decodes");
+    events
+}
+
+fn profile(events: &[(u32, u64)]) -> InstructionProfiler {
+    let mut p = InstructionProfiler::new(TrackerConfig::with_full());
+    p.observe_batch(events);
+    p
+}
+
+#[test]
+fn mmap_replay_is_bit_identical_to_read_to_vec_replay() {
+    let dir = std::env::temp_dir();
+    for (name, events) in golden_streams() {
+        let encoded = trace_codec::encode(&events, trace_codec::DEFAULT_CHUNK_EVENTS);
+        let tag = name.replace('/', "-");
+        let path = dir.join(format!("vp-zerocopy-{}-{tag}.vpc", std::process::id()));
+        std::fs::write(&path, &encoded).unwrap();
+
+        let mapped = TraceFile::open(&path).expect("trace file opens");
+        let owned = TraceFile::from_bytes(std::fs::read(&path).unwrap());
+        // A non-empty trace on Linux maps unless the fallback is forced.
+        if cfg!(target_os = "linux")
+            && !encoded.is_empty()
+            && std::env::var_os("VP_NO_MMAP").is_none_or(|v| v != "1")
+        {
+            assert!(mapped.is_mapped(), "{name}: mmap path taken");
+        }
+        assert!(!owned.is_mapped(), "{name}: from_bytes is the owned fallback");
+        assert_eq!(mapped.bytes(), owned.bytes(), "{name}: identical raw bytes");
+
+        // End-to-end decode, chunk-by-chunk decode, and the profiles
+        // built from each are all bit-identical across the two backings.
+        let from_mapped = decode_all(&mapped);
+        let from_owned = decode_all(&owned);
+        assert_eq!(from_mapped, from_owned, "{name}: decoded events match");
+        assert_eq!(from_mapped, events, "{name}: decode inverts encode");
+
+        let mut chunked: Vec<(u32, u64)> = Vec::new();
+        let mut scratch: Vec<(u32, u64)> = Vec::new();
+        let mut reader = mapped.reader().unwrap();
+        while reader.next_chunk_into(&mut scratch).unwrap() {
+            chunked.extend_from_slice(&scratch);
+        }
+        assert_eq!(chunked, from_owned, "{name}: chunked decode matches");
+
+        let (pm, po) = (profile(&from_mapped), profile(&from_owned));
+        assert_eq!(pm.metrics(), po.metrics(), "{name}: profiled metrics match");
+        assert_eq!(pm.tnv_events(), po.tnv_events(), "{name}: telemetry matches");
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn forced_fallback_decodes_identically_to_default_open() {
+    // `VP_NO_MMAP=1` is checked per-open via the environment; rather than
+    // mutate the process environment (racy across parallel tests), this
+    // exercises the same owned-backing code path `from_bytes` shares with
+    // the fallback and pins the stats equivalence.
+    let events: Vec<(u32, u64)> = (0..10_000u64).map(|i| ((i % 31) as u32, i % 257)).collect();
+    let encoded = trace_codec::encode(&events, 1024);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("vp-zerocopy-fallback-{}.vpc", std::process::id()));
+    std::fs::write(&path, &encoded).unwrap();
+
+    let opened = TraceFile::open(&path).expect("trace file opens");
+    let fallback = TraceFile::from_bytes(encoded);
+    assert_eq!(decode_all(&opened), decode_all(&fallback));
+    let stats_a = trace_codec::stats(opened.bytes()).unwrap();
+    let stats_b = trace_codec::stats(fallback.bytes()).unwrap();
+    assert_eq!(stats_a, stats_b, "stats scan agrees across backings");
+
+    std::fs::remove_file(&path).ok();
+}
