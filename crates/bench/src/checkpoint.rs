@@ -21,7 +21,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use vp_core::{aggregate, durable, EntityMetrics, FaultPlan, GovernorStats};
+use vp_core::{aggregate, durable, EntityMetrics, FaultPlan, GovernorStats, PhaseStats};
 use vp_obs::telemetry::{parse_jsonl_lenient, record, to_jsonl};
 use vp_obs::{Counts, Json};
 
@@ -123,6 +123,17 @@ fn checkpoint_record(profile: &WorkloadProfile) -> Json {
             ]),
         ));
     }
+    if let Some(ph) = &profile.phase {
+        fields.push((
+            "phase",
+            Json::Arr(vec![
+                Json::U64(ph.windows),
+                Json::U64(ph.shifts_detected),
+                Json::U64(ph.rearms),
+                Json::U64(ph.rearms_denied),
+            ]),
+        ));
+    }
     record(KIND, profile.name, fields)
 }
 
@@ -138,6 +149,7 @@ struct Restored {
     wall_ns: u64,
     baseline_wall_ns: Option<u64>,
     governor: Option<GovernorStats>,
+    phase: Option<PhaseStats>,
 }
 
 fn governor_from_json(j: &Json) -> Result<GovernorStats, String> {
@@ -152,6 +164,15 @@ fn governor_from_json(j: &Json) -> Result<GovernorStats, String> {
         entities_dropped: u(2)?,
         observations_dropped: u(3)?,
     })
+}
+
+fn phase_from_json(j: &Json) -> Result<PhaseStats, String> {
+    let Json::Arr(v) = j else { return Err("phase is not an array".to_string()) };
+    if v.len() != 4 {
+        return Err(format!("phase has {} fields, expected 4", v.len()));
+    }
+    let u = |i: usize| v[i].as_u64().ok_or_else(|| format!("bad integer in phase field {i}"));
+    Ok(PhaseStats { windows: u(0)?, shifts_detected: u(1)?, rearms: u(2)?, rearms_denied: u(3)? })
 }
 
 fn parse_checkpoint(rec: &Json) -> Result<(String, Restored), String> {
@@ -183,6 +204,11 @@ fn parse_checkpoint(rec: &Json) -> Result<(String, Restored), String> {
         governor: rec
             .get("governor")
             .map(governor_from_json)
+            .transpose()
+            .map_err(|e| format!("{name}: {e}"))?,
+        phase: rec
+            .get("phase")
+            .map(phase_from_json)
             .transpose()
             .map_err(|e| format!("{name}: {e}"))?,
     };
@@ -272,6 +298,7 @@ impl Checkpoint {
             wall_ns: r.wall_ns,
             baseline_wall_ns: r.baseline_wall_ns,
             governor: r.governor,
+            phase: r.phase,
         })
     }
 
@@ -320,6 +347,29 @@ mod tests {
             assert_eq!(r.aggregate, w.aggregate, "aggregate recomputed identically");
         }
         assert!(resumed.restored("no_such_workload").is_none());
+    }
+
+    #[test]
+    fn adaptive_phase_stats_round_trip() {
+        use crate::suite::ProfileMode;
+        use vp_core::{ConvergentConfig, PhaseBudget};
+        let path = tmp("adaptive_round_trip.jsonl");
+        let budget = PhaseBudget { max_rearms: 4, window: 256 };
+        let profile = SuiteRunner::new()
+            .mode(ProfileMode::Adaptive(ConvergentConfig::default(), budget))
+            .run_workloads(&suite()[..2], DataSet::Test);
+        let checkpoint = Checkpoint::create(&path).unwrap();
+        let plan = FaultPlan::empty();
+        for w in &profile.workloads {
+            assert!(w.phase.is_some());
+            checkpoint.record(&plan, w).unwrap();
+        }
+        let (resumed, _) = Checkpoint::resume(&path).unwrap();
+        for w in &profile.workloads {
+            let r = resumed.restored(w.name).unwrap();
+            assert_eq!(r.phase, w.phase, "{}", w.name);
+            assert_eq!(r.metrics, w.metrics, "{}", w.name);
+        }
     }
 
     #[test]

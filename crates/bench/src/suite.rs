@@ -13,9 +13,9 @@ use std::time::Duration;
 
 use vp_core::{
     aggregate, merge_entity_metrics, profile_sharded, render_metric_table, report::row,
-    track::TrackerConfig, Aggregate, ConvergentConfig, ConvergentProfiler, EntityMetrics,
-    FaultPlan, GovernorStats, InstructionProfiler, MemBudget, ReportRow, SampleStrategy,
-    SampledProfiler,
+    track::TrackerConfig, AdaptiveProfiler, Aggregate, ConvergentConfig, ConvergentProfiler,
+    EntityMetrics, FaultPlan, GovernorStats, InstructionProfiler, MemBudget, PhaseBudget,
+    PhaseStats, ReportRow, SampleStrategy, SampledProfiler,
 };
 use vp_instrument::{
     parallel_map_observed, trace_codec, try_parallel_map_deadline, Analysis, FailureKind,
@@ -29,6 +29,12 @@ use vp_workloads::{suite, DataSet, Workload};
 use crate::checkpoint::Checkpoint;
 use crate::BUDGET;
 
+/// What one workload's profiling pass returns: metrics, profiled
+/// fraction, the instrumented run, and the optional governor / phase
+/// counters (each present only in the mode that produces them).
+type SingleRun =
+    (Vec<EntityMetrics>, f64, InstrumentedRun, Option<GovernorStats>, Option<PhaseStats>);
+
 /// Which profiler the runner attaches to each workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProfileMode {
@@ -37,6 +43,10 @@ pub enum ProfileMode {
     Full,
     /// The paper's convergent profiler (bursts with adaptive back-off).
     Convergent(ConvergentConfig),
+    /// The convergent profiler with phase detection armed: converged
+    /// instructions re-arm when their value distribution shifts, under
+    /// the bounded [`PhaseBudget`] ([`AdaptiveProfiler`]).
+    Adaptive(ConvergentConfig, PhaseBudget),
     /// The CPI-style sampling baseline.
     Sampled(SampleStrategy),
 }
@@ -70,6 +80,11 @@ pub struct WorkloadProfile {
     /// ungoverned runs, keeping their profiles byte-identical to before
     /// the governor existed.
     pub governor: Option<GovernorStats>,
+    /// Phase-detector counters of this workload's run, present only in
+    /// [`ProfileMode::Adaptive`]. `None` otherwise, keeping
+    /// non-adaptive profiles byte-identical to before the detector
+    /// existed.
+    pub phase: Option<PhaseStats>,
 }
 
 impl WorkloadProfile {
@@ -553,7 +568,7 @@ impl SuiteRunner {
         ds: DataSet,
         instrumenter: &Instrumenter,
         events: &mut Counts,
-    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun, Option<GovernorStats>) {
+    ) -> SingleRun {
         let fail = |e| panic!("{} [{}]: {e}", w.name(), ds.name());
         let cfg = w.machine_config(ds);
         match self.mode {
@@ -566,7 +581,7 @@ impl SuiteRunner {
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
                 let governor = p.governor_stats().copied();
-                (p.metrics(), 1.0, run, governor)
+                (p.metrics(), 1.0, run, governor, None)
             }
             ProfileMode::Convergent(config) => {
                 let mut p = ConvergentProfiler::new(self.tracker, config);
@@ -574,7 +589,15 @@ impl SuiteRunner {
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run, None)
+                (p.metrics(), p.overall_profile_fraction(), run, None, None)
+            }
+            ProfileMode::Adaptive(config, budget) => {
+                let mut p = AdaptiveProfiler::new(self.tracker, config, budget);
+                let run =
+                    instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
+                (p.metrics(), p.overall_profile_fraction(), run, None, Some(p.phase_stats()))
             }
             ProfileMode::Sampled(strategy) => {
                 let mut p = SampledProfiler::new(self.tracker, strategy);
@@ -582,7 +605,7 @@ impl SuiteRunner {
                     instrumenter.run(w.program(), cfg, self.budget, &mut p).unwrap_or_else(fail);
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run, None)
+                (p.metrics(), p.overall_profile_fraction(), run, None, None)
             }
         }
     }
@@ -599,7 +622,7 @@ impl SuiteRunner {
         ds: DataSet,
         instrumenter: &Instrumenter,
         events: &mut Counts,
-    ) -> (Vec<EntityMetrics>, f64, InstrumentedRun, Option<GovernorStats>) {
+    ) -> SingleRun {
         struct Collector(Vec<(u32, u64)>);
         impl Analysis for Collector {
             fn after_instr(&mut self, _m: &Machine, event: &InstrEvent) {
@@ -650,7 +673,7 @@ impl SuiteRunner {
                 };
                 p.tnv_events().add_to(events);
                 let governor = p.governor_stats().copied();
-                (p.metrics(), 1.0, run, governor)
+                (p.metrics(), 1.0, run, governor, None)
             }
             ProfileMode::Convergent(config) => {
                 let p = profile_sharded(&trace, self.shards, || {
@@ -658,7 +681,15 @@ impl SuiteRunner {
                 });
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run, None)
+                (p.metrics(), p.overall_profile_fraction(), run, None, None)
+            }
+            ProfileMode::Adaptive(config, budget) => {
+                let p = profile_sharded(&trace, self.shards, || {
+                    AdaptiveProfiler::new(tracker, config, budget)
+                });
+                p.tnv_events().add_to(events);
+                p.events().add_to(events);
+                (p.metrics(), p.overall_profile_fraction(), run, None, Some(p.phase_stats()))
             }
             ProfileMode::Sampled(strategy) => {
                 let p = profile_sharded(&trace, self.shards, || {
@@ -666,7 +697,7 @@ impl SuiteRunner {
                 });
                 p.tnv_events().add_to(events);
                 p.events().add_to(events);
-                (p.metrics(), p.overall_profile_fraction(), run, None)
+                (p.metrics(), p.overall_profile_fraction(), run, None, None)
             }
         }
     }
@@ -676,7 +707,7 @@ impl SuiteRunner {
         let cfg = w.machine_config(ds);
         let mut events = Counts::new();
         let clock = Stopwatch::start();
-        let (metrics, profile_fraction, run, governor) = if self.shards > 1 {
+        let (metrics, profile_fraction, run, governor, phase) = if self.shards > 1 {
             self.profile_one_sharded(w, ds, &instrumenter, &mut events)
         } else {
             self.profile_one_serial(w, ds, &instrumenter, &mut events)
@@ -685,6 +716,12 @@ impl SuiteRunner {
         if let Some(gov) = &governor {
             events.add(CounterId::EntitiesDegraded, gov.entities_degraded);
             events.add(CounterId::EntitiesDropped, gov.entities_dropped);
+        }
+        if let Some(ph) = &phase {
+            events.add(CounterId::PhaseWindows, ph.windows);
+            events.add(CounterId::PhaseShifts, ph.shifts_detected);
+            events.add(CounterId::PhaseRearms, ph.rearms);
+            events.add(CounterId::PhaseRearmsDenied, ph.rearms_denied);
         }
         events.add(CounterId::InstrEvents, run.counts.instr_events);
         events.add(CounterId::LoadEvents, run.counts.load_events);
@@ -718,6 +755,7 @@ impl SuiteRunner {
             wall_ns,
             baseline_wall_ns,
             governor,
+            phase,
         }
     }
 }
@@ -768,6 +806,7 @@ mod tests {
         for mode in [
             ProfileMode::Full,
             ProfileMode::Convergent(ConvergentConfig::default()),
+            ProfileMode::Adaptive(ConvergentConfig::default(), PhaseBudget::default()),
             ProfileMode::Sampled(SampleStrategy::Periodic { period: 10 }),
         ] {
             let serial = SuiteRunner::new().mode(mode).run_workloads(workloads, DataSet::Test);
@@ -777,6 +816,7 @@ mod tests {
                 assert_eq!(s.metrics, h.metrics, "{} {mode:?}", s.name);
                 assert_eq!(s.profile_fraction, h.profile_fraction, "{}", s.name);
                 assert_eq!(s.instructions, h.instructions, "{}", s.name);
+                assert_eq!(s.phase, h.phase, "{} {mode:?}", s.name);
                 // Event counters agree too, once the sharded-only trace
                 // counters are accounted for: over loads, every delivered
                 // event is one trace event.
@@ -791,6 +831,28 @@ mod tests {
                 assert_eq!(h.events, expect, "{} {mode:?}", s.name);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_mode_reports_phase_stats_and_others_do_not() {
+        let budget = PhaseBudget { max_rearms: 4, window: 256 };
+        let profile = SuiteRunner::new()
+            .mode(ProfileMode::Adaptive(ConvergentConfig::default(), budget))
+            .run_workloads(&suite()[..2], DataSet::Test);
+        for w in &profile.workloads {
+            let ps = w.phase.expect("adaptive run reports phase stats");
+            assert!(ps.windows > 0, "{} completed no windows", w.name);
+            assert_eq!(w.events.get(CounterId::PhaseWindows), ps.windows, "{}", w.name);
+            assert_eq!(w.events.get(CounterId::PhaseShifts), ps.shifts_detected, "{}", w.name);
+            assert_eq!(w.events.get(CounterId::PhaseRearms), ps.rearms, "{}", w.name);
+            assert_eq!(w.events.get(CounterId::PhaseRearmsDenied), ps.rearms_denied, "{}", w.name);
+        }
+        let full = SuiteRunner::new().run_workloads(&suite()[..2], DataSet::Test);
+        assert!(full.workloads.iter().all(|w| w.phase.is_none()));
+        let conv = SuiteRunner::new()
+            .mode(ProfileMode::Convergent(ConvergentConfig::default()))
+            .run_workloads(&suite()[..1], DataSet::Test);
+        assert!(conv.workloads.iter().all(|w| w.phase.is_none()));
     }
 
     #[test]

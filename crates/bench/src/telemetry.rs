@@ -94,6 +94,17 @@ pub fn suite_records(
                 ]),
             ));
         }
+        if let Some(ph) = &w.phase {
+            fields.push((
+                "phase",
+                Json::obj(vec![
+                    ("windows", Json::U64(ph.windows)),
+                    ("shifts_detected", Json::U64(ph.shifts_detected)),
+                    ("rearms", Json::U64(ph.rearms)),
+                    ("rearms_denied", Json::U64(ph.rearms_denied)),
+                ]),
+            ));
+        }
         records.push(record("workload", w.name, fields));
     }
 

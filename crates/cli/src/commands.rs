@@ -22,10 +22,12 @@ const USAGE: &str = "usage:
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
   vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--shards N] [--baseline]
+                      [--adaptive [--phase-window N] [--max-rearms N]]
                       [--telemetry FILE] [--retries N] [--checkpoint FILE [--resume]]
                       [--deadline-ms N] [--mem-budget-mb N]
   vprof record <target> [-o <file.vpc>] [--train] [--all] [--deadline-ms N]
   vprof replay <file.vpc> [--shards N] [--save FILE] [--deadline-ms N] [--mem-budget-mb N]
+                      [--adaptive [--phase-window N] [--max-rearms N]]
   vprof stats <telemetry.jsonl>
   vprof verify <profile.tsv> [--lenient]
   vprof histogram <target> [--train] [--all]
@@ -89,6 +91,32 @@ fn deadline_arg(args: &[String]) -> Result<Option<std::time::Duration>, String> 
 }
 
 /// Parses `--mem-budget-mb N` into a per-workload memory budget.
+/// Parses the adaptive-profiling flags: `--adaptive` plus the optional
+/// `--phase-window N` / `--max-rearms N` budget overrides. The budget
+/// flags without `--adaptive` are an error (they would silently do
+/// nothing otherwise).
+fn phase_budget_arg(args: &[String]) -> Result<Option<vp_core::PhaseBudget>, String> {
+    let window = option_value(args, "--phase-window");
+    let max_rearms = option_value(args, "--max-rearms");
+    if !flag(args, "--adaptive") {
+        if window.is_some() || max_rearms.is_some() {
+            return Err("--phase-window/--max-rearms require --adaptive".to_string());
+        }
+        return Ok(None);
+    }
+    let mut budget = vp_core::PhaseBudget::default();
+    if let Some(v) = window {
+        budget.window = v.parse().map_err(|_| format!("bad --phase-window value `{v}`"))?;
+        if budget.window == 0 {
+            return Err("bad --phase-window value `0` (window must be positive)".to_string());
+        }
+    }
+    if let Some(v) = max_rearms {
+        budget.max_rearms = v.parse().map_err(|_| format!("bad --max-rearms value `{v}`"))?;
+    }
+    Ok(Some(budget))
+}
+
 fn mem_budget_arg(args: &[String]) -> Result<Option<vp_core::MemBudget>, String> {
     option_value(args, "--mem-budget-mb")
         .map(|v| v.parse::<usize>().map_err(|_| format!("bad --mem-budget-mb value `{v}`")))
@@ -329,6 +357,10 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let plan = vp_core::FaultPlan::from_env()?;
     let deadline = deadline_arg(args)?;
     let mem_budget = mem_budget_arg(args)?;
+    let phase_budget = phase_budget_arg(args)?;
+    if phase_budget.is_some() && flag(args, "--convergent") {
+        return Err("--adaptive and --convergent are mutually exclusive".to_string());
+    }
 
     let recorder = Arc::new(MemRecorder::new());
     let mut runner = SuiteRunner::new()
@@ -345,6 +377,11 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         runner = runner
             .tracker(TrackerConfig::default())
             .mode(ProfileMode::Convergent(ConvergentConfig::default()));
+    }
+    if let Some(budget) = phase_budget {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Adaptive(ConvergentConfig::default(), budget));
     }
     match (option_value(args, "--checkpoint"), flag(args, "--resume")) {
         (Some(path), resume) => {
@@ -378,10 +415,23 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         "{}",
         profile.render(&format!("suite value profile: {what} [{} data set]", ds.name()))
     );
-    if flag(args, "--convergent") {
+    if flag(args, "--convergent") || flag(args, "--adaptive") {
         println!("profiled fraction per workload:");
         for w in &profile.workloads {
             println!("  {:<10} {:6.2}%", w.name, w.profile_fraction * 100.0);
+        }
+    }
+    if let Some(budget) = phase_budget {
+        println!(
+            "adaptive phase detection (window {}, max {} re-arms/instruction):",
+            budget.window, budget.max_rearms
+        );
+        for w in &profile.workloads {
+            let ph = w.phase.unwrap_or_default();
+            println!(
+                "  {:<10} windows {:>8}  shifts {:>6}  rearms {:>5}  denied {:>5}",
+                w.name, ph.windows, ph.shifts_detected, ph.rearms, ph.rearms_denied
+            );
         }
     }
     if flag(args, "--baseline") {
@@ -428,7 +478,13 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
 
     let mode = format!(
         "{}-{}",
-        if flag(args, "--convergent") { "convergent" } else { "full" },
+        if flag(args, "--adaptive") {
+            "adaptive"
+        } else if flag(args, "--convergent") {
+            "convergent"
+        } else {
+            "full"
+        },
         if flag(args, "--all") { "all" } else { "loads" }
     );
     let mut records =
@@ -582,6 +638,15 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
     // paths) once, and every chunk decodes straight out of it.
     let file = vp_instrument::TraceFile::open(std::path::Path::new(target))
         .map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    if let Some(budget) = phase_budget_arg(args)? {
+        if mem_budget.is_some() {
+            return Err(
+                "--mem-budget-mb is not supported with --adaptive (the convergent trackers are already constant-space)"
+                    .to_string(),
+            );
+        }
+        return replay_adaptive(args, target, &file, shards, deadline, budget);
+    }
     let make = move |budget: Option<vp_core::MemBudget>| match budget {
         Some(b) => InstructionProfiler::with_budget(TrackerConfig::with_full(), b),
         None => InstructionProfiler::new(TrackerConfig::with_full()),
@@ -642,6 +707,77 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
             g.bytes_peak, g.entities_degraded, g.entities_dropped, g.observations_dropped
         );
     }
+    Ok(())
+}
+
+/// `vprof replay --adaptive`: replays the trace through the adaptive
+/// convergent profiler instead of the full one. Same chunked streaming
+/// and deadline/shard machinery; metrics are reweighted to true totals,
+/// so the table is directly comparable to a full replay's, and the
+/// phase-detector counters are printed after it.
+fn replay_adaptive(
+    args: &[String],
+    target: &str,
+    file: &vp_instrument::TraceFile,
+    shards: usize,
+    deadline: Option<std::time::Duration>,
+    budget: vp_core::PhaseBudget,
+) -> Result<(), String> {
+    use vp_core::AdaptiveProfiler;
+    let make = move || {
+        AdaptiveProfiler::new(TrackerConfig::default(), ConvergentConfig::default(), budget)
+    };
+    let replay = || -> Result<(AdaptiveProfiler, u64, u64), String> {
+        let mut reader = file.reader().map_err(|e| format!("{target}: {e}"))?;
+        let mut profiler = make();
+        let mut scratch: Vec<(u32, u64)> = Vec::new();
+        let mut trace: Vec<(u32, u64)> = Vec::new();
+        loop {
+            vp_instrument::cancel::checkpoint();
+            if !reader.next_chunk_into(&mut scratch).map_err(|e| format!("{target}: {e}"))? {
+                break;
+            }
+            if shards > 1 {
+                trace.extend_from_slice(&scratch);
+            } else {
+                profiler.observe_batch(&scratch);
+            }
+        }
+        if shards > 1 {
+            profiler = vp_core::profile_sharded(&trace, shards, make);
+        }
+        Ok((profiler, reader.events_read(), reader.chunks_read() as u64))
+    };
+    let (profiler, events_read, chunks_read) = match deadline {
+        Some(d) => vp_instrument::cancel::run_with_deadline(d, replay)
+            .map_err(|_| format!("replay {target}: deadline exceeded"))??,
+        None => replay()?,
+    };
+    if let Some(out) = option_value(args, "--save") {
+        vp_core::durable::write_profile(std::path::Path::new(out), &profiler.metrics())
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    }
+    let rows = [row(target, &profiler.metrics())];
+    println!(
+        "{}",
+        render_metric_table(
+            &format!(
+                "adaptive value profile replayed from {target} ({events_read} events, {chunks_read} chunks, {shards} shard(s))",
+            ),
+            &rows
+        )
+    );
+    println!("profiled fraction: {:6.2}%", profiler.overall_profile_fraction() * 100.0);
+    let ph = profiler.phase_stats();
+    println!(
+        "adaptive: windows {}, shifts {}, rearms {}, denied {} (window {}, max {} re-arms)",
+        ph.windows,
+        ph.shifts_detected,
+        ph.rearms,
+        ph.rearms_denied,
+        budget.window,
+        budget.max_rearms
+    );
     Ok(())
 }
 
@@ -975,6 +1111,96 @@ mod tests {
         .is_ok());
         assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&governed).unwrap());
         assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&sharded).unwrap());
+    }
+
+    #[test]
+    fn adaptive_suite_and_flag_errors() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-adaptive");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tel = dir.join("a.jsonl");
+        let tel_s = tel.to_str().unwrap();
+        assert!(dispatch(&args(&[
+            "profile-suite",
+            "--adaptive",
+            "--phase-window",
+            "256",
+            "--max-rearms",
+            "4",
+            "--telemetry",
+            tel_s
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&tel).unwrap();
+        assert!(text.contains("\"phase\""), "{text}");
+        assert!(text.contains("\"mode\":\"adaptive-loads\""), "{text}");
+        assert!(dispatch(&args(&["stats", tel_s])).is_ok());
+        // Non-adaptive telemetry carries no phase objects.
+        assert!(dispatch(&args(&["profile-suite", "--telemetry", tel_s])).is_ok());
+        let text = std::fs::read_to_string(&tel).unwrap();
+        assert!(!text.contains("\"phase\""), "{text}");
+        // Flag validation.
+        assert!(dispatch(&args(&["profile-suite", "--adaptive", "--convergent"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(dispatch(&args(&["profile-suite", "--phase-window", "64"]))
+            .unwrap_err()
+            .contains("require --adaptive"));
+        assert!(dispatch(&args(&["profile-suite", "--adaptive", "--phase-window", "0"]))
+            .unwrap_err()
+            .contains("window must be positive"));
+        assert!(dispatch(&args(&["profile-suite", "--adaptive", "--max-rearms", "lots"]))
+            .unwrap_err()
+            .contains("bad --max-rearms"));
+    }
+
+    #[test]
+    fn adaptive_replay_matches_across_shards() {
+        let dir = std::env::temp_dir().join("vprof-cli-test-adaptive-replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("li.vpc");
+        let out_s = out.to_str().unwrap();
+        assert!(dispatch(&args(&["record", "li", "-o", out_s])).is_ok());
+        let serial = dir.join("serial.tsv");
+        let sharded = dir.join("sharded.tsv");
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--adaptive",
+            "--save",
+            serial.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--adaptive",
+            "--phase-window",
+            "256",
+            "--shards",
+            "4",
+            "--save",
+            sharded.to_str().unwrap()
+        ]))
+        .is_ok());
+        // Serial and sharded adaptive replays write identical profiles
+        // (the window override cannot break entity-shard determinism).
+        assert!(dispatch(&args(&[
+            "replay",
+            out_s,
+            "--adaptive",
+            "--phase-window",
+            "256",
+            "--save",
+            serial.to_str().unwrap()
+        ]))
+        .is_ok());
+        assert_eq!(std::fs::read(&serial).unwrap(), std::fs::read(&sharded).unwrap());
+        assert!(dispatch(&args(&["replay", out_s, "--adaptive", "--mem-budget-mb", "64"]))
+            .unwrap_err()
+            .contains("not supported with --adaptive"));
+        assert!(dispatch(&args(&["replay", out_s, "--max-rearms", "4"]))
+            .unwrap_err()
+            .contains("require --adaptive"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use vp_obs::{ConvEvents, TnvEvents};
 use vp_sim::{InstrEvent, Machine};
 
 use crate::metrics::{aggregate, Aggregate, EntityMetrics};
+use crate::phase::{Detector, PhaseBudget, PhaseStats, SKETCH_STRIDE};
 use crate::track::{TrackerConfig, ValueTracker};
 
 /// Tuning of the convergent profiler.
@@ -72,10 +73,12 @@ struct ConvState {
     skip: u64,
     profiled: u64,
     total: u64,
+    /// Phase detector, armed only on adaptive profilers.
+    detect: Option<Detector>,
 }
 
 impl ConvState {
-    fn new(config: TrackerConfig, initial_skip: u64) -> ConvState {
+    fn new(config: TrackerConfig, initial_skip: u64, adaptive: bool) -> ConvState {
         ConvState {
             tracker: ValueTracker::new(config),
             phase: Phase::Profiling { in_burst: 0 },
@@ -84,6 +87,7 @@ impl ConvState {
             skip: initial_skip,
             profiled: 0,
             total: 0,
+            detect: adaptive.then(Detector::default),
         }
     }
 }
@@ -136,6 +140,12 @@ impl ConvergentStats {
 pub struct ConvergentProfiler {
     tracker_config: TrackerConfig,
     config: ConvergentConfig,
+    /// Phase-detection budget; `Some` arms the adaptive re-arm machinery.
+    budget: Option<PhaseBudget>,
+    /// `ceil(budget.window / SKETCH_STRIDE)`, precomputed so the
+    /// detector's window bookkeeping never divides (0 when unarmed).
+    samples_per_window: u64,
+    phase_stats: PhaseStats,
     states: HashMap<u32, ConvState>,
     events: ConvEvents,
 }
@@ -152,9 +162,70 @@ impl ConvergentProfiler {
         ConvergentProfiler {
             tracker_config,
             config,
+            budget: None,
+            samples_per_window: 0,
+            phase_stats: PhaseStats::default(),
             states: HashMap::new(),
             events: ConvEvents::default(),
         }
+    }
+
+    /// Creates a convergent profiler with phase detection armed: each
+    /// instruction's value stream is cut into `budget.window`-execution
+    /// windows, and a signature shift while the instruction is backed
+    /// off re-arms its sampling state machine (at most
+    /// `budget.max_rearms` times per instruction). Used through the
+    /// [`AdaptiveProfiler`](crate::phase::AdaptiveProfiler) wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget.window` is 0, plus the [`new`](Self::new) checks.
+    pub fn adaptive(
+        tracker_config: TrackerConfig,
+        config: ConvergentConfig,
+        budget: PhaseBudget,
+    ) -> ConvergentProfiler {
+        assert!(budget.window > 0, "phase window must be positive");
+        let mut p = ConvergentProfiler::new(tracker_config, config);
+        p.budget = Some(budget);
+        p.samples_per_window = budget.window.div_ceil(SKETCH_STRIDE);
+        p
+    }
+
+    /// The phase-detection budget, when armed.
+    pub fn phase_budget(&self) -> Option<PhaseBudget> {
+        self.budget
+    }
+
+    /// Exact phase-detector counters, summed over all instructions
+    /// (all-zero when detection is unarmed).
+    pub fn phase_stats(&self) -> PhaseStats {
+        self.phase_stats
+    }
+
+    /// Whether one instruction is currently backed off (skipping).
+    pub fn is_backed_off(&self, index: u32) -> bool {
+        self.states.get(&index).is_some_and(|s| matches!(s.phase, Phase::Skipping { .. }))
+    }
+
+    /// Re-arms one instruction's sampling state machine: back to burst
+    /// profiling with a fresh convergence history and the skip ladder
+    /// reset to `initial_skip`, as if the instruction were new — except
+    /// its tracker and profiled/total counters are kept, so
+    /// [`metrics`](Self::metrics) still reweights `executions` to the
+    /// true totals across the re-arm. Returns whether the instruction
+    /// existed and was backed off (a resume is recorded only then).
+    pub fn rearm(&mut self, index: u32) -> bool {
+        let Some(state) = self.states.get_mut(&index) else { return false };
+        let was_backed_off = matches!(state.phase, Phase::Skipping { .. });
+        state.phase = Phase::Profiling { in_burst: 0 };
+        state.prev_inv = None;
+        state.stable = 0;
+        state.skip = self.config.initial_skip;
+        if was_backed_off {
+            self.events.resumes += 1;
+        }
+        was_backed_off
     }
 
     /// Self-profiling state-machine events: back-off transitions, resumes
@@ -247,11 +318,11 @@ impl ConvergentProfiler {
     /// oracle verifies).
     pub fn observe(&mut self, index: u32, value: u64) {
         let config = self.config;
-        let state = self
-            .states
-            .entry(index)
-            .or_insert_with(|| ConvState::new(self.tracker_config, config.initial_skip));
-        state.total += 1;
+        let state = self.states.entry(index).or_insert_with(|| {
+            ConvState::new(self.tracker_config, config.initial_skip, self.budget.is_some())
+        });
+        let total = state.total + 1;
+        state.total = total;
         match state.phase {
             Phase::Profiling { ref mut in_burst } => {
                 state.tracker.observe(value);
@@ -293,6 +364,38 @@ impl ConvergentProfiler {
                 }
             }
         }
+        // The phase detector samples every SKETCH_STRIDE-th execution —
+        // including skipped ones, which is the whole point: it watches
+        // for distribution shifts the backed-off sampler is blind to.
+        // Gating on the execution counter the state machine already
+        // maintains (`total` is 1 on the first, i.e. 0th-position,
+        // execution) keeps the common path to one mask-and-branch on a
+        // register-resident value; all detector work hides behind it.
+        if total & (SKETCH_STRIDE - 1) == 1 {
+            if let (Some(budget), Some(det)) = (self.budget, state.detect.as_mut()) {
+                if let Some(shift) = det.sample(value, self.samples_per_window) {
+                    self.phase_stats.windows += 1;
+                    if shift {
+                        self.phase_stats.shifts_detected += 1;
+                        if matches!(state.phase, Phase::Skipping { .. }) {
+                            if det.rearms < budget.max_rearms {
+                                det.rearms += 1;
+                                self.phase_stats.rearms += 1;
+                                // Re-arm: same reset as `rearm`, inlined
+                                // here because `state` is already borrowed.
+                                state.phase = Phase::Profiling { in_burst: 0 };
+                                state.prev_inv = None;
+                                state.stable = 0;
+                                state.skip = config.initial_skip;
+                                self.events.resumes += 1;
+                            } else {
+                                self.phase_stats.rearms_denied += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Feeds a batch of `(instruction, value)` events in stream order.
@@ -327,6 +430,10 @@ impl ConvergentProfiler {
             self.config, other.config,
             "cannot merge convergent profilers with different sampler configs"
         );
+        assert_eq!(
+            self.budget, other.budget,
+            "cannot merge convergent profilers with different phase budgets"
+        );
         for (index, theirs) in other.states {
             match self.states.entry(index) {
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -338,10 +445,20 @@ impl ConvergentProfiler {
                     mine.profiled += theirs.profiled;
                     mine.total += theirs.total;
                     mine.skip = mine.skip.max(theirs.skip);
+                    // Entity-disjoint shards never hit this arm; when an
+                    // instruction does appear on both sides, the spent
+                    // re-arm budget sums and this side's in-progress
+                    // window survives (it may keep observing).
+                    if let (Some(mine), Some(theirs)) =
+                        (mine.detect.as_mut(), theirs.detect.as_ref())
+                    {
+                        mine.absorb(theirs);
+                    }
                 }
             }
         }
         self.events.merge(&other.events);
+        self.phase_stats.merge(&other.phase_stats);
     }
 }
 
@@ -496,6 +613,29 @@ mod tests {
         let s = &p.stats()[0];
         assert_eq!(m.executions, 10_000, "metrics carry true totals");
         assert!(s.profiled < s.total, "while profiling skipped most executions");
+    }
+
+    #[test]
+    fn rearm_resets_machine_and_reweights_to_true_totals() {
+        // Regression guard on the re-arm seam: after converging, backing
+        // off and re-arming, metrics() must still reweight `executions`
+        // to the true totals (the convention tests/pipeline.rs asserts),
+        // and the re-armed burst must profile the new phase.
+        let mut p = ConvergentProfiler::new(TrackerConfig::default(), small_config());
+        feed(&mut p, 0, std::iter::repeat_n(7, 5_000));
+        assert!(p.is_backed_off(0), "constant stream must back off");
+        let profiled_before = p.stats()[0].profiled;
+        assert!(p.rearm(0), "re-arming a backed-off instruction reports true");
+        assert!(!p.is_backed_off(0));
+        feed(&mut p, 0, std::iter::repeat_n(9, 5_000));
+        let m = &p.metrics()[0];
+        let s = &p.stats()[0];
+        assert_eq!(m.executions, 10_000, "metrics reweight to true totals across a re-arm");
+        assert!(s.profiled > profiled_before, "re-armed instruction profiles again");
+        assert!(s.profiled < s.total, "and still backs off afterwards");
+        let tnv = p.tracker(0).unwrap().tnv();
+        assert!(tnv.entries().iter().any(|e| e.value == 9), "new phase surfaces: {tnv}");
+        assert!(!p.rearm(42), "unknown instruction is a no-op");
     }
 
     #[test]

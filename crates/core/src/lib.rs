@@ -67,6 +67,7 @@ pub mod instr_profile;
 pub mod memory;
 pub mod metrics;
 pub mod params;
+pub mod phase;
 pub mod profile_io;
 pub mod report;
 pub mod sampled;
@@ -89,6 +90,7 @@ pub use metrics::{
     aggregate, correlation, invariance_histogram, merge_entity_metrics, Aggregate, EntityMetrics,
 };
 pub use params::{ParamMetrics, ParamProfiler, ParamSlot};
+pub use phase::{AdaptiveProfiler, PhaseBudget, PhaseStats, WindowSig};
 pub use profile_io::{parse_profile, render_profile, ParseProfileError};
 pub use report::{compare, group_by_class, render_metric_table, ProfileComparison, ReportRow};
 pub use sampled::{SampleStrategy, SampledProfiler};

@@ -33,6 +33,7 @@ use vp_instrument::parallel_map;
 
 use crate::convergent::ConvergentProfiler;
 use crate::instr_profile::InstructionProfiler;
+use crate::phase::AdaptiveProfiler;
 use crate::sampled::SampledProfiler;
 
 /// A profiler that can consume a raw `(pc, value)` event stream and fold
@@ -72,6 +73,16 @@ impl StreamProfiler for ConvergentProfiler {
     }
 
     fn merge_shard(&mut self, later: ConvergentProfiler) {
+        self.merge(later);
+    }
+}
+
+impl StreamProfiler for AdaptiveProfiler {
+    fn observe(&mut self, pc: u32, value: u64) {
+        AdaptiveProfiler::observe(self, pc, value);
+    }
+
+    fn merge_shard(&mut self, later: AdaptiveProfiler) {
         self.merge(later);
     }
 }

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use vp_instrument::Analysis;
 use vp_sim::{InstrEvent, Machine};
 
+use crate::phase::{self, WindowSig};
 use crate::track::{TrackerConfig, ValueTracker};
 
 /// Per-window snapshot of one instruction's value behaviour.
@@ -105,6 +106,38 @@ impl TemporalProfiler {
         phases
     }
 
+    /// Phase signatures of one instruction's windows — the same
+    /// [`WindowSig`] the online adaptive detector computes, derived
+    /// offline from the interval profile (dominant value plus its
+    /// quantised share, here taken from the window's `Inv-Top(1)`).
+    /// Feeds the detector's shift rule for offline analysis and lets
+    /// tests cross-validate the online detector against the exact
+    /// interval profile. Windows that saw no values are skipped.
+    pub fn signatures(&self, index: u32) -> Vec<WindowSig> {
+        self.windows(index)
+            .iter()
+            .filter_map(|w| {
+                let top_value = w.top_value?;
+                let top = (w.inv_top1 * w.executions as f64).round() as u64;
+                Some(WindowSig {
+                    top_value,
+                    share16: phase::quantize_share(top, w.executions.max(1)),
+                })
+            })
+            .collect()
+    }
+
+    /// Offline shift points per the adaptive detector's rule
+    /// ([`phase::shifted`]): indices `i` such that window `i-1 → i`
+    /// constitutes a distribution shift.
+    pub fn shift_points(&self, index: u32) -> Vec<usize> {
+        let sigs = self.signatures(index);
+        sigs.windows(2)
+            .enumerate()
+            .filter_map(|(i, pair)| phase::shifted(&pair[0], &pair[1]).then_some(i + 1))
+            .collect()
+    }
+
     /// Mean within-window invariance, weighted by window executions. When
     /// this is much higher than the whole-run `Inv-Top(1)`, the
     /// instruction is *phase-wise invariant* — the prime case for the TNV
@@ -196,6 +229,27 @@ mod tests {
         assert_eq!(windows[2].executions, 50);
         assert_eq!(p.windows(99), Vec::new());
         assert_eq!(p.phase_count(99), 0);
+    }
+
+    #[test]
+    fn signatures_and_shift_points_follow_the_detector_rule() {
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 100);
+        let stream = std::iter::repeat_n(1, 300).chain(std::iter::repeat_n(2, 300));
+        feed(&mut p, 0, stream);
+        let sigs = p.signatures(0);
+        assert_eq!(sigs.len(), 6);
+        assert!(sigs[..3].iter().all(|s| s.top_value == 1 && s.share16 == 16));
+        assert!(sigs[3..].iter().all(|s| s.top_value == 2 && s.share16 == 16));
+        assert_eq!(p.shift_points(0), vec![3], "exactly one shift, at the phase boundary");
+        assert_eq!(p.shift_points(99), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn stationary_stream_has_no_shift_points() {
+        let mut p = TemporalProfiler::new(TrackerConfig::default(), 50);
+        feed(&mut p, 4, std::iter::repeat_n(9, 500));
+        assert!(p.shift_points(4).is_empty());
+        assert!(p.signatures(4).iter().all(|s| s.top_value == 9));
     }
 
     #[test]

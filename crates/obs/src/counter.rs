@@ -72,6 +72,14 @@ pub enum CounterId {
     EntitiesDropped,
     /// Stores dropped by the memory profiler's location cap.
     MemDropped,
+    /// Phase-signature windows completed by the adaptive detector.
+    PhaseWindows,
+    /// Distribution shifts the adaptive detector flagged.
+    PhaseShifts,
+    /// Converged entities re-armed after a detected shift.
+    PhaseRearms,
+    /// Re-arms denied because the entity's budget was exhausted.
+    PhaseRearmsDenied,
 }
 
 impl CounterId {
@@ -79,7 +87,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 28] = [
+    pub const ALL: [CounterId; 32] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -108,6 +116,10 @@ impl CounterId {
         CounterId::EntitiesDegraded,
         CounterId::EntitiesDropped,
         CounterId::MemDropped,
+        CounterId::PhaseWindows,
+        CounterId::PhaseShifts,
+        CounterId::PhaseRearms,
+        CounterId::PhaseRearmsDenied,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -141,6 +153,10 @@ impl CounterId {
             CounterId::EntitiesDegraded => "entities_degraded",
             CounterId::EntitiesDropped => "entities_dropped",
             CounterId::MemDropped => "mem_dropped",
+            CounterId::PhaseWindows => "phase_windows",
+            CounterId::PhaseShifts => "phase_shifts",
+            CounterId::PhaseRearms => "phase_rearms",
+            CounterId::PhaseRearmsDenied => "phase_rearms_denied",
         }
     }
 

@@ -56,6 +56,12 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
         out.push('\n');
         out.push_str(&governor_table(&governed));
     }
+    let adaptive: Vec<&Json> =
+        workloads.iter().copied().filter(|r| r.get("phase").is_some()).collect();
+    if !adaptive.is_empty() {
+        out.push('\n');
+        out.push_str(&adaptive_table(&adaptive));
+    }
     if !failures.is_empty() {
         out.push('\n');
         out.push_str(&failure_table(&failures));
@@ -127,6 +133,40 @@ fn governor_table(workloads: &[&Json]) -> String {
         out.push_str(&format!(
             "warning: {} entities dropped by the memory governor — their metrics are missing; raise the budget to recover them\n",
             group_digits(entities_dropped)
+        ));
+    }
+    out
+}
+
+/// Renders the adaptive phase-detector section: one row per workload
+/// profiled with phase detection armed, plus a note when any re-arm was
+/// denied by an exhausted budget (later shifts of that instruction went
+/// unprofiled).
+fn adaptive_table(workloads: &[&Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8}\n",
+        "adaptive", "windows", "shifts", "rearms", "denied"
+    ));
+    let mut denied = 0u64;
+    for rec in workloads {
+        let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+        let ph = rec.get("phase").expect("caller filtered on phase presence");
+        let field = |key: &str| ph.get(key).and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>8} {:>8} {:>8}\n",
+            name,
+            group_digits(field("windows")),
+            group_digits(field("shifts_detected")),
+            group_digits(field("rearms")),
+            group_digits(field("rearms_denied")),
+        ));
+        denied += field("rearms_denied");
+    }
+    if denied > 0 {
+        out.push_str(&format!(
+            "note: {} re-arm(s) denied by an exhausted phase budget — later shifts of those instructions were not re-profiled\n",
+            group_digits(denied)
         ));
     }
     out
@@ -359,6 +399,40 @@ mod tests {
         let text = summarize(&sample_jsonl()).unwrap();
         assert!(!text.contains("governor"), "{text}");
         assert!(!text.contains("warning"), "{text}");
+    }
+
+    #[test]
+    fn adaptive_section_renders_phase_counters() {
+        let records = vec![
+            record("run", "profile-suite", vec![("jobs", Json::U64(1))]),
+            record(
+                "workload",
+                "gcc",
+                vec![
+                    ("instructions", Json::U64(10)),
+                    (
+                        "phase",
+                        Json::obj(vec![
+                            ("windows", Json::U64(1_234)),
+                            ("shifts_detected", Json::U64(17)),
+                            ("rearms", Json::U64(5)),
+                            ("rearms_denied", Json::U64(2)),
+                        ]),
+                    ),
+                ],
+            ),
+        ];
+        let text = summarize_records(&records).unwrap();
+        assert!(text.contains("adaptive"), "{text}");
+        assert!(text.contains("1,234"), "{text}");
+        assert!(text.contains("re-arm(s) denied by an exhausted phase budget"), "{text}");
+    }
+
+    #[test]
+    fn non_adaptive_records_render_without_adaptive_section() {
+        let text = summarize(&sample_jsonl()).unwrap();
+        assert!(!text.contains("adaptive"), "{text}");
+        assert!(!text.contains("rearms"), "{text}");
     }
 
     #[test]

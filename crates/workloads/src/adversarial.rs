@@ -1,0 +1,244 @@
+//! Adversarial value-stream families for the phase-aware profiler.
+//!
+//! Every generator here returns a plain `(pc, value)` event stream — the
+//! same shape `vp_bench::value_stream` extracts from a real workload — so
+//! the differential harnesses can run real traces and adversarial
+//! synthetics through identical code paths. Each family is engineered to
+//! break one assumption the convergent profiler relies on:
+//!
+//! | family | pathology | what it breaks |
+//! |---|---|---|
+//! | [`phase_oscillating`] | top value flips every `period` events | convergence on phase 1 blinds the skip ladder to phase 2 |
+//! | [`heavy_tailed`] | power-law value ranks (Zipf-like, exponent `alpha`) | a fat tail of rare values churns the TNV table while the head stays stable |
+//! | [`tnv_churn`] | rotating dominance over more values than the 8-entry TNV table | every rotation evicts a resident entry, so TNV estimates decay |
+//! | [`diurnal`] | slow drift of the dominant value across long epochs | the shift is gradual per window, stressing the detector's quantized share rule |
+//!
+//! All generators are **deterministic and clock-free**: the only
+//! randomness is a seeded xorshift, so the same parameters always produce
+//! the same stream — a requirement for the bit-identical shard oracles.
+
+/// Deterministic xorshift64* generator; seeded, no global state.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator. A zero seed is mapped to a fixed nonzero one
+    /// (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)` via 128-bit multiply (no modulo bias
+    /// worth caring about at these stream lengths, and fully portable).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Phase-oscillating stream: `entities` program counters, each emitting
+/// `values[k]` during its `k`-th phase, switching phase every `period`
+/// events *per entity*. Events round-robin across entities so every
+/// entity sees the same per-entity event count.
+///
+/// Pathology: within a phase each entity is perfectly invariant, so a
+/// convergent profiler converges and backs off; at the phase boundary the
+/// top value changes completely, which the backed-off profiler never
+/// sees. The oscillation period (in per-entity events) is *exactly*
+/// `period` — asserted by the property tests.
+///
+/// `len` is the total event count across all entities.
+pub fn phase_oscillating(
+    entities: u32,
+    period: u64,
+    values: &[u64],
+    len: usize,
+) -> Vec<(u32, u64)> {
+    assert!(entities > 0, "need at least one entity");
+    assert!(period > 0, "oscillation period must be positive");
+    assert!(values.len() >= 2, "need at least two phase values to oscillate");
+    let mut out = Vec::with_capacity(len);
+    let mut per_entity = vec![0u64; entities as usize];
+    for i in 0..len {
+        let pc = (i as u64 % u64::from(entities)) as u32;
+        let n = &mut per_entity[pc as usize];
+        let phase = (*n / period) as usize % values.len();
+        out.push((pc, values[phase]));
+        *n += 1;
+    }
+    out
+}
+
+/// Heavy-tailed stream: values are ranks `1..=ranks` drawn from a
+/// power-law with exponent `alpha` (weight of rank `r` ∝ `r^-alpha`),
+/// spread round-robin over `entities` program counters.
+///
+/// Pathology: the head rank dominates (so the stream *looks*
+/// semi-invariant), but the tail contains many distinct rare values that
+/// continuously probe the TNV table's replacement policy. For Zipf
+/// streams the rank-frequency curve obeys
+/// `freq(r) / freq(2r) ≈ 2^alpha` — the property tests estimate the tail
+/// index this way.
+///
+/// The emitted value for rank `r` is `r` itself, so tests can recover the
+/// rank directly from the value.
+pub fn heavy_tailed(
+    entities: u32,
+    ranks: u64,
+    alpha: f64,
+    len: usize,
+    seed: u64,
+) -> Vec<(u32, u64)> {
+    assert!(entities > 0, "need at least one entity");
+    assert!(ranks >= 2, "need at least two ranks for a tail");
+    assert!(alpha > 0.0, "tail exponent must be positive");
+    // Inverse-CDF table over the rank weights, scaled to u64 so the draw
+    // itself stays integer-only (float work happens once, here, and is
+    // identical on every run).
+    let weights: Vec<f64> = (1..=ranks).map(|r| (r as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cum = Vec::with_capacity(ranks as usize);
+    let mut acc = 0.0f64;
+    for w in &weights {
+        acc += w;
+        cum.push(((acc / total) * u64::MAX as f64) as u64);
+    }
+    *cum.last_mut().expect("ranks >= 2") = u64::MAX;
+    let mut rng = XorShift64::new(seed);
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let pc = (i as u64 % u64::from(entities)) as u32;
+        let draw = rng.next_u64();
+        let rank = cum.partition_point(|&c| c < draw) as u64 + 1;
+        out.push((pc, rank.min(ranks)));
+    }
+    out
+}
+
+/// TNV-eviction churn: a single entity cycling dominance over `distinct`
+/// values, where `distinct` should exceed the TNV table capacity (8 by
+/// default). During block `b` (of `block` events) value `b % distinct`
+/// receives every observation except that each `noise_every`-th event
+/// emits the *next* block's value — guaranteeing every resident value is
+/// eventually displaced.
+///
+/// Pathology: with more live values than table slots, each block's
+/// dominant value must evict a resident entry, so the per-observation
+/// eviction rate is bounded below — asserted by the property tests.
+pub fn tnv_churn(distinct: u64, block: u64, noise_every: u64, len: usize) -> Vec<(u32, u64)> {
+    assert!(distinct >= 2, "need at least two rotating values");
+    assert!(block > 0, "block length must be positive");
+    assert!(noise_every > 1, "noise period must leave room for the dominant value");
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len as u64 {
+        let b = i / block;
+        let dominant = b % distinct;
+        let value = if i % noise_every == noise_every - 1 { (b + 1) % distinct } else { dominant };
+        // Offset values away from 0 so %zero stays out of the picture.
+        out.push((0, value + 1_000));
+    }
+    out
+}
+
+/// Diurnal-style long-run shift: `entities` program counters whose
+/// dominant value drifts once per `epoch` per-entity events, mixing in
+/// `noise_pct`% uniform noise drawn from a seeded xorshift. Models a
+/// long-running service whose hot value changes with the workload du
+/// jour — the drift is slow relative to any detector window.
+///
+/// Pathology: unlike [`phase_oscillating`], consecutive epochs share the
+/// noise floor, so each individual detector window changes only a little;
+/// the quantized share rule has to accumulate the drift across the epoch
+/// boundary rather than see a clean flip.
+pub fn diurnal(
+    entities: u32,
+    epoch: u64,
+    epochs: u64,
+    noise_pct: u64,
+    seed: u64,
+) -> Vec<(u32, u64)> {
+    assert!(entities > 0, "need at least one entity");
+    assert!(epoch > 0, "epoch length must be positive");
+    assert!(epochs >= 2, "need at least two epochs for a shift");
+    assert!(noise_pct < 50, "noise must stay a minority or dominance is lost");
+    let len = (u64::from(entities) * epoch * epochs) as usize;
+    let mut rng = XorShift64::new(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut per_entity = vec![0u64; entities as usize];
+    for i in 0..len {
+        let pc = (i as u64 % u64::from(entities)) as u32;
+        let n = &mut per_entity[pc as usize];
+        let e = *n / epoch;
+        // Dominant value encodes the epoch so tests can recover it.
+        let value = if rng.below(100) < noise_pct {
+            // Noise: uniform over a small alphabet disjoint from the
+            // dominant values (which start at 10_000).
+            rng.below(64)
+        } else {
+            10_000 + e
+        };
+        out.push((pc, value));
+        *n += 1;
+    }
+    out
+}
+
+/// The adversarial families under default parameters, named — the
+/// counterpart of [`crate::suite`] for the phase-detection harnesses.
+/// Streams are sized for tests: large enough that every pathology
+/// manifests, small enough to keep the suite fast.
+pub fn adversarial_streams() -> Vec<(&'static str, Vec<(u32, u64)>)> {
+    vec![
+        ("phase-oscillating", phase_oscillating(3, 4_096, &[7, 9], 98_304)),
+        ("heavy-tailed", heavy_tailed(5, 512, 1.2, 60_000, 0xDECAF)),
+        ("tnv-churn", tnv_churn(24, 500, 5, 60_000)),
+        ("diurnal", diurnal(2, 8_192, 4, 10, 0xC0FFEE)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (name, stream) in adversarial_streams() {
+            let again = adversarial_streams()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .expect("same family present")
+                .1;
+            assert_eq!(stream, again, "{name} must be reproducible");
+            assert!(!stream.is_empty(), "{name} must be non-trivial");
+        }
+    }
+
+    #[test]
+    fn oscillation_switches_exactly_at_period() {
+        let period = 100;
+        let stream = phase_oscillating(1, period, &[1, 2, 3], 1_000);
+        for (i, &(_, v)) in stream.iter().enumerate() {
+            let expect = [1, 2, 3][(i as u64 / period) as usize % 3];
+            assert_eq!(v, expect, "event {i}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(XorShift64::new(0).next_u64(), 0);
+    }
+}

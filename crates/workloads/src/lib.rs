@@ -35,6 +35,7 @@
 //! assert!(outcome.instructions > 1_000);
 //! ```
 
+pub mod adversarial;
 pub mod inputs;
 pub mod micro;
 pub mod programs;

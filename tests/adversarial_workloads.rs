@@ -1,0 +1,142 @@
+//! Property tests pinning the adversarial workload families to their
+//! advertised pathologies, so a refactor cannot silently turn them into
+//! easy inputs (which would let the adaptive ε-oracle pass vacuously).
+//!
+//! Checked per family: the oscillation period is *exact*, the power-law
+//! tail has the configured index, the churn stream forces a minimum
+//! TNV-eviction rate, and the diurnal stream really changes its dominant
+//! value once per epoch while keeping noise a bounded minority.
+
+use std::collections::HashMap;
+
+use value_profiling::core::{track::TrackerConfig, ValueTracker};
+use value_profiling::workloads::adversarial::{
+    adversarial_streams, diurnal, heavy_tailed, phase_oscillating, tnv_churn,
+};
+
+#[test]
+fn oscillation_period_is_exact_per_entity() {
+    let (entities, period, values) = (3u32, 512u64, [7u64, 9, 11]);
+    let stream = phase_oscillating(entities, period, &values, 18_432);
+    // Split per entity and measure the distance between consecutive value
+    // changes: every gap must be exactly `period`, and the first change
+    // must land exactly at `period` — no jitter, no drift.
+    for pc in 0..entities {
+        let vals: Vec<u64> = stream.iter().filter(|e| e.0 == pc).map(|e| e.1).collect();
+        assert_eq!(vals.len() as u64, 18_432 / u64::from(entities));
+        let change_points: Vec<u64> =
+            (1..vals.len()).filter(|&i| vals[i] != vals[i - 1]).map(|i| i as u64).collect();
+        assert!(!change_points.is_empty(), "pc={pc} never oscillated");
+        assert_eq!(change_points[0], period, "pc={pc}: first flip off-period");
+        for w in change_points.windows(2) {
+            assert_eq!(w[1] - w[0], period, "pc={pc}: oscillation drifted");
+        }
+        // And the phase sequence cycles through the value list in order.
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(v, values[(i as u64 / period) as usize % values.len()], "pc={pc} i={i}");
+        }
+    }
+}
+
+#[test]
+fn heavy_tail_has_the_configured_index() {
+    let alpha = 1.2f64;
+    let stream = heavy_tailed(1, 1_024, alpha, 400_000, 0xFEED);
+    let mut freq: HashMap<u64, u64> = HashMap::new();
+    for &(_, v) in &stream {
+        *freq.entry(v).or_default() += 1;
+    }
+    // Frequencies must be rank-ordered at the head (the generator emits
+    // the rank itself as the value).
+    let f = |r: u64| freq.get(&r).copied().unwrap_or(0) as f64;
+    for r in 1..8 {
+        assert!(f(r) >= f(r + 1), "rank {r} out of order: {} < {}", f(r), f(r + 1));
+    }
+    // For a power law, freq(r) / freq(2r) ≈ 2^alpha. Estimate the tail
+    // index from several rank pairs and demand it matches within 15% —
+    // loose enough for sampling noise, tight enough that a uniform
+    // (alpha = 0) or near-degenerate distribution cannot sneak through.
+    for r in [1u64, 2, 4, 8] {
+        let est = (f(r) / f(2 * r)).log2() / (2f64).log2();
+        assert!(
+            (est - alpha).abs() < 0.15 * alpha + 0.1,
+            "tail index at rank {r}: estimated {est:.3}, configured {alpha}"
+        );
+    }
+    // A genuine tail: plenty of distinct values beyond any TNV table.
+    assert!(freq.len() > 256, "only {} distinct values", freq.len());
+}
+
+#[test]
+fn tnv_churn_forces_a_minimum_eviction_rate() {
+    let stream = tnv_churn(24, 500, 5, 60_000);
+    // More live values than the default 8-entry table.
+    let distinct: std::collections::HashSet<u64> = stream.iter().map(|e| e.1).collect();
+    assert_eq!(distinct.len(), 24);
+    let mut tracker = ValueTracker::new(TrackerConfig::default());
+    for &(_, v) in &stream {
+        tracker.observe(v);
+    }
+    let ev = tracker.tnv_events();
+    // Rotating dominance must displace residents continuously. The exact
+    // rate depends on the replacement policy; the floor below (one
+    // eviction per 2 000 observations) is ~40x under the observed rate,
+    // catching only wholesale regressions of the family.
+    let rate = ev.evictions as f64 / stream.len() as f64;
+    assert!(rate > 0.0005, "eviction rate collapsed: {rate:.6} ({ev:?})");
+    // Dominance really rotates: each block's majority value is the
+    // rotation's pick.
+    for (b, block) in stream.chunks(500).enumerate().take(30) {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &(_, v) in block {
+            *counts.entry(v).or_default() += 1;
+        }
+        let top = counts.iter().max_by_key(|&(v, c)| (*c, std::cmp::Reverse(*v))).unwrap();
+        assert_eq!(*top.0, (b as u64 % 24) + 1_000, "block {b} dominated by {top:?}");
+        assert!(*top.1 >= 400, "block {b}: dominance too weak ({top:?})");
+    }
+}
+
+#[test]
+fn diurnal_drifts_once_per_epoch_with_bounded_noise() {
+    let (entities, epoch, epochs, noise_pct) = (2u32, 2_048u64, 5u64, 10u64);
+    let stream = diurnal(entities, epoch, epochs, noise_pct, 0xC0FFEE);
+    assert_eq!(stream.len() as u64, u64::from(entities) * epoch * epochs);
+    for pc in 0..entities {
+        let vals: Vec<u64> = stream.iter().filter(|e| e.0 == pc).map(|e| e.1).collect();
+        let mut dominants = Vec::new();
+        for (e, chunk) in vals.chunks(epoch as usize).enumerate() {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &v in chunk {
+                *counts.entry(v).or_default() += 1;
+            }
+            let (&top, &n) = counts.iter().max_by_key(|&(_, c)| *c).unwrap();
+            let share = n as f64 / chunk.len() as f64;
+            // The dominant share is the complement of the noise rate,
+            // within sampling slack.
+            let expect = 1.0 - noise_pct as f64 / 100.0;
+            assert!(
+                (share - expect).abs() < 0.05,
+                "pc={pc} epoch {e}: dominant share {share:.3} vs {expect:.3}"
+            );
+            dominants.push(top);
+        }
+        // One fresh dominant value per epoch — the long-run shift.
+        assert_eq!(dominants.len() as u64, epochs, "pc={pc}");
+        let unique: std::collections::HashSet<u64> = dominants.iter().copied().collect();
+        assert_eq!(unique.len() as u64, epochs, "pc={pc}: dominants repeat: {dominants:?}");
+        assert_eq!(dominants, (0..epochs).map(|e| 10_000 + e).collect::<Vec<u64>>(), "pc={pc}");
+    }
+}
+
+#[test]
+fn default_streams_are_deterministic_and_nonempty() {
+    let a = adversarial_streams();
+    let b = adversarial_streams();
+    assert_eq!(a.len(), 4, "four families");
+    for ((name_a, sa), (name_b, sb)) in a.iter().zip(&b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(sa, sb, "{name_a} must reproduce bit-identically");
+        assert!(sa.len() >= 10_000, "{name_a} too short to exercise anything");
+    }
+}

@@ -25,8 +25,8 @@ use value_profiling::core::{
     profile_sharded, split_by_time,
     tnv::{Policy, TnvTable},
     track::TrackerConfig,
-    ConvergentConfig, ConvergentProfiler, InstructionProfiler, SampleStrategy, SampledProfiler,
-    ValueTracker,
+    AdaptiveProfiler, ConvergentConfig, ConvergentProfiler, InstructionProfiler, PhaseBudget,
+    SampleStrategy, SampledProfiler, ValueTracker,
 };
 use value_profiling::instrument::Selection;
 use value_profiling::workloads::{suite, DataSet};
@@ -104,6 +104,48 @@ fn entity_sharded_convergent_profiler_is_bit_identical_to_serial() {
             );
         }
     }
+}
+
+#[test]
+fn entity_sharded_adaptive_profiler_is_bit_identical_to_serial() {
+    // The phase detector is strictly per-entity state (window sketch,
+    // previous signature, spent budget), so entity sharding must
+    // reproduce a serial adaptive run exactly — including the exact
+    // PhaseStats counters, which merge across shards by addition. Runs
+    // over the real/synthetic streams above *and* the adversarial
+    // families, which actually fire shifts and re-arms.
+    let config = ConvergentConfig::default();
+    let budget = PhaseBudget { max_rearms: 8, window: 512 };
+    let mut all = streams();
+    all.extend(
+        value_profiling::workloads::adversarial::adversarial_streams()
+            .into_iter()
+            .map(|(name, events)| (name.to_string(), events)),
+    );
+    let mut any_adapted = false;
+    for (name, events) in all {
+        let mut serial = AdaptiveProfiler::new(TrackerConfig::default(), config, budget);
+        for &(pc, value) in &events {
+            serial.observe(pc, value);
+        }
+        any_adapted |= serial.phase_stats().adapted();
+        for shards in SHARD_COUNTS {
+            let sharded = profile_sharded(&events, shards, || {
+                AdaptiveProfiler::new(TrackerConfig::default(), config, budget)
+            });
+            assert_eq!(sharded.metrics(), serial.metrics(), "{name} shards={shards}");
+            assert_eq!(sharded.stats(), serial.stats(), "{name} shards={shards}");
+            assert_eq!(sharded.events(), serial.events(), "{name} shards={shards}");
+            assert_eq!(sharded.tnv_events(), serial.tnv_events(), "{name} shards={shards}");
+            assert_eq!(sharded.phase_stats(), serial.phase_stats(), "{name} shards={shards}");
+            assert_eq!(
+                sharded.overall_profile_fraction(),
+                serial.overall_profile_fraction(),
+                "{name} shards={shards}"
+            );
+        }
+    }
+    assert!(any_adapted, "at least one stream must exercise an actual re-arm");
 }
 
 #[test]

@@ -16,10 +16,11 @@
 use std::fs;
 use std::path::PathBuf;
 
+use value_profiling::core::{ConvergentConfig, PhaseBudget};
 use value_profiling::obs::telemetry::{mask_volatile, parse_jsonl, to_jsonl};
 use value_profiling::obs::Json;
-use value_profiling::workloads::suite;
-use vp_bench::experiments;
+use value_profiling::workloads::{suite, DataSet};
+use vp_bench::{experiments, telemetry, ProfileMode, SuiteRunner};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
@@ -77,10 +78,63 @@ fn exp_tnv_policy_matches_golden() {
 }
 
 #[test]
+fn adaptive_phase_shift_run_matches_golden() {
+    // A deterministic phase-shift run: the gcc workload's mode load
+    // changes value between compile phases, so adaptive profiling with a
+    // small window detects shifts. The masked telemetry (with its
+    // per-workload `phase` objects) and the `vprof stats` rendering (with
+    // its adaptive section) are both pinned.
+    let ws = suite();
+    let mode = ProfileMode::Adaptive(
+        ConvergentConfig::default(),
+        PhaseBudget { max_rearms: 8, window: 256 },
+    );
+    let profile = SuiteRunner::new().mode(mode).run_workloads(&ws[..3], DataSet::Test);
+    let shifts: u64 = profile
+        .workloads
+        .iter()
+        .map(|w| w.phase.expect("adaptive run reports phase stats").shifts_detected)
+        .sum();
+    assert!(shifts > 0, "the golden run must actually contain a phase shift");
+    let records = telemetry::suite_records(
+        "profile-suite",
+        DataSet::Test,
+        1,
+        "adaptive-loads",
+        &profile,
+        None,
+    );
+    check("adaptive_suite.jsonl", &masked_jsonl(&records));
+    // Render stats from the *masked* records, exactly what `vprof stats`
+    // would show on the checked-in telemetry — wall times and rates
+    // degrade to placeholders, everything else is deterministic.
+    let masked: Vec<Json> = records.iter().map(mask_volatile).collect();
+    let stats = value_profiling::obs::stats::summarize_records(&masked).unwrap();
+    assert!(stats.contains("adaptive"), "stats must render the phase section:\n{stats}");
+    check("adaptive_suite_stats.txt", &stats);
+}
+
+#[test]
+fn non_adaptive_goldens_carry_no_phase_section() {
+    // Absent-when-off: the pre-existing goldens must contain no phase
+    // fields, so runs without `--adaptive` stay byte-identical to before
+    // the detector existed.
+    for name in ["exp_benchmarks.jsonl", "exp_convergent.jsonl", "exp_tnv_policy.jsonl"] {
+        let text = fs::read_to_string(golden_dir().join(name)).unwrap();
+        assert!(!text.contains("\"phase\""), "{name} grew a phase field");
+    }
+}
+
+#[test]
 fn golden_telemetry_parses_and_is_masked() {
     // The checked-in .jsonl goldens must stay valid, schema-tagged JSONL
     // with every volatile field masked (masking is idempotent).
-    for name in ["exp_benchmarks.jsonl", "exp_convergent.jsonl", "exp_tnv_policy.jsonl"] {
+    for name in [
+        "exp_benchmarks.jsonl",
+        "exp_convergent.jsonl",
+        "exp_tnv_policy.jsonl",
+        "adaptive_suite.jsonl",
+    ] {
         let path = golden_dir().join(name);
         let text = fs::read_to_string(&path).unwrap_or_else(|e| {
             panic!(
