@@ -9,6 +9,7 @@
 //! exp_loads`, or everything with `--bin exp_all`.
 
 pub mod checkpoint;
+pub mod executor;
 pub mod experiments;
 pub mod suite;
 pub mod telemetry;
@@ -18,6 +19,10 @@ use vp_instrument::{Instrumenter, Selection};
 use vp_workloads::{DataSet, Workload};
 
 pub use checkpoint::{Checkpoint, ResumeSummary};
+pub use executor::{
+    serve_worker, ProcessPool, WorkerCounters, WorkerExecutor, WorkerExit, WorkerFailure,
+    WorkerSpec,
+};
 pub use experiments::ExpReport;
 pub use suite::{
     ProfileMode, RetryPolicy, SuiteOutcome, SuiteProfile, SuiteRunner, WorkloadFailure,

@@ -27,6 +27,7 @@ use vp_sim::{InstrEvent, Machine};
 use vp_workloads::{suite, DataSet, Workload};
 
 use crate::checkpoint::Checkpoint;
+use crate::executor::{self, ProcessPool, WorkerExecutor, WorkerExit, WorkerFailure, WorkerSpec};
 use crate::BUDGET;
 
 /// What one workload's profiling pass returns: metrics, profiled
@@ -187,12 +188,16 @@ pub struct WorkloadFailure {
     pub name: &'static str,
     /// Attempts made (first run plus retries).
     pub attempts: u64,
-    /// How the final attempt failed: a caught panic, or cooperative
-    /// cancellation after the wall-clock deadline.
+    /// How the final attempt failed: a caught panic, cooperative
+    /// cancellation after the wall-clock deadline, or — on distributed
+    /// runs — the death of the worker process holding the assignment.
     pub kind: FailureKind,
     /// The final attempt's panic message (a fixed `deadline exceeded` for
     /// timeouts, kept deterministic).
     pub error: String,
+    /// How the worker process ended, present exactly when
+    /// [`kind`](WorkloadFailure::kind) is [`FailureKind::WorkerDeath`].
+    pub worker: Option<WorkerExit>,
 }
 
 impl WorkloadFailure {
@@ -202,6 +207,17 @@ impl WorkloadFailure {
         match self.kind {
             FailureKind::Panic => "panic",
             FailureKind::Timeout => "timeout",
+            FailureKind::WorkerDeath => "worker-death",
+        }
+    }
+
+    /// The failure-table `kind` cell: the kind label, plus the dead
+    /// worker's index and exit status when there is one —
+    /// `worker-death(w0:signal 9)`.
+    pub fn kind_cell(&self) -> String {
+        match &self.worker {
+            Some(x) => format!("{}(w{}:{})", self.kind_str(), x.worker, x.status),
+            None => self.kind_str().to_string(),
         }
     }
 }
@@ -236,13 +252,13 @@ impl SuiteOutcome {
             return String::new();
         }
         let mut out = String::new();
-        out.push_str(&format!("{:<16} {:>8}  {:<8}  error\n", "failed", "attempts", "kind"));
+        out.push_str(&format!("{:<16} {:>8}  {:<12}  error\n", "failed", "attempts", "kind"));
         for f in &self.failures {
             out.push_str(&format!(
-                "{:<16} {:>8}  {:<8}  {}\n",
+                "{:<16} {:>8}  {:<12}  {}\n",
                 f.name,
                 f.attempts,
-                f.kind_str(),
+                f.kind_cell(),
                 f.error
             ));
         }
@@ -495,37 +511,121 @@ impl SuiteRunner {
             }
             profile
         };
+        let outcome = self.run_rounds(workloads, |subset| {
+            try_parallel_map_deadline(
+                self.jobs,
+                subset,
+                |w| run_one(w),
+                &*self.recorder,
+                self.deadline,
+            )
+            .into_iter()
+            .map(|slot| {
+                slot.map_err(|f| WorkerFailure { kind: f.kind, message: f.message, exit: None })
+            })
+            .collect()
+        });
+        self.flush_faults(&outcome.faults);
+        outcome
+    }
 
+    /// [`try_run_workloads`](SuiteRunner::try_run_workloads), but each
+    /// workload is profiled by a [`WorkerExecutor`] instead of an
+    /// in-process thread. The dispatcher mirrors the in-process parallel
+    /// map's observation discipline exactly, and a result that crossed
+    /// the executor is replayed into the recorder the same way a restored
+    /// checkpoint is — so a clean executor run's output *and* masked
+    /// telemetry are byte-identical to `--jobs N`.
+    ///
+    /// Executor lifecycle counters (`worker_spawns` / `worker_deaths` /
+    /// `worker_restarts`) are merged into the outcome's fault counters
+    /// only when a worker actually died, keeping clean runs free of
+    /// worker-count-dependent records.
+    pub fn try_run_executor(
+        &self,
+        workloads: &[Workload],
+        exec: &dyn WorkerExecutor,
+    ) -> SuiteOutcome {
+        let checkpoint = self.checkpoint.as_deref();
+        let item_fn = |w: &Workload| -> Result<WorkloadProfile, WorkerFailure> {
+            if let Some(restored) = checkpoint.and_then(|c| c.restored(w.name())) {
+                if self.recorder.enabled() {
+                    self.recorder.add_counts(&restored.events);
+                    self.recorder.observe(HistId::WorkloadWallNs, restored.wall_ns);
+                }
+                return Ok(restored);
+            }
+            let profile = exec.run(w.name())?;
+            if let Some(c) = checkpoint {
+                c.record(&self.faults, &profile)
+                    .unwrap_or_else(|e| panic!("checkpoint {}: {e}", c.path().display()));
+            }
+            if self.recorder.enabled() {
+                self.recorder.add_counts(&profile.events);
+                self.recorder.observe(HistId::WorkloadWallNs, profile.wall_ns);
+            }
+            Ok(profile)
+        };
+        let mut outcome = self.run_rounds(workloads, |subset| {
+            exec.prepare(subset.len());
+            executor::dispatch_round(exec.slots(), subset, item_fn, &*self.recorder)
+        });
+        let life = exec.counters();
+        if life.deaths > 0 {
+            outcome.faults.add(CounterId::WorkerSpawns, life.spawns);
+            outcome.faults.add(CounterId::WorkerDeaths, life.deaths);
+            outcome.faults.add(CounterId::WorkerRestarts, life.restarts);
+        }
+        self.flush_faults(&outcome.faults);
+        outcome
+    }
+
+    /// Distributed [`try_run_workloads`](SuiteRunner::try_run_workloads):
+    /// profiles each workload in a `vprof worker` subprocess from a pool
+    /// of `spec.workers` crash domains. A SIGKILLed, aborted, or hung
+    /// worker costs one [`FailureKind::WorkerDeath`] attempt and a
+    /// replacement process — never the suite.
+    pub fn try_run_distributed(&self, workloads: &[Workload], spec: WorkerSpec) -> SuiteOutcome {
+        let pool = ProcessPool::new(spec, Arc::clone(&self.faults), self.deadline);
+        let outcome = self.try_run_executor(workloads, &pool);
+        pool.shutdown();
+        outcome
+    }
+
+    // The retry → quarantine loop shared by the in-process and
+    // distributed paths: a round function profiles one pending subset
+    // and reports per-item success or typed failure. Does NOT flush
+    // fault counters to the recorder — callers do, after merging any
+    // executor lifecycle counters.
+    fn run_rounds(
+        &self,
+        workloads: &[Workload],
+        mut round_fn: impl FnMut(&[&Workload]) -> Vec<Result<WorkloadProfile, WorkerFailure>>,
+    ) -> SuiteOutcome {
         let mut results: Vec<Option<WorkloadProfile>> =
             (0..workloads.len()).map(|_| None).collect();
         let mut attempts = vec![0u64; workloads.len()];
-        let mut last_error: Vec<Option<(FailureKind, String)>> = vec![None; workloads.len()];
+        let mut last_error: Vec<Option<WorkerFailure>> = vec![None; workloads.len()];
         let mut faults = Counts::new();
         let mut pending: Vec<usize> = (0..workloads.len()).collect();
         let mut round = 0u64;
         loop {
             let subset: Vec<&Workload> = pending.iter().map(|&i| &workloads[i]).collect();
-            let outs = try_parallel_map_deadline(
-                self.jobs,
-                &subset,
-                |w| run_one(w),
-                &*self.recorder,
-                self.deadline,
-            );
+            let outs = round_fn(&subset);
             let mut still = Vec::new();
             for (slot, &i) in outs.into_iter().zip(&pending) {
                 attempts[i] += 1;
                 match slot {
                     Ok(profile) => results[i] = Some(profile),
                     Err(failure) => {
-                        faults.add(
-                            match failure.kind {
-                                FailureKind::Panic => CounterId::WorkloadPanic,
-                                FailureKind::Timeout => CounterId::WorkloadTimeout,
-                            },
-                            1,
-                        );
-                        last_error[i] = Some((failure.kind, failure.message));
+                        match failure.kind {
+                            FailureKind::Panic => faults.add(CounterId::WorkloadPanic, 1),
+                            FailureKind::Timeout => faults.add(CounterId::WorkloadTimeout, 1),
+                            // Deaths are counted by the executor pool
+                            // (worker_deaths), not per attempt.
+                            FailureKind::WorkerDeath => {}
+                        }
+                        last_error[i] = Some(failure);
                         still.push(i);
                     }
                 }
@@ -542,21 +642,33 @@ impl SuiteRunner {
             }
         }
         faults.add(CounterId::WorkloadQuarantined, pending.len() as u64);
-        if self.recorder.enabled() && faults.total() > 0 {
-            self.recorder.add_counts(&faults);
-        }
         let failures = pending
             .iter()
             .map(|&i| {
-                let (kind, error) =
-                    last_error[i].take().unwrap_or((FailureKind::Panic, String::new()));
-                WorkloadFailure { name: workloads[i].name(), attempts: attempts[i], kind, error }
+                let f = last_error[i].take().unwrap_or(WorkerFailure {
+                    kind: FailureKind::Panic,
+                    message: String::new(),
+                    exit: None,
+                });
+                WorkloadFailure {
+                    name: workloads[i].name(),
+                    attempts: attempts[i],
+                    kind: f.kind,
+                    error: f.message,
+                    worker: f.exit,
+                }
             })
             .collect();
         SuiteOutcome {
             profile: SuiteProfile { workloads: results.into_iter().flatten().collect() },
             failures,
             faults,
+        }
+    }
+
+    fn flush_faults(&self, faults: &Counts) {
+        if self.recorder.enabled() && faults.total() > 0 {
+            self.recorder.add_counts(faults);
         }
     }
 

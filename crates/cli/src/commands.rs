@@ -21,8 +21,8 @@ const USAGE: &str = "usage:
   vprof assemble <file.s> -o <file.vpo>
   vprof disasm <target>
   vprof profile <target> [--train] [--all|--loads|--memory|--params] [--convergent] [--top N] [--save FILE]
-  vprof profile-suite [--train] [--all] [--convergent] [--jobs N] [--shards N] [--baseline]
-                      [--adaptive [--phase-window N] [--max-rearms N]]
+  vprof profile-suite [--train] [--all] [--convergent] [--jobs N|--workers N] [--shards N]
+                      [--baseline] [--adaptive [--phase-window N] [--max-rearms N]]
                       [--telemetry FILE] [--retries N] [--checkpoint FILE [--resume]]
                       [--deadline-ms N] [--mem-budget-mb N]
   vprof record <target> [-o <file.vpc>] [--train] [--all] [--deadline-ms N]
@@ -49,6 +49,10 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("disasm") => disasm(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("profile-suite") => profile_suite(&args[1..]),
+        // Hidden: the child end of `profile-suite --workers N`. Serves
+        // workload assignments over stdin/stdout frames; never invoked
+        // by hand.
+        Some("worker") => worker_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
         Some("verify") => verify_cmd(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
@@ -340,6 +344,14 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
     let ds = dataset(args);
     let jobs: usize = option_value(args, "--jobs")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --jobs value `{v}`")))?;
+    let workers: Option<usize> = option_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| format!("bad --workers value `{v}`")))
+        .transpose()?;
+    if workers.is_some() && option_value(args, "--jobs").is_some() {
+        return Err(
+            "--jobs and --workers are mutually exclusive (threads vs worker processes)".to_string()
+        );
+    }
     let shards: usize = option_value(args, "--shards")
         .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
     if shards == 0 {
@@ -409,7 +421,14 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         (None, true) => return Err("--resume requires --checkpoint FILE".to_string()),
         (None, false) => {}
     }
-    let outcome = runner.try_run(ds);
+    let outcome = match workers {
+        // Worker processes are crash domains: each profiles assigned
+        // workloads behind the stdin/stdout frame protocol, and a dead
+        // worker costs one retryable attempt, never the suite. Output
+        // and masked telemetry stay byte-identical to `--jobs N`.
+        Some(n) => runner.try_run_distributed(&vp_workloads::suite(), worker_spec(args, n)?),
+        None => runner.try_run(ds),
+    };
     let profile = &outcome.profile;
     println!(
         "{}",
@@ -487,13 +506,86 @@ fn profile_suite(args: &[String]) -> Result<(), String> {
         },
         if flag(args, "--all") { "all" } else { "loads" }
     );
-    let mut records =
-        vp_bench::suite_records("profile-suite", ds, jobs, &mode, profile, Some(&recorder));
+    // `--workers N` reports N in the `jobs` field: the records describe
+    // the same parallelism either way and stay byte-comparable.
+    let mut records = vp_bench::suite_records(
+        "profile-suite",
+        ds,
+        workers.unwrap_or(jobs),
+        &mode,
+        profile,
+        Some(&recorder),
+    );
     records.extend(vp_bench::fault_records("profile-suite", &outcome));
     vp_bench::write_jsonl(&telemetry_path, &records)
         .map_err(|e| format!("cannot write `{}`: {e}", telemetry_path.display()))?;
     println!("telemetry: {} ({} records)", telemetry_path.display(), records.len());
     Ok(())
+}
+
+/// Builds the subprocess spec for `profile-suite --workers N`: the
+/// current binary re-invoked as `vprof worker` with the profiling flags
+/// forwarded. Orchestration flags (`--jobs`/`--workers`/`--retries`/
+/// `--checkpoint`/`--telemetry`) stay with the parent — workers only
+/// profile what they are told to.
+fn worker_spec(args: &[String], workers: usize) -> Result<vp_bench::WorkerSpec, String> {
+    let bin =
+        std::env::current_exe().map_err(|e| format!("cannot locate the vprof binary: {e}"))?;
+    let mut forwarded = vec!["worker".to_string()];
+    for f in ["--train", "--all", "--convergent", "--adaptive", "--baseline"] {
+        if flag(args, f) {
+            forwarded.push(f.to_string());
+        }
+    }
+    for opt in ["--shards", "--phase-window", "--max-rearms", "--deadline-ms", "--mem-budget-mb"] {
+        if let Some(v) = option_value(args, opt) {
+            forwarded.push(opt.to_string());
+            forwarded.push(v.to_string());
+        }
+    }
+    Ok(vp_bench::WorkerSpec { bin, args: forwarded, workers })
+}
+
+/// Hidden subcommand: the child end of `profile-suite --workers N`.
+/// Builds the same profiling configuration the parent would (selection,
+/// mode, shards, deadline, memory budget, baseline) and serves workload
+/// assignments over the stdin/stdout frame protocol until told to exit.
+/// Retries, checkpointing, and telemetry stay with the parent; fault
+/// injection re-arms from this process's own `$VP_FAULTS` view, with
+/// `$VP_FAULTS_SCOPE` picking the victim worker.
+fn worker_cmd(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use vp_bench::{ProfileMode, RetryPolicy, SuiteRunner};
+
+    let ds = dataset(args);
+    let shards: usize = option_value(args, "--shards")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    let selection =
+        if flag(args, "--all") { Selection::RegisterDefining } else { Selection::LoadsOnly };
+    let plan = Arc::new(vp_core::FaultPlan::from_env()?);
+    let deadline = deadline_arg(args)?;
+    let mem_budget = mem_budget_arg(args)?;
+    let phase_budget = phase_budget_arg(args)?;
+
+    let mut runner = SuiteRunner::new()
+        .shards(shards)
+        .selection(selection)
+        .retry(RetryPolicy::none())
+        .faults(Arc::clone(&plan))
+        .deadline(deadline)
+        .mem_budget(mem_budget)
+        .measure_baseline(flag(args, "--baseline"));
+    if flag(args, "--convergent") {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Convergent(ConvergentConfig::default()));
+    }
+    if let Some(budget) = phase_budget {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Adaptive(ConvergentConfig::default(), budget));
+    }
+    vp_bench::serve_worker(&runner, ds, &plan).map_err(|e| format!("worker: {e}"))
 }
 
 /// Renders a human-readable summary of a `telemetry.jsonl` file. A final
@@ -1072,6 +1164,18 @@ mod tests {
         assert!(dispatch(&args(&["profile-suite", "--mem-budget-mb", "lots"]))
             .unwrap_err()
             .contains("bad --mem-budget-mb"));
+    }
+
+    #[test]
+    fn workers_flag_validation() {
+        // Threads and worker processes are different parallelism axes;
+        // picking both is a configuration error, not a silent override.
+        assert!(dispatch(&args(&["profile-suite", "--workers", "2", "--jobs", "2"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(dispatch(&args(&["profile-suite", "--workers", "some"]))
+            .unwrap_err()
+            .contains("bad --workers"));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Length-prefixed, CRC-verified message frames for the worker protocol.
+//!
+//! The distributed suite runner talks to `vprof worker` subprocesses over
+//! pipes. Frames echo the VPC1 chunk shape ([`trace_codec`]) so a torn or
+//! corrupted message is *detected*, never silently consumed:
+//!
+//! ```text
+//! stream  := magic frame*
+//! magic   := "VPW1"
+//! frame   := len:u32le kind:u32le crc:u32le payload[len]
+//!            crc — CRC32 of kind‖payload (vp_obs::crc32)
+//! ```
+//!
+//! The error taxonomy matters more than the bytes: a worker killed
+//! mid-write leaves a *prefix* of a frame behind, so EOF anywhere inside
+//! a frame (including at a frame boundary, when a response was expected)
+//! is [`FrameError::Torn`] — the retryable worker-death signature. Bytes
+//! that are all present but wrong (bad magic, CRC mismatch, absurd
+//! length) are [`FrameError::Corrupt`]. Consumers must treat a torn tail
+//! from a dead peer as that peer's death, not as a hard corruption abort
+//! — the seam `tests/distributed_suite.rs` pins down.
+//!
+//! [`trace_codec`]: crate::trace_codec
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use vp_obs::Crc32;
+
+/// Stream magic, written once before the first frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"VPW1";
+
+/// Upper bound on a frame payload — far above any real message, low
+/// enough that a corrupted length field fails fast instead of allocating
+/// gigabytes.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// One decoded frame: a small `kind` discriminant and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant, protocol-defined.
+    pub kind: u32,
+    /// Message body (JSON for control messages, raw bytes otherwise).
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended mid-frame (or where a frame was expected): the
+    /// signature of a peer that died mid-write. Retryable — the bytes
+    /// that did arrive are a clean prefix, nothing was misinterpreted.
+    Torn(String),
+    /// The bytes are all present but wrong: bad magic, CRC mismatch, or
+    /// an implausible length. Not a death signature — something wrote
+    /// garbage into the stream.
+    Corrupt(String),
+    /// The underlying read failed outright.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Torn(detail) => write!(f, "torn frame: {detail}"),
+            FrameError::Corrupt(detail) => write!(f, "corrupt frame: {detail}"),
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+fn frame_crc(kind: u32, payload: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&kind.to_le_bytes());
+    crc.update(payload);
+    crc.finish()
+}
+
+/// Encodes one frame (header + payload) into a byte vector.
+pub fn encode_frame(kind: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&frame_crc(kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes the stream magic.
+pub fn write_magic<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&FRAME_MAGIC)
+}
+
+/// Writes one frame and flushes, so a crash *after* this call never
+/// tears it.
+pub fn write_frame<W: Write>(w: &mut W, kind: u32, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()
+}
+
+/// Reads frames off a byte stream, distinguishing torn tails from
+/// corruption.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream. Call [`expect_magic`](Self::expect_magic)
+    /// before the first [`read_frame`](Self::read_frame).
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner }
+    }
+
+    // Reads exactly `buf.len()` bytes; EOF after `have` bytes is Torn.
+    fn read_exact_or_torn(&mut self, buf: &mut [u8], what: &str) -> Result<(), FrameError> {
+        let mut have = 0;
+        while have < buf.len() {
+            match self.inner.read(&mut buf[have..]) {
+                Ok(0) => {
+                    return Err(FrameError::Torn(format!(
+                        "eof after {have} of {} {what} bytes",
+                        buf.len()
+                    )));
+                }
+                Ok(n) => have += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes and verifies the stream magic.
+    pub fn expect_magic(&mut self) -> Result<(), FrameError> {
+        let mut magic = [0u8; 4];
+        self.read_exact_or_torn(&mut magic, "magic")?;
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::Corrupt(format!(
+                "bad magic {magic:02x?}, want {FRAME_MAGIC:02x?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Reads the next frame. EOF *at* a frame boundary is also
+    /// [`FrameError::Torn`] (`"eof after 0 of 12 header bytes"`): this
+    /// reader is only invoked when the protocol expects a message, so a
+    /// closed stream means the peer is gone.
+    pub fn read_frame(&mut self) -> Result<Frame, FrameError> {
+        let mut header = [0u8; 12];
+        self.read_exact_or_torn(&mut header, "header")?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let kind = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Corrupt(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact_or_torn(&mut payload, "payload")?;
+        let want = frame_crc(kind, &payload);
+        if crc != want {
+            return Err(FrameError::Corrupt(format!(
+                "crc mismatch: stored {crc:#010x}, computed {want:#010x}"
+            )));
+        }
+        Ok(Frame { kind, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(frames: &[(u32, &[u8])]) -> Vec<u8> {
+        let mut out = FRAME_MAGIC.to_vec();
+        for &(kind, payload) in frames {
+            out.extend_from_slice(&encode_frame(kind, payload));
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_frames_in_order() {
+        let bytes = stream(&[(1, b"hello"), (2, b""), (7, &[0u8; 1000])]);
+        let mut r = FrameReader::new(bytes.as_slice());
+        r.expect_magic().unwrap();
+        assert_eq!(r.read_frame().unwrap(), Frame { kind: 1, payload: b"hello".to_vec() });
+        assert_eq!(r.read_frame().unwrap(), Frame { kind: 2, payload: Vec::new() });
+        assert_eq!(r.read_frame().unwrap().payload.len(), 1000);
+        // The stream is drained: the next read is a (boundary) tear.
+        assert!(matches!(r.read_frame(), Err(FrameError::Torn(_))));
+    }
+
+    #[test]
+    fn every_proper_prefix_is_torn_not_corrupt() {
+        // A killed writer leaves an arbitrary prefix. Whatever the cut
+        // point — inside the magic, the header, or the payload — the
+        // reader must say Torn, never Corrupt and never Ok.
+        let bytes = stream(&[(3, b"payload bytes")]);
+        for cut in 0..bytes.len() {
+            let mut r = FrameReader::new(&bytes[..cut]);
+            let outcome = r.expect_magic().and_then(|()| r.read_frame());
+            match outcome {
+                Err(FrameError::Torn(_)) => {}
+                other => panic!("prefix of {cut} bytes: want Torn, got {other:?}"),
+            }
+        }
+        // The full stream parses.
+        let mut r = FrameReader::new(bytes.as_slice());
+        r.expect_magic().unwrap();
+        assert_eq!(r.read_frame().unwrap().payload, b"payload bytes");
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let good = stream(&[(5, b"value profile")]);
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                let mut r = FrameReader::new(bad.as_slice());
+                let outcome = r.expect_magic().and_then(|()| r.read_frame());
+                match outcome {
+                    Err(FrameError::Corrupt(_)) => {}
+                    // A flip in the length field can also make the frame
+                    // *longer* than the stream — a tear, still rejected.
+                    Err(FrameError::Torn(_)) => {}
+                    other => {
+                        panic!("bit {bit} of byte {byte} flipped: want rejection, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_without_allocating() {
+        let mut bytes = FRAME_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = FrameReader::new(bytes.as_slice());
+        r.expect_magic().unwrap();
+        match r.read_frame() {
+            Err(FrameError::Corrupt(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("want Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        let mut r = FrameReader::new(&b"VPC1rest"[..]);
+        assert!(matches!(r.expect_magic(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn errors_render_their_taxonomy() {
+        assert!(FrameError::Torn("eof".into()).to_string().starts_with("torn frame"));
+        assert!(FrameError::Corrupt("crc".into()).to_string().starts_with("corrupt frame"));
+        let io_err: FrameError = io::Error::other("pipe").into();
+        assert!(io_err.to_string().starts_with("frame io"));
+    }
+}

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod cancel;
+pub mod frame;
 pub mod parallel;
 pub mod plan;
 pub mod runner;
@@ -63,6 +64,7 @@ pub mod trace_codec;
 pub mod view;
 
 pub use cancel::{CancelToken, Cancelled};
+pub use frame::{Frame, FrameError, FrameReader};
 pub use parallel::{
     effective_jobs, parallel_map, parallel_map_observed, try_parallel_map,
     try_parallel_map_deadline, try_parallel_map_observed, FailureKind, ItemFailure,

@@ -171,6 +171,13 @@ pub enum FailureKind {
     /// The closure was cancelled cooperatively after exceeding its
     /// wall-clock deadline (see [`try_parallel_map_deadline`]).
     Timeout,
+    /// The worker *process* running the item died — killed, aborted, or
+    /// gone with a torn result frame. Never produced by the in-process
+    /// maps in this module; the distributed suite executor uses it to
+    /// keep process death distinct from an in-workload panic or a
+    /// cooperative timeout, since it says nothing about the workload
+    /// itself and is always worth a retry.
+    WorkerDeath,
 }
 
 /// A failure captured from one item of a [`try_parallel_map`] run.
@@ -190,6 +197,9 @@ impl fmt::Display for ItemFailure {
         match self.kind {
             FailureKind::Panic => write!(f, "item {} panicked: {}", self.index, self.message),
             FailureKind::Timeout => write!(f, "item {} timed out: {}", self.index, self.message),
+            FailureKind::WorkerDeath => {
+                write!(f, "item {} lost its worker: {}", self.index, self.message)
+            }
         }
     }
 }

@@ -80,6 +80,13 @@ pub enum CounterId {
     PhaseRearms,
     /// Re-arms denied because the entity's budget was exhausted.
     PhaseRearmsDenied,
+    /// Worker processes spawned by the distributed suite executor.
+    WorkerSpawns,
+    /// Worker processes that died mid-assignment (killed, aborted, or
+    /// gone with a torn result frame).
+    WorkerDeaths,
+    /// Worker processes spawned to replace a dead one.
+    WorkerRestarts,
 }
 
 impl CounterId {
@@ -87,7 +94,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 32] = [
+    pub const ALL: [CounterId; 35] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -120,6 +127,9 @@ impl CounterId {
         CounterId::PhaseShifts,
         CounterId::PhaseRearms,
         CounterId::PhaseRearmsDenied,
+        CounterId::WorkerSpawns,
+        CounterId::WorkerDeaths,
+        CounterId::WorkerRestarts,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -157,6 +167,9 @@ impl CounterId {
             CounterId::PhaseShifts => "phase_shifts",
             CounterId::PhaseRearms => "phase_rearms",
             CounterId::PhaseRearmsDenied => "phase_rearms_denied",
+            CounterId::WorkerSpawns => "worker_spawns",
+            CounterId::WorkerDeaths => "worker_deaths",
+            CounterId::WorkerRestarts => "worker_restarts",
         }
     }
 
@@ -177,9 +190,16 @@ impl CounterId {
 /// assert_eq!(c.total(), 12);
 /// assert_eq!(c.to_json().render(), r#"{"tnv_hits":10,"tnv_inserts":2}"#);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Counts {
     values: [u64; CounterId::COUNT],
+}
+
+// Manual impl: `[u64; N]` only derives `Default` up to N = 32.
+impl Default for Counts {
+    fn default() -> Counts {
+        Counts { values: [0; CounterId::COUNT] }
+    }
 }
 
 impl Counts {

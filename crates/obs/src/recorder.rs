@@ -87,11 +87,22 @@ impl Recorder for NullRecorder {}
 /// An in-memory aggregating recorder: atomic counters, mutex-guarded
 /// histograms and phase log. Cheap enough for tests and telemetry runs;
 /// the hot paths flush into it only at workload boundaries.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemRecorder {
     counters: [AtomicU64; CounterId::COUNT],
     hists: Mutex<[Log2Histogram; HistId::COUNT]>,
     phases: Mutex<Vec<(String, u64)>>,
+}
+
+// Manual impl: arrays only derive `Default` up to 32 elements.
+impl Default for MemRecorder {
+    fn default() -> MemRecorder {
+        MemRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: Mutex::new(std::array::from_fn(|_| Log2Histogram::new())),
+            phases: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl MemRecorder {

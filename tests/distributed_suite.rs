@@ -1,0 +1,345 @@
+//! End-to-end contract of `profile-suite --workers N`: worker processes
+//! are crash domains, and however many there are — and however many die
+//! mid-run — the suite's stdout and masked telemetry stay byte-identical
+//! to the in-process `--jobs N` path.
+//!
+//! These tests drive the real `vprof` binary (built once per test
+//! process) because the distributed path spawns `vprof worker`
+//! subprocesses: there is no way to exercise SIGKILL-grade crash
+//! domains in-process.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+
+use value_profiling::obs::telemetry::{mask_volatile, parse_jsonl};
+use value_profiling::obs::Json;
+
+/// Builds the `vprof` binary once and returns its path. Tests run from
+/// `target/<profile>/deps/<test-bin>`, so the CLI lands two levels up.
+fn vprof() -> &'static Path {
+    static BIN: OnceLock<PathBuf> = OnceLock::new();
+    BIN.get_or_init(|| {
+        let me = std::env::current_exe().expect("test binary path");
+        let profile_dir = me.parent().and_then(Path::parent).expect("target profile dir");
+        let mut build = Command::new(option_env!("CARGO").unwrap_or("cargo"));
+        build.args(["build", "-p", "vp-cli", "--quiet"]);
+        if profile_dir.file_name().is_some_and(|n| n == "release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("cargo build -p vp-cli");
+        assert!(status.success(), "building vprof failed");
+        let bin = profile_dir.join("vprof");
+        assert!(bin.exists(), "no vprof at {}", bin.display());
+        bin
+    })
+}
+
+struct Run {
+    stdout: String,
+    stderr: String,
+    ok: bool,
+}
+
+/// Runs `vprof` in `dir` with a scrubbed fault-injection environment
+/// plus `envs`. Telemetry paths are kept relative so stdout (which
+/// echoes them) is comparable across runs in different directories.
+fn run_in(dir: &Path, args: &[&str], envs: &[(&str, &str)]) -> Run {
+    let mut cmd = Command::new(vprof());
+    cmd.args(args).current_dir(dir);
+    for var in
+        ["VP_FAULTS", "VP_FAULTS_SCOPE", "VP_FAULT_SELF", "VP_TELEMETRY", "VP_WORKER_GRACE_MS"]
+    {
+        cmd.env_remove(var);
+    }
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("spawn vprof");
+    Run {
+        stdout: String::from_utf8(out.stdout).expect("utf8 stdout"),
+        stderr: String::from_utf8(out.stderr).expect("utf8 stderr"),
+        ok: out.status.success(),
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vp-distributed-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Telemetry records with run-to-run wall times masked, rendered to
+/// comparable lines.
+fn masked_telemetry(dir: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(dir.join("t.jsonl")).expect("telemetry written");
+    parse_jsonl(&text).expect("valid telemetry").iter().map(|r| mask_volatile(r).render()).collect()
+}
+
+/// The `faults` record's counter value, 0 when absent.
+fn fault_counter(dir: &Path, name: &str) -> u64 {
+    let text = std::fs::read_to_string(dir.join("t.jsonl")).expect("telemetry written");
+    parse_jsonl(&text)
+        .expect("valid telemetry")
+        .iter()
+        .find(|r| r.get("kind").and_then(Json::as_str) == Some("faults"))
+        .and_then(|r| r.get("events")?.get(name)?.as_u64())
+        .unwrap_or(0)
+}
+
+/// `vprof stats` over a masked copy of the telemetry: volatile fields
+/// render as fixed placeholders, so the summary itself is byte-stable.
+fn masked_stats(dir: &Path) -> String {
+    let masked = masked_telemetry(dir).join("\n") + "\n";
+    std::fs::write(dir.join("masked.jsonl"), masked).unwrap();
+    let run = run_in(dir, &["stats", "masked.jsonl"], &[]);
+    assert!(run.ok, "stats failed: {}", run.stderr);
+    run.stdout
+}
+
+#[test]
+fn workers_match_in_process_bit_exact() {
+    for n in ["1", "2", "4"] {
+        let threads = fresh_dir(&format!("jobs{n}"));
+        let procs = fresh_dir(&format!("workers{n}"));
+        let reference =
+            run_in(&threads, &["profile-suite", "--jobs", n, "--telemetry", "t.jsonl"], &[]);
+        let distributed =
+            run_in(&procs, &["profile-suite", "--workers", n, "--telemetry", "t.jsonl"], &[]);
+        assert!(reference.ok && distributed.ok, "{}", distributed.stderr);
+        assert_eq!(reference.stdout, distributed.stdout, "stdout differs at parallelism {n}");
+        assert_eq!(
+            masked_telemetry(&threads),
+            masked_telemetry(&procs),
+            "telemetry differs at parallelism {n}"
+        );
+        assert_eq!(masked_stats(&threads), masked_stats(&procs), "stats differ at {n}");
+    }
+}
+
+#[test]
+fn killed_worker_recovers_in_run_with_exact_counters() {
+    let clean = fresh_dir("kill-clean");
+    let faulty = fresh_dir("kill-faulty");
+    let reference =
+        run_in(&clean, &["profile-suite", "--workers", "2", "--telemetry", "t.jsonl"], &[]);
+    // Worker 0's second result frame is torn mid-write by a SIGABRT;
+    // the parent buries the worker, respawns a replacement, and retries
+    // the lost workload. The suite still comes out clean.
+    let survived = run_in(
+        &faulty,
+        &["profile-suite", "--workers", "2", "--retries", "1", "--telemetry", "t.jsonl"],
+        &[("VP_FAULTS", "kill:worker/frame@2"), ("VP_FAULTS_SCOPE", "worker:0")],
+    );
+    assert!(reference.ok && survived.ok, "{}", survived.stderr);
+    assert!(!survived.stdout.contains("failed"), "unexpected failure table:\n{}", survived.stdout);
+
+    // Stdout matches the clean run except the record count on the
+    // telemetry line (the faulty run adds one `faults` record).
+    let strip =
+        |s: &str| s.lines().filter(|l| !l.starts_with("telemetry:")).collect::<Vec<_>>().join("\n");
+    assert_eq!(strip(&reference.stdout), strip(&survived.stdout));
+
+    // Exactly one death, exactly one replacement, and the initial two
+    // spawns plus that replacement — deterministic because the fault is
+    // scoped to worker 0 and fires exactly once.
+    assert_eq!(fault_counter(&faulty, "worker_deaths"), 1);
+    assert_eq!(fault_counter(&faulty, "worker_restarts"), 1);
+    assert_eq!(fault_counter(&faulty, "worker_spawns"), 3);
+    assert_eq!(fault_counter(&faulty, "workload_retries"), 1);
+    assert_eq!(fault_counter(&faulty, "workload_panics"), 0);
+    assert_eq!(fault_counter(&faulty, "workload_quarantined"), 0);
+
+    // The workload records themselves are untouched by the crash.
+    let workload_lines = |dir: &Path| {
+        masked_telemetry(dir)
+            .into_iter()
+            .filter(|l| l.contains("\"kind\":\"workload\""))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(workload_lines(&clean), workload_lines(&faulty));
+}
+
+#[test]
+fn killed_worker_quarantines_then_resume_is_byte_identical() {
+    let clean = fresh_dir("resume-clean");
+    let broken = fresh_dir("resume-broken");
+    let reference = run_in(
+        &clean,
+        &[
+            "profile-suite",
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            "c.jsonl",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[],
+    );
+    assert!(reference.ok, "{}", reference.stderr);
+
+    // No retry budget: the torn frame classifies as a retryable worker
+    // death, but with zero retries the workload quarantines — with the
+    // dead worker's index and exit status in the table — instead of the
+    // run aborting on "corrupt" input.
+    let interrupted = run_in(
+        &broken,
+        &[
+            "profile-suite",
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            "c.jsonl",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[("VP_FAULTS", "kill:worker/frame@2"), ("VP_FAULTS_SCOPE", "worker:0")],
+    );
+    assert!(interrupted.ok, "{}", interrupted.stderr);
+    assert!(
+        interrupted.stdout.contains("worker-death(w0:signal 6)"),
+        "missing worker-death quarantine:\n{}",
+        interrupted.stdout
+    );
+    assert_eq!(fault_counter(&broken, "worker_deaths"), 1);
+    assert_eq!(fault_counter(&broken, "workload_quarantined"), 1);
+
+    // `vprof stats` renders the same crash-domain cell from telemetry.
+    let stats = run_in(&broken, &["stats", "t.jsonl"], &[]);
+    assert!(stats.ok && stats.stdout.contains("worker-death(w0:signal 6)"), "{}", stats.stdout);
+
+    // Resuming from the checkpoint (faults disarmed, as after an
+    // operator fixed the box) re-profiles only the quarantined workload
+    // and produces stdout and telemetry byte-identical to the
+    // uninterrupted run's.
+    let resumed = run_in(
+        &broken,
+        &[
+            "profile-suite",
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            "c.jsonl",
+            "--resume",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[],
+    );
+    assert!(resumed.ok, "{}", resumed.stderr);
+    assert_eq!(reference.stdout, resumed.stdout);
+    assert_eq!(masked_telemetry(&clean), masked_telemetry(&broken));
+    assert!(resumed.stderr.contains("workload(s) restored"), "{}", resumed.stderr);
+}
+
+#[test]
+fn hung_workload_times_out_retries_then_quarantines() {
+    // Layer 1: a cooperative hang inside the workload trips the
+    // *worker's own* deadline, comes back as a timeout failure frame,
+    // and retries cleanly — the worker process survives.
+    let retried = fresh_dir("hang-retried");
+    let run = run_in(
+        &retried,
+        &[
+            "profile-suite",
+            "--workers",
+            "1",
+            "--retries",
+            "1",
+            "--deadline-ms",
+            "2000",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[("VP_FAULTS", "hang:workload/gcc@1x1")],
+    );
+    assert!(run.ok, "{}", run.stderr);
+    assert!(!run.stdout.contains("failed"), "{}", run.stdout);
+    assert_eq!(fault_counter(&retried, "workload_timeouts"), 1);
+    assert_eq!(fault_counter(&retried, "workload_retries"), 1);
+    assert_eq!(fault_counter(&retried, "worker_deaths"), 0);
+
+    // Without retry budget the same hang quarantines as a timeout with
+    // the deadline's own message — byte-identical to the in-process
+    // path's classification.
+    let quarantined = fresh_dir("hang-quarantined");
+    let run = run_in(
+        &quarantined,
+        &[
+            "profile-suite",
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--deadline-ms",
+            "2000",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[("VP_FAULTS", "hang:workload/gcc")],
+    );
+    assert!(run.ok, "{}", run.stderr);
+    assert!(run.stdout.contains("deadline exceeded"), "{}", run.stdout);
+    assert_eq!(fault_counter(&quarantined, "workload_timeouts"), 1);
+    assert_eq!(fault_counter(&quarantined, "workload_quarantined"), 1);
+    assert_eq!(fault_counter(&quarantined, "worker_deaths"), 0);
+}
+
+#[test]
+fn unresponsive_worker_is_reaped_with_sigkill() {
+    // Layer 2: the worker wedges *outside* the cooperative machinery
+    // (here: mid frame write), so its own deadline never fires. The
+    // parent's reaper SIGKILLs it after the grace period and the
+    // workload retries on a replacement — this is the literal kill -9.
+    let dir = fresh_dir("reaped");
+    let run = run_in(
+        &dir,
+        &[
+            "profile-suite",
+            "--workers",
+            "1",
+            "--retries",
+            "1",
+            "--deadline-ms",
+            "2000",
+            "--telemetry",
+            "t.jsonl",
+        ],
+        &[
+            ("VP_FAULTS", "hang:worker/frame@2"),
+            ("VP_FAULTS_SCOPE", "worker:0"),
+            ("VP_WORKER_GRACE_MS", "700"),
+        ],
+    );
+    assert!(run.ok, "{}", run.stderr);
+    assert!(!run.stdout.contains("failed"), "{}", run.stdout);
+    assert_eq!(fault_counter(&dir, "worker_deaths"), 1);
+    assert_eq!(fault_counter(&dir, "worker_restarts"), 1);
+    assert_eq!(fault_counter(&dir, "worker_spawns"), 2);
+    assert_eq!(fault_counter(&dir, "workload_retries"), 1);
+}
+
+#[test]
+fn governed_output_is_independent_of_worker_count() {
+    let threads = fresh_dir("gov-jobs");
+    let procs = fresh_dir("gov-workers");
+    let flags = ["--mem-budget-mb", "64", "--deadline-ms", "60000", "--telemetry", "t.jsonl"];
+    let mut ref_args = vec!["profile-suite", "--jobs", "2"];
+    ref_args.extend_from_slice(&flags);
+    let mut dist_args = vec!["profile-suite", "--workers", "2"];
+    dist_args.extend_from_slice(&flags);
+    let reference = run_in(&threads, &ref_args, &[]);
+    let distributed = run_in(&procs, &dist_args, &[]);
+    assert!(reference.ok && distributed.ok, "{}", distributed.stderr);
+    assert!(reference.stdout.contains("governor"), "{}", reference.stdout);
+    assert_eq!(reference.stdout, distributed.stdout);
+    assert_eq!(masked_telemetry(&threads), masked_telemetry(&procs));
+}
