@@ -11,6 +11,7 @@
 pub mod checkpoint;
 pub mod executor;
 pub mod experiments;
+pub mod optimize;
 pub mod suite;
 pub mod telemetry;
 
@@ -24,6 +25,7 @@ pub use executor::{
     WorkerSpec,
 };
 pub use experiments::ExpReport;
+pub use optimize::{optimize_from_outcome, OptimizeConfig, OptimizeReport, WorkloadOptimize};
 pub use suite::{
     ProfileMode, RetryPolicy, SuiteOutcome, SuiteProfile, SuiteRunner, WorkloadFailure,
     WorkloadProfile,

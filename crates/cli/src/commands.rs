@@ -34,7 +34,13 @@ const USAGE: &str = "usage:
   vprof trace <target> -o <file.vpt> [--train] [--all]
   vprof compare <workload>
   vprof predict <workload> [--train]
-  vprof specialize [change-period]
+  vprof optimize [--jobs N|--workers N] [--shards N]
+                      [--convergent|--adaptive [--phase-window N] [--max-rearms N]]
+                      [--min-invariance P] [--min-executions N] [--max-ways N]
+                      [--report FILE] [--telemetry FILE] [--retries N]
+                      [--checkpoint FILE [--resume]] [--deadline-ms N] [--mem-budget-mb N]
+  vprof optimize --demo [change-period]
+  vprof specialize [change-period]   (alias for `optimize --demo`)
 
 <target> is a built-in workload name or a path to a .s or .vpo file.";
 
@@ -61,7 +67,14 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("replay") => replay_cmd(&args[1..]),
         Some("compare") => compare_cmd(&args[1..]),
         Some("predict") => predict(&args[1..]),
-        Some("specialize") => specialize_cmd(&args[1..]),
+        Some("optimize") => optimize_cmd(&args[1..]),
+        // `specialize` predates the end-to-end pipeline; it survives as a
+        // thin alias for the hardcoded demo-kernel walkthrough.
+        Some("specialize") => {
+            let mut demo = vec!["--demo".to_string()];
+            demo.extend_from_slice(&args[1..]);
+            optimize_cmd(&demo)
+        }
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -967,11 +980,177 @@ fn predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn specialize_cmd(args: &[String]) -> Result<(), String> {
+/// `vprof optimize`: the end-to-end PGO loop. Profiles the suite on the
+/// *train* input (through `SuiteRunner`, so `--jobs/--workers/--shards`,
+/// the governor, checkpointing and fault injection all apply), plans
+/// semi-invariant candidates from the per-load metrics, specializes each
+/// program behind runtime guards, and re-runs original vs specialized on
+/// the *test* input. Emits the cross-input report as a deterministic
+/// table, a durable CRC-footered artifact (`--report FILE`), and
+/// parallelism-invariant telemetry records (`vprof stats` renders them as
+/// an `optimize` section).
+fn optimize_cmd(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use vp_bench::{Checkpoint, OptimizeConfig, ProfileMode, RetryPolicy, SuiteRunner};
+    use vp_obs::MemRecorder;
+
+    if flag(args, "--demo") {
+        return optimize_demo(args);
+    }
+
+    let jobs: usize = option_value(args, "--jobs")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --jobs value `{v}`")))?;
+    let workers: Option<usize> = option_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| format!("bad --workers value `{v}`")))
+        .transpose()?;
+    if workers.is_some() && option_value(args, "--jobs").is_some() {
+        return Err(
+            "--jobs and --workers are mutually exclusive (threads vs worker processes)".to_string()
+        );
+    }
+    let shards: usize = option_value(args, "--shards")
+        .map_or(Ok(1), |v| v.parse().map_err(|_| format!("bad --shards value `{v}`")))?;
+    if shards == 0 {
+        return Err("bad --shards value `0` (need at least one shard)".to_string());
+    }
+    let telemetry_path = option_value(args, "--telemetry")
+        .map_or_else(vp_bench::default_path, std::path::PathBuf::from);
+    let report_path = option_value(args, "--report").unwrap_or("optimize-report.txt");
+    let mut policy = RetryPolicy::default();
+    policy.max_retries = option_value(args, "--retries").map_or(Ok(policy.max_retries), |v| {
+        v.parse().map_err(|_| format!("bad --retries value `{v}`"))
+    })?;
+    let plan = vp_core::FaultPlan::from_env()?;
+    let deadline = deadline_arg(args)?;
+    let mem_budget = mem_budget_arg(args)?;
+    let phase_budget = phase_budget_arg(args)?;
+    if phase_budget.is_some() && flag(args, "--convergent") {
+        return Err("--adaptive and --convergent are mutually exclusive".to_string());
+    }
+
+    let mut cfg = OptimizeConfig::default();
+    if let Some(v) = option_value(args, "--min-invariance") {
+        cfg.options.candidates.min_invariance =
+            v.parse().map_err(|_| format!("bad --min-invariance value `{v}`"))?;
+        if !(0.0..=1.0).contains(&cfg.options.candidates.min_invariance) {
+            return Err(format!("bad --min-invariance value `{v}` (want a fraction in 0..=1)"));
+        }
+    }
+    if let Some(v) = option_value(args, "--min-executions") {
+        cfg.options.candidates.min_executions =
+            v.parse().map_err(|_| format!("bad --min-executions value `{v}`"))?;
+    }
+    if let Some(v) = option_value(args, "--max-ways") {
+        cfg.options.max_ways = v.parse().map_err(|_| format!("bad --max-ways value `{v}`"))?;
+        if cfg.options.max_ways == 0 {
+            return Err("bad --max-ways value `0` (need at least one guarded value)".to_string());
+        }
+    }
+
+    // The profiling pass: loads only, on the train input. Selection
+    // *thresholds* read these metrics; the guard values themselves come
+    // from an exact per-workload pass inside `optimize_from_outcome`.
+    let recorder = Arc::new(MemRecorder::new());
+    let mut runner = SuiteRunner::new()
+        .jobs(jobs)
+        .shards(shards)
+        .selection(Selection::LoadsOnly)
+        .recorder(recorder.clone())
+        .retry(policy)
+        .faults(Arc::new(plan))
+        .deadline(deadline)
+        .mem_budget(mem_budget);
+    let mode = if flag(args, "--adaptive") {
+        "adaptive"
+    } else if flag(args, "--convergent") {
+        "convergent"
+    } else {
+        "full"
+    };
+    if flag(args, "--convergent") {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Convergent(ConvergentConfig::default()));
+    }
+    if let Some(budget) = phase_budget {
+        runner = runner
+            .tracker(TrackerConfig::default())
+            .mode(ProfileMode::Adaptive(ConvergentConfig::default(), budget));
+    }
+    match (option_value(args, "--checkpoint"), flag(args, "--resume")) {
+        (Some(path), resume) => {
+            let path = std::path::Path::new(path);
+            let checkpoint = if resume {
+                let (checkpoint, summary) = Checkpoint::resume(path)
+                    .map_err(|e| format!("cannot resume `{}`: {e}", path.display()))?;
+                if let Some(reason) = &summary.dropped_tail {
+                    eprintln!("checkpoint: dropped torn final record ({reason})");
+                }
+                eprintln!(
+                    "resuming from {}: {} workload(s) restored",
+                    path.display(),
+                    summary.restored
+                );
+                checkpoint
+            } else {
+                Checkpoint::create(path)
+                    .map_err(|e| format!("cannot create `{}`: {e}", path.display()))?
+            };
+            runner = runner.checkpoint(Arc::new(checkpoint));
+        }
+        (None, true) => return Err("--resume requires --checkpoint FILE".to_string()),
+        (None, false) => {}
+    }
+    let workloads = vp_workloads::suite();
+    let outcome = match workers {
+        // Workers profile the train input; the parent owns everything
+        // downstream of the profile, so the report and telemetry stay
+        // byte-identical to an in-process run.
+        Some(n) => {
+            let mut fwd = args.to_vec();
+            fwd.push("--train".to_string());
+            runner.try_run_distributed(&workloads, worker_spec(&fwd, n)?)
+        }
+        None => runner.try_run(cfg.train),
+    };
+
+    let report = vp_bench::optimize_from_outcome(&outcome, &workloads, mode, &cfg)?;
+    print!("{}", report.render());
+    if !outcome.is_clean() {
+        println!();
+        print!("{}", outcome.render_failures());
+    }
+    if !report.all_equivalent() {
+        println!(
+            "warning: specialized output diverged from the original — guards failed to preserve behaviour"
+        );
+    }
+    report
+        .write_report(std::path::Path::new(report_path))
+        .map_err(|e| format!("cannot write `{report_path}`: {e}"))?;
+    println!("report: {report_path} ({} workloads)", report.workloads.len());
+
+    let mut records = report.optimize_records("optimize");
+    records.extend(vp_bench::fault_records("optimize", &outcome));
+    vp_bench::write_jsonl(&telemetry_path, &records)
+        .map_err(|e| format!("cannot write `{}`: {e}", telemetry_path.display()))?;
+    println!("telemetry: {} ({} records)", telemetry_path.display(), records.len());
+    if let Some(path) = std::env::var_os("BENCH_OPTIMIZE_JSON") {
+        let line = format!("{}\n", report.bench_json());
+        std::fs::write(&path, line)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.to_string_lossy()))?;
+    }
+    Ok(())
+}
+
+/// `vprof optimize --demo [change-period]` (and its `vprof specialize`
+/// alias): the single-kernel specialization walkthrough on the hardcoded
+/// demo program, profiling and evaluating the same input.
+fn optimize_demo(args: &[String]) -> Result<(), String> {
     use vp_specialize::{demo, evaluate, find_candidates, specialize_all, CandidateOptions};
     let period: u64 = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .map_or(Ok(0), |v| v.parse().map_err(|_| format!("bad change period `{v}`")))?;
     let program = demo::program();
     let input = demo::input(20_000, period);
@@ -1068,6 +1247,46 @@ mod tests {
         assert!(dispatch(&args(&["profile-suite", "--shards", "0"]))
             .unwrap_err()
             .contains("need at least one shard"));
+    }
+
+    #[test]
+    fn specialize_is_an_optimize_demo_alias() {
+        // The old demo invocation keeps working, spelled either way.
+        assert!(dispatch(&args(&["specialize"])).is_ok());
+        assert!(dispatch(&args(&["specialize", "64"])).is_ok());
+        assert!(dispatch(&args(&["optimize", "--demo"])).is_ok());
+        assert!(dispatch(&args(&["optimize", "--demo", "64"])).is_ok());
+        assert!(dispatch(&args(&["specialize", "sometimes"]))
+            .unwrap_err()
+            .contains("bad change period"));
+        assert!(dispatch(&args(&["optimize", "--demo", "sometimes"]))
+            .unwrap_err()
+            .contains("bad change period"));
+    }
+
+    #[test]
+    fn optimize_rejects_bad_flags() {
+        assert!(dispatch(&args(&["optimize", "--jobs", "many"]))
+            .unwrap_err()
+            .contains("bad --jobs"));
+        assert!(dispatch(&args(&["optimize", "--shards", "0"]))
+            .unwrap_err()
+            .contains("need at least one shard"));
+        assert!(dispatch(&args(&["optimize", "--jobs", "2", "--workers", "2"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(dispatch(&args(&["optimize", "--min-invariance", "1.5"]))
+            .unwrap_err()
+            .contains("bad --min-invariance"));
+        assert!(dispatch(&args(&["optimize", "--max-ways", "0"]))
+            .unwrap_err()
+            .contains("bad --max-ways"));
+        assert!(dispatch(&args(&["optimize", "--convergent", "--adaptive"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(dispatch(&args(&["optimize", "--resume"]))
+            .unwrap_err()
+            .contains("--resume requires"));
     }
 
     #[test]

@@ -87,6 +87,14 @@ pub enum CounterId {
     WorkerDeaths,
     /// Worker processes spawned to replace a dead one.
     WorkerRestarts,
+    /// Specialization guards that matched their profiled value.
+    GuardHits,
+    /// Specialization guards that fell through to the slow path.
+    GuardMisses,
+    /// Load sites specialized by the optimize pipeline.
+    SitesSpecialized,
+    /// Candidate load sites rejected by the optimize pipeline.
+    CandidatesRejected,
 }
 
 impl CounterId {
@@ -94,7 +102,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 35] = [
+    pub const ALL: [CounterId; 39] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -130,6 +138,10 @@ impl CounterId {
         CounterId::WorkerSpawns,
         CounterId::WorkerDeaths,
         CounterId::WorkerRestarts,
+        CounterId::GuardHits,
+        CounterId::GuardMisses,
+        CounterId::SitesSpecialized,
+        CounterId::CandidatesRejected,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -170,6 +182,10 @@ impl CounterId {
             CounterId::WorkerSpawns => "worker_spawns",
             CounterId::WorkerDeaths => "worker_deaths",
             CounterId::WorkerRestarts => "worker_restarts",
+            CounterId::GuardHits => "guard_hits",
+            CounterId::GuardMisses => "guard_misses",
+            CounterId::SitesSpecialized => "sites_specialized",
+            CounterId::CandidatesRejected => "candidates_rejected",
         }
     }
 

@@ -26,6 +26,7 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
     let mut workloads: Vec<&Json> = Vec::new();
     let mut phases: Vec<&Json> = Vec::new();
     let mut failures: Vec<&Json> = Vec::new();
+    let mut optimized: Vec<&Json> = Vec::new();
     let mut unknown = 0usize;
 
     for rec in records {
@@ -42,6 +43,7 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
                 out.push_str(&faults_line(rec));
             }
             Some("failure") => failures.push(rec),
+            Some("optimize") => optimized.push(rec),
             _ => unknown += 1,
         }
     }
@@ -61,6 +63,10 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
     if !adaptive.is_empty() {
         out.push('\n');
         out.push_str(&adaptive_table(&adaptive));
+    }
+    if !optimized.is_empty() {
+        out.push('\n');
+        out.push_str(&optimize_table(&optimized));
     }
     if !failures.is_empty() {
         out.push('\n');
@@ -174,6 +180,62 @@ fn adaptive_table(workloads: &[&Json]) -> String {
         out.push_str(&format!(
             "note: {} re-arm(s) denied by an exhausted phase budget — later shifts of those instructions were not re-profiled\n",
             group_digits(denied)
+        ));
+    }
+    out
+}
+
+/// Renders the optimize-pipeline section: one row per workload the
+/// `vprof optimize` pipeline evaluated, plus a warning when any
+/// specialized program failed the output-equivalence check (the guards
+/// must make that impossible — a failure is a bug worth shouting about).
+fn optimize_table(records: &[&Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>8} {:>6} {:>7}  {}\n",
+        "optimize", "base instrs", "spec instrs", "reduct%", "sites", "hit%", "equivalent"
+    ));
+    let mut broken = 0u64;
+    for rec in records {
+        let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+        let base = rec.get("base_instructions").and_then(Json::as_u64).unwrap_or(0);
+        let spec = rec.get("specialized_instructions").and_then(Json::as_u64).unwrap_or(0);
+        let reduct = rec
+            .get("reduction_pct")
+            .and_then(Json::as_f64)
+            .map(|f| format!("{f:.2}"))
+            .unwrap_or_else(|| "-".to_string());
+        let sites = rec.get("sites").and_then(Json::as_u64).unwrap_or(0);
+        let hits = rec.get("guard_hits").and_then(Json::as_u64).unwrap_or(0);
+        let misses = rec.get("guard_misses").and_then(Json::as_u64).unwrap_or(0);
+        let hit_rate = if hits + misses > 0 {
+            format!("{:.1}", hits as f64 / (hits + misses) as f64 * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let equivalent = match rec.get("equivalent") {
+            Some(Json::Bool(b)) => {
+                if !*b {
+                    broken += 1;
+                }
+                b.to_string()
+            }
+            _ => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<16} {:>14} {:>14} {:>8} {:>6} {:>7}  {}\n",
+            name,
+            group_digits(base),
+            group_digits(spec),
+            reduct,
+            group_digits(sites),
+            hit_rate,
+            equivalent
+        ));
+    }
+    if broken > 0 {
+        out.push_str(&format!(
+            "warning: {broken} specialized workload(s) diverged from the original output — guards failed to preserve behaviour\n"
         ));
     }
     out
@@ -463,6 +525,50 @@ mod tests {
         let text = summarize(&sample_jsonl()).unwrap();
         assert!(!text.contains("adaptive"), "{text}");
         assert!(!text.contains("rearms"), "{text}");
+    }
+
+    #[test]
+    fn optimize_section_renders_reduction_and_guard_rates() {
+        let records = vec![
+            record("run", "optimize", vec![("jobs", Json::U64(1))]),
+            record(
+                "optimize",
+                "m88ksim",
+                vec![
+                    ("base_instructions", Json::U64(120_000)),
+                    ("specialized_instructions", Json::U64(90_000)),
+                    ("reduction_pct", Json::F64(25.0)),
+                    ("equivalent", Json::Bool(true)),
+                    ("sites", Json::U64(2)),
+                    ("guard_hits", Json::U64(1_900)),
+                    ("guard_misses", Json::U64(100)),
+                ],
+            ),
+            record(
+                "optimize",
+                "gcc",
+                vec![
+                    ("base_instructions", Json::U64(50_000)),
+                    ("specialized_instructions", Json::U64(50_000)),
+                    ("equivalent", Json::Bool(false)),
+                    ("sites", Json::U64(0)),
+                ],
+            ),
+        ];
+        let text = summarize_records(&records).unwrap();
+        assert!(text.contains("optimize"), "{text}");
+        assert!(text.contains("m88ksim"), "{text}");
+        assert!(text.contains("25.00"), "{text}");
+        assert!(text.contains("95.0"), "{text}");
+        assert!(text.contains("true"), "{text}");
+        assert!(text.contains("diverged from the original output"), "{text}");
+        assert!(!text.contains("unknown kind"), "{text}");
+    }
+
+    #[test]
+    fn non_optimize_records_render_without_optimize_section() {
+        let text = summarize(&sample_jsonl()).unwrap();
+        assert!(!text.contains("optimize"), "{text}");
     }
 
     #[test]

@@ -1,7 +1,13 @@
-//! Specialization speedup evaluation.
+//! Specialization speedup evaluation, with optional guard-hit accounting.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 use vp_asm::Program;
-use vp_sim::{InputSet, Machine, MachineConfig, SimError};
+use vp_instrument::{Analysis, Instrumenter, Selection};
+use vp_sim::{InputSet, InstrEvent, Machine, MachineConfig, SimError};
+
+use crate::transform::GuardSite;
 
 /// Side-by-side result of running the original and specialized programs on
 /// the same input.
@@ -60,6 +66,112 @@ pub fn evaluate(
     })
 }
 
+/// Guard hit/miss totals for one specialized load site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Instruction index of the original load.
+    pub load_index: u32,
+    /// Executions that matched one of the site's guarded values.
+    pub hits: u64,
+    /// Executions that fell through every guard to the slow path.
+    pub misses: u64,
+}
+
+impl GuardStats {
+    /// Fraction of site executions that took a fast path.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// [`SpeedupReport`] extended with per-site guard accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedReport {
+    /// The side-by-side instruction counts and equivalence verdict.
+    pub speedup: SpeedupReport,
+    /// Guard hit/miss totals per specialized site, in `sites` order.
+    pub guards: Vec<GuardStats>,
+}
+
+/// Watches the guard branches of specialized sites: a taken conditional is
+/// a hit; a fall-through on the *last* guard of a site's chain means every
+/// guard missed and the slow path runs.
+struct GuardWatcher {
+    /// guard instruction index → (site slot, is-last-in-chain).
+    map: BTreeMap<u32, (usize, bool)>,
+    stats: Vec<GuardStats>,
+}
+
+impl Analysis for GuardWatcher {
+    fn after_instr(&mut self, _machine: &Machine, event: &InstrEvent) {
+        if let (Some(&(slot, last)), Some(taken)) = (self.map.get(&event.index), event.taken) {
+            if taken {
+                self.stats[slot].hits += 1;
+            } else if last {
+                self.stats[slot].misses += 1;
+            }
+        }
+    }
+}
+
+/// Like [`evaluate`], but runs the specialized program under
+/// instrumentation selecting exactly the guard branches of `sites`, so the
+/// report carries per-site hit/miss rates. Instrumentation observes the
+/// same execution the plain machine would run: instruction counts and
+/// outputs are unaffected.
+///
+/// # Errors
+///
+/// Propagates emulator faults from either run.
+pub fn evaluate_guarded(
+    original: &Program,
+    specialized: &Program,
+    sites: &[GuardSite],
+    input: &InputSet,
+    budget: u64,
+) -> Result<GuardedReport, SimError> {
+    let cfg = MachineConfig::new().input(input.clone());
+    let mut base = Machine::new(original.clone(), cfg.clone())?;
+    let base_out = base.run(budget)?;
+
+    let mut watcher = GuardWatcher {
+        map: sites
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, site)| {
+                let last = site.guard_indices.len().saturating_sub(1);
+                site.guard_indices.iter().enumerate().map(move |(k, &g)| (g, (slot, k == last)))
+            })
+            .collect(),
+        stats: sites
+            .iter()
+            .map(|s| GuardStats { load_index: s.load_index, hits: 0, misses: 0 })
+            .collect(),
+    };
+    let selected: BTreeSet<u32> = watcher.map.keys().copied().collect();
+    let run = Instrumenter::new().select(Selection::Custom(selected)).run(
+        specialized,
+        cfg,
+        budget,
+        &mut watcher,
+    )?;
+    let fast_out = run.outcome;
+
+    Ok(GuardedReport {
+        speedup: SpeedupReport {
+            base_instructions: base_out.instructions,
+            specialized_instructions: fast_out.instructions,
+            equivalent: base_out.exit_code == fast_out.exit_code
+                && base_out.output == fast_out.output,
+        },
+        guards: watcher.stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +197,37 @@ mod tests {
         let r = evaluate(&p, &p, &InputSet::empty(), 1000).unwrap();
         assert!(r.equivalent);
         assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guarded_eval_counts_hits_and_misses_exactly() {
+        use crate::demo;
+        use crate::transform::{specialize_all_sites, Candidate};
+
+        let program = demo::program();
+        let iterations = 1_000;
+        let period = 100;
+        let input = demo::input(iterations, period);
+        let candidate = Candidate {
+            load_index: demo::config_load_index(&program),
+            value: 0x1234, // the demo kernel's base configuration value
+            invariance: 1.0,
+            executions: iterations,
+        };
+        let (specialized, sites) = specialize_all_sites(&program, &[candidate]).unwrap();
+        let report = evaluate_guarded(&program, &specialized, &sites, &input, 100_000_000).unwrap();
+        assert!(report.speedup.equivalent);
+        assert_eq!(report.guards.len(), 1);
+        let g = report.guards[0];
+        // The load runs once per iteration; every guard outcome is a hit
+        // or a miss, and exactly the perturbed iterations (i % period == 0
+        // for 0 < i < iterations) miss.
+        assert_eq!(g.hits + g.misses, iterations);
+        assert_eq!(g.misses, (iterations - 1) / period);
+        assert!(g.hit_rate() > 0.98);
+
+        // Instrumentation must not change the measured execution.
+        let plain = evaluate(&program, &specialized, &input, 100_000_000).unwrap();
+        assert_eq!(plain, report.speedup);
     }
 }

@@ -55,12 +55,17 @@ pub mod eval;
 pub mod fold;
 pub mod liveness;
 pub mod multiway;
+pub mod pipeline;
 pub mod transform;
 
-pub use eval::{evaluate, SpeedupReport};
+pub use eval::{evaluate, evaluate_guarded, GuardStats, GuardedReport, SpeedupReport};
 pub use liveness::{Liveness, RegSet};
-pub use multiway::{specialize_multi, MultiCandidate};
+pub use multiway::{specialize_multi, specialize_multi_all, MultiCandidate};
+pub use pipeline::{
+    optimize_program, plan_candidates, tracker_top_values, CandidatePlan, OptimizeOptions,
+    ProgramOptimize, RejectReason, RejectedCandidate, SiteOutcome,
+};
 pub use transform::{
-    estimate, find_candidates, specialize, specialize_all, Candidate, CandidateOptions,
-    FoldEstimate, SpecializeError, SCRATCH,
+    estimate, find_candidates, specialize, specialize_all, specialize_all_sites, Candidate,
+    CandidateOptions, FoldEstimate, GuardSite, SpecializeError, SCRATCH,
 };

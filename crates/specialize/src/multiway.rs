@@ -23,7 +23,7 @@ use vp_isa::{BranchCond, Instruction};
 
 use crate::fold::{fold_region, materialize};
 use crate::liveness::Liveness;
-use crate::transform::{Candidate, SpecializeError, SCRATCH};
+use crate::transform::{Candidate, GuardSite, SpecializeError, SCRATCH};
 
 /// A multi-way candidate: one load site, the top `values` to specialize on
 /// (most frequent first).
@@ -73,6 +73,51 @@ pub fn specialize_multi(
     program: &Program,
     candidate: &MultiCandidate,
 ) -> Result<Program, SpecializeError> {
+    if program
+        .code()
+        .iter()
+        .any(|i| i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH))
+    {
+        return Err(SpecializeError::ScratchInUse);
+    }
+    specialize_multi_unchecked(program, candidate).map(|(p, _)| p)
+}
+
+/// Applies a list of multi-way candidates in order (each on the result of
+/// the previous transform), reporting where each transform placed its
+/// guard chain. The scratch-register check runs once against the input
+/// program: later transforms legitimately read the scratch writes of their
+/// own trampolines, exactly like [`specialize_all`](crate::specialize_all).
+///
+/// # Errors
+///
+/// Same conditions as [`specialize_multi`].
+pub fn specialize_multi_all(
+    program: &Program,
+    candidates: &[MultiCandidate],
+) -> Result<(Program, Vec<GuardSite>), SpecializeError> {
+    if !candidates.is_empty()
+        && program
+            .code()
+            .iter()
+            .any(|i| i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH))
+    {
+        return Err(SpecializeError::ScratchInUse);
+    }
+    let mut current = program.clone();
+    let mut sites = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let (next, site) = specialize_multi_unchecked(&current, c)?;
+        current = next;
+        sites.push(site);
+    }
+    Ok((current, sites))
+}
+
+fn specialize_multi_unchecked(
+    program: &Program,
+    candidate: &MultiCandidate,
+) -> Result<(Program, GuardSite), SpecializeError> {
     if candidate.values.is_empty() {
         return Err(SpecializeError::NotALoad { index: candidate.load_index });
     }
@@ -83,13 +128,6 @@ pub fn specialize_multi(
         Instruction::Load { rd, .. } | Instruction::LoadSigned { rd, .. } => rd,
         _ => return Err(SpecializeError::NotALoad { index: candidate.load_index }),
     };
-    if program
-        .code()
-        .iter()
-        .any(|i| i.source_registers().contains(&SCRATCH) || i.dest_register() == Some(SCRATCH))
-    {
-        return Err(SpecializeError::ScratchInUse);
-    }
 
     let liveness = Liveness::compute(program);
     let mut region_len = 0u32;
@@ -146,12 +184,20 @@ pub fn specialize_multi(
     }
     new_code[index] = Instruction::Jump { target: trampoline };
 
-    Ok(Program::from_parts(
-        new_code,
-        program.data().to_vec(),
-        program.symbols().clone(),
-        program.procedures().to_vec(),
-        program.entry(),
+    let site = GuardSite {
+        load_index: candidate.load_index,
+        values: candidate.values.clone(),
+        guard_indices: guard_starts.iter().map(|&g| g as u32).collect(),
+    };
+    Ok((
+        Program::from_parts(
+            new_code,
+            program.data().to_vec(),
+            program.symbols().clone(),
+            program.procedures().to_vec(),
+            program.entry(),
+        ),
+        site,
     ))
 }
 

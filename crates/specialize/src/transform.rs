@@ -96,6 +96,24 @@ impl fmt::Display for SpecializeError {
 
 impl std::error::Error for SpecializeError {}
 
+/// Where a specialization transform placed its runtime guards.
+///
+/// Guard indices are instruction indices of the conditional `beq`
+/// instructions in the appended trampoline, one per specialized value
+/// (single-way transforms have exactly one). Later transforms only append
+/// code and overwrite their own load site, so indices recorded by earlier
+/// transforms stay valid across a chained [`specialize_all_sites`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardSite {
+    /// Instruction index of the original (now redirected) load.
+    pub load_index: u32,
+    /// The values the guards test, in chain order.
+    pub values: Vec<u64>,
+    /// Instruction indices of the guard branches, in chain order. The
+    /// slow path is taken iff the *last* guard falls through.
+    pub guard_indices: Vec<u32>,
+}
+
 /// Cost estimate of specializing one load site (see [`estimate`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FoldEstimate {
@@ -212,7 +230,7 @@ pub fn specialize(program: &Program, candidate: &Candidate) -> Result<Program, S
     if uses_scratch(program) {
         return Err(SpecializeError::ScratchInUse);
     }
-    specialize_unchecked(program, candidate)
+    specialize_unchecked(program, candidate).map(|(p, _)| p)
 }
 
 /// [`specialize`] without the scratch-register check — used internally by
@@ -221,7 +239,7 @@ pub fn specialize(program: &Program, candidate: &Candidate) -> Result<Program, S
 fn specialize_unchecked(
     program: &Program,
     candidate: &Candidate,
-) -> Result<Program, SpecializeError> {
+) -> Result<(Program, GuardSite), SpecializeError> {
     let code = program.code();
     let index = candidate.load_index as usize;
     let load = *code.get(index).ok_or(SpecializeError::NotALoad { index: candidate.load_index })?;
@@ -243,6 +261,7 @@ fn specialize_unchecked(
     let mut guard = Vec::new();
     materialize(SCRATCH, candidate.value, &mut guard);
     new_code.extend_from_slice(&guard);
+    let guard_index = new_code.len() as u32;
     new_code.push(Instruction::Branch { cond: BranchCond::Eq, rs: rd, rt: SCRATCH, disp: 1 });
     new_code.push(Instruction::Jump { target: candidate.load_index + 1 }); // slow path
     new_code.extend_from_slice(&fold.emitted); // fast path
@@ -254,12 +273,20 @@ fn specialize_unchecked(
     // Redirect the load site into the trampoline.
     new_code[index] = Instruction::Jump { target: trampoline };
 
-    Ok(Program::from_parts(
-        new_code,
-        program.data().to_vec(),
-        program.symbols().clone(),
-        program.procedures().to_vec(),
-        program.entry(),
+    let site = GuardSite {
+        load_index: candidate.load_index,
+        values: vec![candidate.value],
+        guard_indices: vec![guard_index],
+    };
+    Ok((
+        Program::from_parts(
+            new_code,
+            program.data().to_vec(),
+            program.symbols().clone(),
+            program.procedures().to_vec(),
+            program.entry(),
+        ),
+        site,
     ))
 }
 
@@ -274,14 +301,31 @@ pub fn specialize_all(
     program: &Program,
     candidates: &[Candidate],
 ) -> Result<Program, SpecializeError> {
+    specialize_all_sites(program, candidates).map(|(p, _)| p)
+}
+
+/// [`specialize_all`] that also reports where each transform placed its
+/// guard, so callers can instrument guard hit/miss rates (see
+/// [`crate::eval::evaluate_guarded`]).
+///
+/// # Errors
+///
+/// Same conditions as [`specialize`].
+pub fn specialize_all_sites(
+    program: &Program,
+    candidates: &[Candidate],
+) -> Result<(Program, Vec<GuardSite>), SpecializeError> {
     if !candidates.is_empty() && uses_scratch(program) {
         return Err(SpecializeError::ScratchInUse);
     }
     let mut current = program.clone();
+    let mut sites = Vec::with_capacity(candidates.len());
     for c in candidates {
-        current = specialize_unchecked(&current, c)?;
+        let (next, site) = specialize_unchecked(&current, c)?;
+        current = next;
+        sites.push(site);
     }
-    Ok(current)
+    Ok((current, sites))
 }
 
 fn uses_scratch(program: &Program) -> bool {

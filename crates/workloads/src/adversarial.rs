@@ -207,6 +207,129 @@ pub fn adversarial_streams() -> Vec<(&'static str, Vec<(u32, u64)>)> {
     ]
 }
 
+/// A program-level adversarial case for the optimize pipeline: a kernel
+/// whose configuration load is perfectly invariant on the *train* input
+/// but hostile on the *test* input. Specializing on the train profile must
+/// stay output-equivalent (the guards save correctness) while the report
+/// shows the guard-miss rate honestly.
+#[derive(Debug, Clone)]
+pub struct OptimizeCase {
+    /// Family name (`phase-flip`, `tnv-churn`).
+    pub name: &'static str,
+    /// The kernel program.
+    pub program: vp_asm::Program,
+    /// Stationary profiling input: the config never changes.
+    pub train: vp_sim::InputSet,
+    /// Hostile evaluation input.
+    pub test: vp_sim::InputSet,
+    /// Loop iterations of both inputs (each runs the config load once).
+    pub iterations: u64,
+}
+
+/// The config value the optimize-case kernel starts with (and the train
+/// input keeps forever).
+pub const OPTIMIZE_CASE_BASE: u64 = 0x2468;
+
+/// Assembles the optimize-case kernel: an m88ksim-style loop that reloads
+/// a configuration word every iteration and decodes it through a pure ALU
+/// chain. Each iteration first reads a directive from the input stream —
+/// `0` keeps the current configuration, anything else is stored as the
+/// new one.
+fn optimize_case_program() -> vp_asm::Program {
+    vp_asm::assemble(
+        r#"
+        .data
+        config: .quad 0x2468
+        .text
+        .proc main
+        main:
+            la   r10, config
+            sys  getinput             # N = iterations
+            mov  r9, v0
+            li   r18, 0
+        loop:
+            bz   r9, done
+            sys  getinput             # 0 = keep config, else new value
+            bz   v0, keep
+            std  v0, 0(r10)
+        keep:
+            ldd  r2, 0(r10)           # the profiled configuration load
+            srli r3, r2, 3
+            andi r3, r3, 1023
+            muli r4, r3, 37
+            addi r4, r4, 11
+            xori r5, r4, 0x5a
+            slli r6, r5, 2
+            add  r7, r6, r4
+            srli r8, r7, 1
+            add  r18, r18, r8
+            addi r9, r9, -1
+            j    loop
+        done:
+            andi a0, r18, 255
+            sys  exit
+        .endp
+        "#,
+    )
+    .expect("optimize-case kernel assembles")
+}
+
+/// Builds an input for the optimize-case kernel from per-iteration
+/// directives produced by `directive(i)` (`0` = keep).
+fn optimize_case_input(
+    name: &str,
+    iterations: u64,
+    directive: impl Fn(u64) -> u64,
+) -> vp_sim::InputSet {
+    let mut values = vec![iterations];
+    values.extend((0..iterations).map(directive));
+    vp_sim::InputSet::named(name.to_string(), values)
+}
+
+/// The program-level adversarial optimize cases:
+///
+/// * `phase-flip` — the test input switches the configuration to a new
+///   value at the halfway point and never switches back: the train-picked
+///   guard hits the first half and misses the entire second half
+///   (phase-oscillating taken to the cross-input extreme).
+/// * `tnv-churn` — the test input rotates the configuration through many
+///   distinct values in short blocks, so no single guard value can cover
+///   more than a sliver of the run.
+pub fn optimize_cases() -> Vec<OptimizeCase> {
+    let iterations = 2_000u64;
+    let train = |name: &str| optimize_case_input(name, iterations, |_| 0);
+    let flip_at = iterations / 2;
+    let phase_flip = OptimizeCase {
+        name: "phase-flip",
+        program: optimize_case_program(),
+        train: train("phase-flip-train"),
+        test: optimize_case_input("phase-flip-test", iterations, |i| {
+            if i == flip_at {
+                0x9999
+            } else {
+                0
+            }
+        }),
+        iterations,
+    };
+    let block = 50;
+    let distinct = 24;
+    let tnv_churn = OptimizeCase {
+        name: "tnv-churn",
+        program: optimize_case_program(),
+        train: train("tnv-churn-train"),
+        test: optimize_case_input("tnv-churn-test", iterations, |i| {
+            if i.is_multiple_of(block) {
+                0x8000 + (i / block) % distinct
+            } else {
+                0
+            }
+        }),
+        iterations,
+    };
+    vec![phase_flip, tnv_churn]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +354,31 @@ mod tests {
         for (i, &(_, v)) in stream.iter().enumerate() {
             let expect = [1, 2, 3][(i as u64 / period) as usize % 3];
             assert_eq!(v, expect, "event {i}");
+        }
+    }
+
+    #[test]
+    fn optimize_cases_run_and_differ_between_inputs() {
+        use vp_sim::{Machine, MachineConfig};
+        for case in optimize_cases() {
+            let run = |input: &vp_sim::InputSet| {
+                Machine::new(case.program.clone(), MachineConfig::new().input(input.clone()))
+                    .unwrap()
+                    .run(10_000_000)
+                    .unwrap()
+            };
+            let train = run(&case.train);
+            let test = run(&case.test);
+            assert!(train.instructions > case.iterations * 10, "{}", case.name);
+            // The hostile input must actually perturb the run (each
+            // non-keep directive executes one extra store).
+            assert!(test.instructions > train.instructions, "{}", case.name);
+            // Determinism: rebuilding the case reproduces it exactly.
+            let again =
+                optimize_cases().into_iter().find(|c| c.name == case.name).expect("case present");
+            let test_again = run(&again.test);
+            assert_eq!(test_again.exit_code, test.exit_code, "{}", case.name);
+            assert_eq!(test_again.instructions, test.instructions, "{}", case.name);
         }
     }
 

@@ -20,7 +20,9 @@ use value_profiling::core::{ConvergentConfig, PhaseBudget};
 use value_profiling::obs::telemetry::{mask_volatile, parse_jsonl, to_jsonl};
 use value_profiling::obs::Json;
 use value_profiling::workloads::{suite, DataSet};
-use vp_bench::{experiments, telemetry, ProfileMode, SuiteRunner};
+use vp_bench::{
+    experiments, optimize_from_outcome, telemetry, OptimizeConfig, ProfileMode, SuiteRunner,
+};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
@@ -115,6 +117,31 @@ fn adaptive_phase_shift_run_matches_golden() {
 }
 
 #[test]
+fn optimize_run_matches_golden() {
+    // The end-to-end optimize pipeline over a fixed workload set that
+    // includes the stationary m88ksim case, so the golden pins a real
+    // specialized site (guard values, hit/miss counts) alongside
+    // rejections. Three artifacts are pinned: the durable CRC-footered
+    // report, the masked telemetry, and the `vprof stats` rendering.
+    let picked = ["compress", "gcc", "li", "m88ksim"];
+    let ws: Vec<_> = suite().into_iter().filter(|w| picked.contains(&w.name())).collect();
+    let outcome = SuiteRunner::new().try_run_workloads(&ws, DataSet::Train);
+    assert!(outcome.is_clean(), "golden profiling pass must be fault-free");
+    let report = optimize_from_outcome(&outcome, &ws, "full", &OptimizeConfig::default()).unwrap();
+    let m88ksim = report.workloads.iter().find(|w| w.name == "m88ksim").unwrap();
+    assert!(!m88ksim.result.sites.is_empty(), "the golden run must actually specialize a site");
+    check("optimize_report.txt", &report.render_durable());
+    let records = report.optimize_records("optimize");
+    check("optimize_suite.jsonl", &masked_jsonl(&records));
+    // Render stats from the *masked* records, exactly what `vprof stats`
+    // would show on the checked-in telemetry.
+    let masked: Vec<Json> = records.iter().map(mask_volatile).collect();
+    let stats = value_profiling::obs::stats::summarize_records(&masked).unwrap();
+    assert!(stats.contains("optimize"), "stats must render the optimize section:\n{stats}");
+    check("optimize_suite_stats.txt", &stats);
+}
+
+#[test]
 fn non_adaptive_goldens_carry_no_phase_section() {
     // Absent-when-off: the pre-existing goldens must contain no phase
     // fields, so runs without `--adaptive` stay byte-identical to before
@@ -134,6 +161,7 @@ fn golden_telemetry_parses_and_is_masked() {
         "exp_convergent.jsonl",
         "exp_tnv_policy.jsonl",
         "adaptive_suite.jsonl",
+        "optimize_suite.jsonl",
     ] {
         let path = golden_dir().join(name);
         let text = fs::read_to_string(&path).unwrap_or_else(|e| {
