@@ -467,6 +467,11 @@ impl WorkerExecutor for ProcessPool {
                 self.release(worker);
                 Err(WorkerFailure { kind, message, exit: None })
             }
+            // A response was expected, so a clean close is as dead as a
+            // torn one — the worker exited between frames.
+            Err(FrameError::PeerClosed) => {
+                Err(self.bury(worker, "worker closed its pipe mid-assignment"))
+            }
             Err(FrameError::Torn(detail)) => {
                 Err(self.bury(worker, &format!("torn frame ({detail})")))
             }
@@ -643,7 +648,9 @@ fn write_result_frame<W: Write>(
             std::process::abort();
         }
         Some(FaultAction::Panic) => panic!("fault injected: {}", fault::WORKER_FRAME_POINT),
-        Some(FaultAction::Err) => {
+        // A worker has no socket to drop; treat a disconnect like an
+        // injected write error so the plan never passes silently.
+        Some(FaultAction::Err) | Some(FaultAction::Disconnect) => {
             return Err(io::Error::other(format!("fault injected: {}", fault::WORKER_FRAME_POINT)));
         }
         Some(FaultAction::Hang) => loop {
@@ -680,8 +687,9 @@ fn serve_worker_on<R: Read, W: Write>(
     loop {
         let request = match reader.read_frame() {
             Ok(f) => f,
-            // Parent gone: nothing left to serve.
-            Err(FrameError::Torn(_)) => return Ok(()),
+            // Parent gone: a clean close between frames or a tear from a
+            // crash mid-write both mean nothing is left to serve.
+            Err(FrameError::PeerClosed) | Err(FrameError::Torn(_)) => return Ok(()),
             Err(e) => return Err(io::Error::other(e.to_string())),
         };
         match request.kind {

@@ -12,6 +12,7 @@ pub mod checkpoint;
 pub mod executor;
 pub mod experiments;
 pub mod optimize;
+pub mod serve;
 pub mod suite;
 pub mod telemetry;
 
@@ -26,6 +27,7 @@ pub use executor::{
 };
 pub use experiments::ExpReport;
 pub use optimize::{optimize_from_outcome, OptimizeConfig, OptimizeReport, WorkloadOptimize};
+pub use serve::{ServeConfig, ServeReport, SessionMode, SessionSummary};
 pub use suite::{
     ProfileMode, RetryPolicy, SuiteOutcome, SuiteProfile, SuiteRunner, WorkloadFailure,
     WorkloadProfile,

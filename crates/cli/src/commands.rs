@@ -26,8 +26,17 @@ const USAGE: &str = "usage:
                       [--telemetry FILE] [--retries N] [--checkpoint FILE [--resume]]
                       [--deadline-ms N] [--mem-budget-mb N]
   vprof record <target> [-o <file.vpc>] [--train] [--all] [--deadline-ms N]
+                      [--chunk-events N]
   vprof replay <file.vpc> [--shards N] [--save FILE] [--deadline-ms N] [--mem-budget-mb N]
                       [--adaptive [--phase-window N] [--max-rearms N]]
+  vprof serve --socket SOCK [--state-dir DIR] [--resume] [--max-sessions N]
+                      [--max-tenants N] [--tenant-sessions N] [--window N]
+                      [--checkpoint-every N] [--idle-ms N] [--deadline-ms N]
+                      [--mem-budget-mb N] [--telemetry FILE]
+                      [--convergent|--adaptive [--phase-window N] [--max-rearms N]]
+  vprof client <file.vpc> --connect SOCK [--tenant T] [--workload W] [--save FILE]
+                      [--window N] [--query] [--burst]
+  vprof client --connect SOCK --shutdown
   vprof stats <telemetry.jsonl>
   vprof verify <profile.tsv> [--lenient]
   vprof histogram <target> [--train] [--all]
@@ -60,6 +69,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         // by hand.
         Some("worker") => worker_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         Some("verify") => verify_cmd(&args[1..]),
         Some("histogram") => histogram(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
@@ -603,20 +614,246 @@ fn worker_cmd(args: &[String]) -> Result<(), String> {
 
 /// Renders a human-readable summary of a `telemetry.jsonl` file. A final
 /// line torn by a crash mid-append is dropped with a warning (exit 0) —
-/// every complete record still gets summarized. Corruption anywhere else
-/// is an error.
+/// every complete record still gets summarized. An absent or empty file
+/// (e.g. a serve daemon that never admitted a session) is not an error:
+/// it prints a clean "no records" line and exits 0. Corruption anywhere
+/// else is an error.
 fn stats_cmd(args: &[String]) -> Result<(), String> {
     let target = target_arg(args)?;
-    let text =
-        std::fs::read_to_string(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    let text = match std::fs::read_to_string(target) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("{target}: no telemetry records");
+            return Ok(());
+        }
+        Err(e) => return Err(format!("cannot read `{target}`: {e}")),
+    };
     let parsed = vp_obs::telemetry::parse_jsonl_lenient(&text)?;
     if let Some(reason) = &parsed.dropped_tail {
+        // A torn tail with nothing before it recovered zero records —
+        // that is corruption, not a clean empty file.
+        if parsed.records.is_empty() {
+            return Err(format!("{target}: no records recovered ({reason})"));
+        }
         eprintln!(
             "warning: {target}: dropped torn final line ({reason}); recovered {} record(s)",
             parsed.records.len()
         );
     }
+    if parsed.records.is_empty() {
+        println!("{target}: no telemetry records");
+        return Ok(());
+    }
     print!("{}", vp_obs::stats::summarize_records(&parsed.records)?);
+    Ok(())
+}
+
+/// `vprof serve`: runs the multi-tenant profile-ingestion daemon on a
+/// Unix-domain socket until SIGTERM or a client's `SHUTDOWN` frame
+/// drains it. Every session checkpoints through the durable layer, so a
+/// `kill -9` + restart with `--resume` loses nothing a client cannot
+/// retransmit.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use vp_bench::serve::{serve, ServeConfig, SessionMode};
+    let socket = option_value(args, "--socket")
+        .ok_or_else(|| format!("serve needs --socket PATH\n{USAGE}"))?;
+    let state_dir =
+        option_value(args, "--state-dir").map_or_else(|| format!("{socket}.state"), str::to_string);
+    let mut cfg =
+        ServeConfig::new(std::path::PathBuf::from(socket), std::path::PathBuf::from(state_dir));
+    let count = |name: &str, min: usize, into: &mut usize| -> Result<(), String> {
+        if let Some(v) = option_value(args, name) {
+            *into = v.parse().map_err(|_| format!("bad {name} value `{v}`"))?;
+            if *into < min {
+                return Err(format!("bad {name} value `{v}` (need at least {min})"));
+            }
+        }
+        Ok(())
+    };
+    count("--max-sessions", 1, &mut cfg.max_sessions)?;
+    count("--max-tenants", 1, &mut cfg.max_tenants)?;
+    count("--tenant-sessions", 1, &mut cfg.tenant_sessions)?;
+    let mut window = cfg.window as usize;
+    let mut every = cfg.checkpoint_every as usize;
+    count("--window", 1, &mut window)?;
+    count("--checkpoint-every", 1, &mut every)?;
+    cfg.window = window as u64;
+    cfg.checkpoint_every = every as u64;
+    cfg.idle = option_value(args, "--idle-ms")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --idle-ms value `{v}`")))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    cfg.deadline = deadline_arg(args)?;
+    cfg.mem_budget = mem_budget_arg(args)?;
+    cfg.resume = flag(args, "--resume");
+    if let Some(budget) = phase_budget_arg(args)? {
+        if flag(args, "--convergent") {
+            return Err("--adaptive and --convergent are mutually exclusive".to_string());
+        }
+        cfg.mode = SessionMode::Adaptive(budget);
+    } else if flag(args, "--convergent") {
+        cfg.mode = SessionMode::Convergent;
+    }
+    if cfg.mem_budget.is_some() && cfg.mode != SessionMode::Full {
+        return Err(
+            "--mem-budget-mb needs the full profiler (the convergent trackers are already constant-space)"
+                .to_string(),
+        );
+    }
+    // Telemetry is opt-in: a flag or the environment, never by default.
+    cfg.telemetry = option_value(args, "--telemetry").map(std::path::PathBuf::from).or_else(|| {
+        std::env::var_os(vp_bench::telemetry::TELEMETRY_ENV).map(|_| vp_bench::default_path())
+    });
+    let telemetry = cfg.telemetry.clone();
+    let report = serve(cfg)?;
+    println!(
+        "serve: {} completed, {} killed, {} rejected, {} chunks acked",
+        report.counts.get(vp_obs::CounterId::SessionCompleted),
+        report.counts.get(vp_obs::CounterId::SessionKilled),
+        report.counts.get(vp_obs::CounterId::SessionRejected),
+        report.counts.get(vp_obs::CounterId::ChunksAcked),
+    );
+    if let Some(path) = telemetry {
+        println!("telemetry: {} ({} records)", path.display(), report.records().len());
+    }
+    Ok(())
+}
+
+/// `vprof client`: streams a recorded `.vpc` trace into a serve daemon
+/// chunk by chunk, honouring the inflight window, and fetches the final
+/// profile. Reconnecting after a server crash resumes from the durable
+/// cursor in `HELLO_OK` — already-acknowledged chunks are skipped, the
+/// rest retransmitted.
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixStream;
+    use vp_instrument::net::{self, MsgError, SessionMsg};
+    let sock = option_value(args, "--connect")
+        .ok_or_else(|| format!("client needs --connect SOCK\n{USAGE}"))?;
+    let connect =
+        || UnixStream::connect(sock).map_err(|e| format!("cannot connect to `{sock}`: {e}"));
+    if flag(args, "--shutdown") {
+        let mut stream = connect()?;
+        vp_instrument::frame::write_magic(&mut stream)
+            .and_then(|()| net::write_msg(&mut stream, &SessionMsg::Shutdown))
+            .map_err(|e| format!("cannot send shutdown: {e}"))?;
+        println!("shutdown requested");
+        return Ok(());
+    }
+    let target = target_arg(args)?;
+    let tenant = option_value(args, "--tenant").unwrap_or("default").to_string();
+    let workload = option_value(args, "--workload")
+        .map(str::to_string)
+        .or_else(|| {
+            std::path::Path::new(target).file_stem().map(|s| s.to_string_lossy().replace('.', "_"))
+        })
+        .ok_or_else(|| format!("cannot derive a workload name from `{target}`; use --workload"))?;
+    let window: u64 = option_value(args, "--window")
+        .map_or(Ok(16), |v| v.parse().map_err(|_| format!("bad --window value `{v}`")))?;
+    if window == 0 {
+        return Err("bad --window value `0` (need at least one inflight chunk)".to_string());
+    }
+    let corrupt: Option<u64> = option_value(args, "--corrupt-chunk")
+        .map(|v| v.parse().map_err(|_| format!("bad --corrupt-chunk value `{v}`")))
+        .transpose()?;
+    let abort_after: Option<u64> = option_value(args, "--abort-after")
+        .map(|v| v.parse().map_err(|_| format!("bad --abort-after value `{v}`")))
+        .transpose()?;
+    let bytes = std::fs::read(target).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+    let chunks =
+        vp_instrument::trace_codec::raw_chunks(&bytes).map_err(|e| format!("{target}: {e}"))?;
+    let total = chunks.len() as u64;
+    let events: u64 = chunks.iter().map(|c| u64::from(c.count)).sum();
+    let mut stream = connect()?;
+    let mut reader = vp_instrument::FrameReader::new(
+        stream.try_clone().map_err(|e| format!("cannot clone socket: {e}"))?,
+    );
+    let send = |stream: &mut UnixStream, msg: &SessionMsg| {
+        net::write_msg(stream, msg).map_err(|e| format!("connection lost: {e}"))
+    };
+    vp_instrument::frame::write_magic(&mut stream).map_err(|e| format!("connection lost: {e}"))?;
+    send(&mut stream, &SessionMsg::Hello { tenant: tenant.clone(), workload: workload.clone() })?;
+    reader.expect_magic().map_err(|e| format!("bad server greeting: {e}"))?;
+    let recv = |reader: &mut vp_instrument::FrameReader<UnixStream>| match net::read_msg(reader) {
+        Ok(msg) => Ok(msg),
+        Err(MsgError::Frame(vp_instrument::FrameError::PeerClosed)) => {
+            Err("server closed the connection mid-session".to_string())
+        }
+        Err(e) => Err(format!("bad server reply: {e}")),
+    };
+    let start = match recv(&mut reader)? {
+        SessionMsg::HelloOk { acked } => acked,
+        SessionMsg::Busy { reason } => return Err(format!("server busy: {reason}")),
+        SessionMsg::Err { reason } => return Err(format!("session refused: {reason}")),
+        other => return Err(format!("unexpected reply to HELLO: {other:?}")),
+    };
+    let mut acked = start;
+    let mut throttles = 0u64;
+    for seq in start..total {
+        // The inflight window: block on ACKs before overrunning it.
+        // `--burst` ignores it, to exercise the server's THROTTLE path.
+        while !flag(args, "--burst") && seq - acked >= window {
+            match recv(&mut reader)? {
+                SessionMsg::Ack { acked: a } => acked = a,
+                SessionMsg::Throttle { acked: a } => {
+                    throttles += 1;
+                    acked = acked.max(a);
+                }
+                SessionMsg::Err { reason } => return Err(format!("session killed: {reason}")),
+                other => return Err(format!("unexpected reply mid-stream: {other:?}")),
+            }
+        }
+        let chunk = &chunks[seq as usize];
+        let crc = if corrupt == Some(seq) { chunk.crc ^ 1 } else { chunk.crc };
+        send(
+            &mut stream,
+            &SessionMsg::Chunk { seq, count: chunk.count, crc, payload: chunk.payload.to_vec() },
+        )?;
+        if abort_after == Some(seq + 1) {
+            let _ = stream.flush();
+            println!("client {tenant}/{workload}: aborted after {} chunk(s)", seq + 1);
+            return Ok(());
+        }
+    }
+    if flag(args, "--query") {
+        send(&mut stream, &SessionMsg::Query)?;
+        loop {
+            match recv(&mut reader)? {
+                SessionMsg::Stats { json } => {
+                    println!("stats: {json}");
+                    break;
+                }
+                // END_OK carries the final cursor; interim acks are noise.
+                SessionMsg::Ack { .. } => {}
+                SessionMsg::Throttle { .. } => throttles += 1,
+                SessionMsg::Err { reason } => return Err(format!("session killed: {reason}")),
+                other => return Err(format!("unexpected reply to QUERY: {other:?}")),
+            }
+        }
+    }
+    send(&mut stream, &SessionMsg::End)?;
+    let profile = loop {
+        match recv(&mut reader)? {
+            SessionMsg::EndOk { acked: a, profile } => {
+                acked = a;
+                break profile;
+            }
+            SessionMsg::Ack { .. } => {}
+            SessionMsg::Throttle { .. } => throttles += 1,
+            SessionMsg::Err { reason } => return Err(format!("session killed: {reason}")),
+            other => return Err(format!("unexpected reply to END: {other:?}")),
+        }
+    };
+    if let Some(out) = option_value(args, "--save") {
+        vp_core::durable::write_atomic(std::path::Path::new(out), profile.as_bytes())
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    }
+    println!(
+        "client {tenant}/{workload}: {total} chunks ({events} events), {acked} acked, resumed at {start}"
+    );
+    if throttles > 0 {
+        println!("throttled: {throttles}");
+    }
     Ok(())
 }
 
@@ -689,6 +926,15 @@ fn record_cmd(args: &[String]) -> Result<(), String> {
     let deadline = deadline_arg(args)?;
     let out =
         option_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{target}.vpc"));
+    // Small traces fit one default-sized chunk; `--chunk-events` forces
+    // more chunk boundaries so checkpoint/ACK paths can be exercised.
+    let chunk_events: usize = option_value(args, "--chunk-events").map_or(
+        Ok(vp_instrument::trace_codec::DEFAULT_CHUNK_EVENTS),
+        |v| match v.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --chunk-events value `{v}` (need a positive count)")),
+        },
+    )?;
     struct Recorder(vp_instrument::TraceEncoder);
     impl vp_instrument::Analysis for Recorder {
         fn after_instr(&mut self, _m: &Machine, ev: &vp_sim::InstrEvent) {
@@ -697,7 +943,7 @@ fn record_cmd(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    let mut rec = Recorder(vp_instrument::TraceEncoder::new());
+    let mut rec = Recorder(vp_instrument::TraceEncoder::with_chunk_events(chunk_events));
     let run = |rec: &mut Recorder| {
         Instrumenter::new()
             .select(selection)
@@ -1299,11 +1545,18 @@ mod tests {
         let text = std::fs::read_to_string(&tel).unwrap();
         assert!(text.lines().next().unwrap().contains("\"kind\":\"run\""));
         assert!(dispatch(&args(&["stats", tel_s])).is_ok());
-        assert!(dispatch(&args(&["stats", "/nonexistent/telemetry.jsonl"]))
-            .unwrap_err()
-            .contains("cannot read"));
+        // Absent and empty telemetry are clean no-record runs, exit 0 —
+        // the shape a serve daemon that admitted no session leaves.
+        assert!(dispatch(&args(&["stats", "/nonexistent/telemetry.jsonl"])).is_ok());
+        std::fs::write(&tel, "").unwrap();
+        assert!(dispatch(&args(&["stats", tel_s])).is_ok());
+        // A present-but-corrupt file is still an error.
         std::fs::write(&tel, "not json\n").unwrap();
         assert!(dispatch(&args(&["stats", tel_s])).is_err());
+        // A directory is unreadable for a reason other than absence.
+        assert!(dispatch(&args(&["stats", dir.to_str().unwrap()]))
+            .unwrap_err()
+            .contains("cannot read"));
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //!
 //! * `ACTION` — `panic`, `err` (an injected `io::Error`), `slow` (a fixed
 //!   busy spin, no clock reads), `kill` (`process::abort`, simulating
-//!   an unclean death such as SIGKILL), or `hang` (block until
+//!   an unclean death such as SIGKILL), `hang` (block until
 //!   cooperatively cancelled — the deterministic stand-in for an
-//!   infinite loop, used to exercise deadline enforcement);
+//!   infinite loop, used to exercise deadline enforcement), or
+//!   `disconnect` (drop the connection owning the fault point — only the
+//!   serve daemon's session points can, others treat it as `err`);
 //! * `POINT` — the fault-point name, matched exactly;
 //! * `@START` — first hit (1-based) on which the fault fires (default 1);
 //! * `xCOUNT` — number of consecutive hits that fire (default unlimited),
@@ -81,6 +83,25 @@ pub const WORKER_FRAME_POINT: &str = "worker/frame";
 /// assignment completed.
 pub const WORKER_EXIT_POINT: &str = "worker/exit";
 
+/// Fault point hit by the `vprof serve` daemon once per accepted
+/// connection, before the session handshake (`err` rejects the
+/// connection; `kill` models the daemon dying in the accept path).
+pub const SERVE_ACCEPT_POINT: &str = "serve/accept";
+
+/// Fault point hit by a session thread once per protocol frame it
+/// processes. `disconnect` drops the connection without a goodbye —
+/// the deterministic model of a client (or network) vanishing
+/// mid-session. The daemon also fires the tenant-qualified point
+/// `session/<tenant>/frame`, so a fault can target one session even
+/// with many running concurrently.
+pub const SESSION_FRAME_POINT: &str = "session/frame";
+
+/// Fault point hit once per durable session checkpoint, just before the
+/// checkpoint record is appended. `kill` here is the serve kill-and-
+/// resume oracle: the daemon dies with chunks in the log but no ack
+/// sent, and the client must retransmit from the last acked chunk.
+pub const SESSION_CHECKPOINT_POINT: &str = "session/checkpoint";
+
 /// What a triggered fault does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -99,6 +120,12 @@ pub enum FaultAction {
     /// which is the point: it is the deterministic model of an infinite
     /// loop.
     Hang,
+    /// Drop a connection abruptly, no goodbye frame. Only meaningful at
+    /// connection-owning fault points (the serve daemon matches it via
+    /// [`FaultPlan::check`] and closes the socket); [`FaultPlan::fire`]
+    /// treats it like [`FaultAction::Err`] so a plan armed with it never
+    /// silently passes elsewhere.
+    Disconnect,
 }
 
 impl FaultAction {
@@ -109,7 +136,10 @@ impl FaultAction {
             "slow" => Ok(FaultAction::Slow),
             "kill" => Ok(FaultAction::Kill),
             "hang" => Ok(FaultAction::Hang),
-            other => Err(format!("unknown fault action `{other}` (panic|err|slow|kill|hang)")),
+            "disconnect" => Ok(FaultAction::Disconnect),
+            other => {
+                Err(format!("unknown fault action `{other}` (panic|err|slow|kill|hang|disconnect)"))
+            }
         }
     }
 }
@@ -245,6 +275,12 @@ impl FaultPlan {
                 }
                 std::hint::black_box(acc);
                 Ok(())
+            }
+            // Only the daemon's connection-owning points can actually
+            // drop a socket; everywhere else the injected error keeps
+            // the plan from passing silently.
+            Some(FaultAction::Disconnect) => {
+                Err(io::Error::other(format!("fault injected: {point} (disconnect)")))
             }
             Some(FaultAction::Hang) => {
                 // Spin-sleep until the current cancel token fires, then

@@ -12,13 +12,18 @@
 //! ```
 //!
 //! The error taxonomy matters more than the bytes: a worker killed
-//! mid-write leaves a *prefix* of a frame behind, so EOF anywhere inside
-//! a frame (including at a frame boundary, when a response was expected)
-//! is [`FrameError::Torn`] — the retryable worker-death signature. Bytes
-//! that are all present but wrong (bad magic, CRC mismatch, absurd
-//! length) are [`FrameError::Corrupt`]. Consumers must treat a torn tail
-//! from a dead peer as that peer's death, not as a hard corruption abort
-//! — the seam `tests/distributed_suite.rs` pins down.
+//! mid-write leaves a *prefix* of a frame behind, so EOF anywhere
+//! *inside* a frame is [`FrameError::Torn`] — the retryable worker-death
+//! signature. EOF exactly *at* a frame boundary (zero bytes of the next
+//! header arrived) is [`FrameError::PeerClosed`]: the stream ended where
+//! a frame could have cleanly ended, which is how an orderly disconnect
+//! looks — the daemon (`vprof serve`) uses the distinction to tell a
+//! client that hung up from one that crashed mid-send. Bytes that are
+//! all present but wrong (bad magic, CRC mismatch, absurd length) are
+//! [`FrameError::Corrupt`]. Consumers that treat any EOF as peer death
+//! (the worker pool, where a response was always expected) must match
+//! both `Torn` and `PeerClosed` — the seam `tests/distributed_suite.rs`
+//! pins down.
 //!
 //! [`trace_codec`]: crate::trace_codec
 
@@ -47,9 +52,13 @@ pub struct Frame {
 /// Why a frame could not be read.
 #[derive(Debug)]
 pub enum FrameError {
-    /// The stream ended mid-frame (or where a frame was expected): the
-    /// signature of a peer that died mid-write. Retryable — the bytes
-    /// that did arrive are a clean prefix, nothing was misinterpreted.
+    /// The stream ended cleanly at a frame boundary: zero bytes of the
+    /// next header had arrived. The signature of an orderly disconnect —
+    /// the peer finished a frame (or never sent one) and closed.
+    PeerClosed,
+    /// The stream ended mid-frame: the signature of a peer that died
+    /// mid-write. Retryable — the bytes that did arrive are a clean
+    /// prefix, nothing was misinterpreted.
     Torn(String),
     /// The bytes are all present but wrong: bad magic, CRC mismatch, or
     /// an implausible length. Not a death signature — something wrote
@@ -62,6 +71,7 @@ pub enum FrameError {
 impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FrameError::PeerClosed => f.write_str("peer closed the stream at a frame boundary"),
             FrameError::Torn(detail) => write!(f, "torn frame: {detail}"),
             FrameError::Corrupt(detail) => write!(f, "corrupt frame: {detail}"),
             FrameError::Io(e) => write!(f, "frame io: {e}"),
@@ -120,11 +130,21 @@ impl<R: Read> FrameReader<R> {
         FrameReader { inner }
     }
 
-    // Reads exactly `buf.len()` bytes; EOF after `have` bytes is Torn.
-    fn read_exact_or_torn(&mut self, buf: &mut [u8], what: &str) -> Result<(), FrameError> {
+    // Reads exactly `buf.len()` bytes. EOF mid-read is Torn; EOF before
+    // the first byte is PeerClosed only when `at_boundary` — i.e. the
+    // bytes being read are the start of a frame (or the magic), where a
+    // clean close is a legal end of stream. Zero bytes of a *payload*
+    // after a complete header is still mid-frame, still Torn.
+    fn read_exact_or_torn(
+        &mut self,
+        buf: &mut [u8],
+        what: &str,
+        at_boundary: bool,
+    ) -> Result<(), FrameError> {
         let mut have = 0;
         while have < buf.len() {
             match self.inner.read(&mut buf[have..]) {
+                Ok(0) if have == 0 && at_boundary => return Err(FrameError::PeerClosed),
                 Ok(0) => {
                     return Err(FrameError::Torn(format!(
                         "eof after {have} of {} {what} bytes",
@@ -139,10 +159,12 @@ impl<R: Read> FrameReader<R> {
         Ok(())
     }
 
-    /// Consumes and verifies the stream magic.
+    /// Consumes and verifies the stream magic. A peer that connected and
+    /// closed without sending a byte is [`FrameError::PeerClosed`]; EOF
+    /// mid-magic is [`FrameError::Torn`].
     pub fn expect_magic(&mut self) -> Result<(), FrameError> {
         let mut magic = [0u8; 4];
-        self.read_exact_or_torn(&mut magic, "magic")?;
+        self.read_exact_or_torn(&mut magic, "magic", true)?;
         if magic != FRAME_MAGIC {
             return Err(FrameError::Corrupt(format!(
                 "bad magic {magic:02x?}, want {FRAME_MAGIC:02x?}"
@@ -151,13 +173,13 @@ impl<R: Read> FrameReader<R> {
         Ok(())
     }
 
-    /// Reads the next frame. EOF *at* a frame boundary is also
-    /// [`FrameError::Torn`] (`"eof after 0 of 12 header bytes"`): this
-    /// reader is only invoked when the protocol expects a message, so a
-    /// closed stream means the peer is gone.
+    /// Reads the next frame. EOF *at* a frame boundary (zero header
+    /// bytes arrived) is [`FrameError::PeerClosed`] — an orderly
+    /// disconnect; EOF anywhere inside the header or payload is
+    /// [`FrameError::Torn`] — a peer that died mid-write.
     pub fn read_frame(&mut self) -> Result<Frame, FrameError> {
         let mut header = [0u8; 12];
-        self.read_exact_or_torn(&mut header, "header")?;
+        self.read_exact_or_torn(&mut header, "header", true)?;
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let kind = u32::from_le_bytes(header[4..8].try_into().unwrap());
         let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
@@ -167,7 +189,7 @@ impl<R: Read> FrameReader<R> {
             )));
         }
         let mut payload = vec![0u8; len as usize];
-        self.read_exact_or_torn(&mut payload, "payload")?;
+        self.read_exact_or_torn(&mut payload, "payload", false)?;
         let want = frame_crc(kind, &payload);
         if crc != want {
             return Err(FrameError::Corrupt(format!(
@@ -198,28 +220,69 @@ mod tests {
         assert_eq!(r.read_frame().unwrap(), Frame { kind: 1, payload: b"hello".to_vec() });
         assert_eq!(r.read_frame().unwrap(), Frame { kind: 2, payload: Vec::new() });
         assert_eq!(r.read_frame().unwrap().payload.len(), 1000);
-        // The stream is drained: the next read is a (boundary) tear.
-        assert!(matches!(r.read_frame(), Err(FrameError::Torn(_))));
+        // The stream is drained: the next read is a clean close, not a
+        // tear — nothing of the next frame ever arrived.
+        assert!(matches!(r.read_frame(), Err(FrameError::PeerClosed)));
     }
 
     #[test]
     fn every_proper_prefix_is_torn_not_corrupt() {
-        // A killed writer leaves an arbitrary prefix. Whatever the cut
-        // point — inside the magic, the header, or the payload — the
-        // reader must say Torn, never Corrupt and never Ok.
+        // A killed writer leaves an arbitrary prefix. A cut *inside* the
+        // magic, header, or payload must read as Torn — never Corrupt,
+        // never Ok. The two cuts that land exactly on a frame boundary
+        // (nothing sent; magic only) are indistinguishable from an
+        // orderly hang-up and read as PeerClosed instead.
         let bytes = stream(&[(3, b"payload bytes")]);
         for cut in 0..bytes.len() {
             let mut r = FrameReader::new(&bytes[..cut]);
             let outcome = r.expect_magic().and_then(|()| r.read_frame());
+            let at_boundary = cut == 0 || cut == FRAME_MAGIC.len();
             match outcome {
-                Err(FrameError::Torn(_)) => {}
-                other => panic!("prefix of {cut} bytes: want Torn, got {other:?}"),
+                Err(FrameError::PeerClosed) if at_boundary => {}
+                Err(FrameError::Torn(_)) if !at_boundary => {}
+                other => panic!("prefix of {cut} bytes: got {other:?}"),
             }
         }
         // The full stream parses.
         let mut r = FrameReader::new(bytes.as_slice());
         r.expect_magic().unwrap();
         assert_eq!(r.read_frame().unwrap().payload, b"payload bytes");
+    }
+
+    #[test]
+    fn clean_eof_at_boundary_is_peer_closed_not_torn() {
+        // Orderly disconnect: the peer finished its last frame and
+        // closed. Every subsequent read says PeerClosed, repeatably.
+        let bytes = stream(&[(9, b"last")]);
+        let mut r = FrameReader::new(bytes.as_slice());
+        r.expect_magic().unwrap();
+        assert_eq!(r.read_frame().unwrap().payload, b"last");
+        assert!(matches!(r.read_frame(), Err(FrameError::PeerClosed)));
+        assert!(matches!(r.read_frame(), Err(FrameError::PeerClosed)));
+        // An empty stream is also a clean close, even before the magic.
+        let mut r = FrameReader::new(&b""[..]);
+        assert!(matches!(r.expect_magic(), Err(FrameError::PeerClosed)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_torn_not_peer_closed() {
+        // Crash signature: a complete header whose payload never
+        // arrived — even zero payload bytes in is *mid-frame*.
+        let full = stream(&[(3, b"payload bytes")]);
+        let header_only = &full[..FRAME_MAGIC.len() + 12];
+        let mut r = FrameReader::new(header_only);
+        r.expect_magic().unwrap();
+        match r.read_frame() {
+            Err(FrameError::Torn(msg)) => assert!(msg.contains("payload"), "{msg}"),
+            other => panic!("want Torn, got {other:?}"),
+        }
+        // And a half-written header is likewise torn.
+        let mut r = FrameReader::new(&full[..FRAME_MAGIC.len() + 5]);
+        r.expect_magic().unwrap();
+        match r.read_frame() {
+            Err(FrameError::Torn(msg)) => assert!(msg.contains("header"), "{msg}"),
+            other => panic!("want Torn, got {other:?}"),
+        }
     }
 
     #[test]
@@ -266,6 +329,7 @@ mod tests {
 
     #[test]
     fn errors_render_their_taxonomy() {
+        assert!(FrameError::PeerClosed.to_string().starts_with("peer closed"));
         assert!(FrameError::Torn("eof".into()).to_string().starts_with("torn frame"));
         assert!(FrameError::Corrupt("crc".into()).to_string().starts_with("corrupt frame"));
         let io_err: FrameError = io::Error::other("pipe").into();

@@ -56,6 +56,7 @@
 
 pub mod cancel;
 pub mod frame;
+pub mod net;
 pub mod parallel;
 pub mod plan;
 pub mod runner;
@@ -65,6 +66,7 @@ pub mod view;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use frame::{Frame, FrameError, FrameReader};
+pub use net::{MsgError, NetListener, SessionMsg};
 pub use parallel::{
     effective_jobs, parallel_map, parallel_map_observed, try_parallel_map,
     try_parallel_map_deadline, try_parallel_map_observed, FailureKind, ItemFailure,

@@ -437,6 +437,112 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<(u32, u64)>, CodecError> {
 }
 
 // ---------------------------------------------------------------------
+// Raw (still-encoded) chunk access — the serve wire primitives
+// ---------------------------------------------------------------------
+
+/// One chunk exactly as it sits in a VPC1 file: header fields plus the
+/// undecoded varint payload. `vprof client` frames these over the wire
+/// so the daemon verifies the very CRC the recorded file carried —
+/// end-to-end integrity, not hop-by-hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawChunk<'a> {
+    /// Events the payload claims to encode.
+    pub count: u32,
+    /// Stored CRC32 over the chunk's len/count header and payload.
+    pub crc: u32,
+    /// The varint-encoded `(pc, value)` pairs, unverified.
+    pub payload: &'a [u8],
+}
+
+/// Splits a VPC1 byte stream into its raw chunks without decoding any
+/// payload. The magic, every chunk CRC, and the trailer are still fully
+/// verified — a corrupt or truncated file is rejected here, never
+/// streamed.
+pub fn raw_chunks(bytes: &[u8]) -> Result<Vec<RawChunk<'_>>, CodecError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let mut chunks = Vec::new();
+    let mut total = 0u64;
+    loop {
+        let header_start = pos;
+        let len = read_u32(bytes, &mut pos)? as usize;
+        if len == 0 {
+            let trailer_total = read_u64(bytes, &mut pos)?;
+            let stored_crc = read_u32(bytes, &mut pos)?;
+            if crc32(&bytes[header_start..header_start + 12]) != stored_crc
+                || trailer_total != total
+            {
+                return Err(CodecError::CorruptTrailer);
+            }
+            if pos != bytes.len() {
+                return Err(CodecError::TrailingData);
+            }
+            return Ok(chunks);
+        }
+        let count = read_u32(bytes, &mut pos)?;
+        let stored_crc = read_u32(bytes, &mut pos)?;
+        let payload_end =
+            pos.checked_add(len).filter(|&e| e <= bytes.len()).ok_or(CodecError::Truncated)?;
+        let corrupt = CodecError::CorruptChunk { index: chunks.len() };
+        if count as usize > len {
+            return Err(corrupt);
+        }
+        let mut crc = Crc32::new();
+        crc.update(&bytes[header_start..header_start + 8]);
+        crc.update(&bytes[pos..payload_end]);
+        if crc.finish() != stored_crc {
+            return Err(corrupt);
+        }
+        chunks.push(RawChunk { count, crc: stored_crc, payload: &bytes[pos..payload_end] });
+        total += u64::from(count);
+        pos = payload_end;
+    }
+}
+
+/// Verifies and decodes one standalone chunk — the daemon's ingest path
+/// for a chunk that arrived framed rather than in a file. Identical
+/// verification to [`ChunkReader`]: the stored CRC must match the
+/// len/count header plus payload, the payload must parse as exactly
+/// `count` canonical varint pairs, and nothing may remain. Decoded
+/// events are *appended* to `out`; `index` only labels the error.
+pub fn decode_chunk(
+    index: usize,
+    count: u32,
+    stored_crc: u32,
+    payload: &[u8],
+    out: &mut Vec<(u32, u64)>,
+) -> Result<(), CodecError> {
+    let corrupt = CodecError::CorruptChunk { index };
+    if count as usize > payload.len() {
+        return Err(corrupt);
+    }
+    let mut crc = Crc32::new();
+    crc.update(&(payload.len() as u32).to_le_bytes());
+    crc.update(&count.to_le_bytes());
+    crc.update(payload);
+    if crc.finish() != stored_crc {
+        return Err(corrupt);
+    }
+    out.reserve((count as usize).min(payload.len() / 2));
+    let before = out.len();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let pc = read_varint(payload, &mut pos).map_err(|_| corrupt.clone())?;
+        let value = read_varint(payload, &mut pos).map_err(|_| corrupt.clone())?;
+        if pc > u64::from(u32::MAX) {
+            return Err(corrupt);
+        }
+        out.push((pc as u32, value));
+    }
+    if out.len() - before != count as usize {
+        return Err(corrupt);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Zero-copy trace input
 // ---------------------------------------------------------------------
 

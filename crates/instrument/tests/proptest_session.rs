@@ -1,0 +1,273 @@
+//! Property tests for the session wire protocol: any transcript of
+//! session messages survives any split of the byte stream across
+//! `read()` boundaries (down to 1-byte reads), truncation and bit
+//! damage produce *typed* errors after a clean prefix — never a
+//! mis-decoded message — and the retransmit/ack model is idempotent
+//! under duplicated chunks. `scan_log` recovers exactly the durable
+//! prefix of a crash-torn session log.
+
+use proptest::prelude::*;
+use vp_instrument::frame::{self, FrameError, FrameReader, FRAME_MAGIC};
+use vp_instrument::net::{self, classify_chunk, scan_log, ChunkDisposition, MsgError, SessionMsg};
+
+/// A reader that hands back the stream in caller-chosen slice sizes,
+/// cycling through `splits` — the adversarial-kernel simulation: short
+/// reads, 1-byte reads, uneven bursts.
+struct Chopped<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    splits: &'a [usize],
+    next: usize,
+}
+
+impl std::io::Read for Chopped<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.bytes.len() {
+            return Ok(0);
+        }
+        let step = self.splits.get(self.next).copied().unwrap_or(1).max(1);
+        self.next = (self.next + 1) % self.splits.len().max(1);
+        let n = step.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // A palette with multi-byte code points: UTF-8 length and byte
+    // length disagree, which is exactly where a framing bug would hide.
+    const PALETTE: [char; 8] = ['a', 'Z', '0', '_', '-', '.', '\u{b5}', '\u{5024}'];
+    prop::collection::vec(any::<u8>(), 0..12)
+        .prop_map(|bytes| bytes.into_iter().map(|b| PALETTE[(b % 8) as usize]).collect())
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..64)
+}
+
+/// Every message variant, both directions, with boundary-skewed fields.
+fn arb_msg() -> impl Strategy<Value = SessionMsg> {
+    let cursor = prop_oneof![Just(0u64), Just(u64::MAX), any::<u64>()];
+    prop_oneof![
+        (arb_name(), arb_name())
+            .prop_map(|(tenant, workload)| SessionMsg::Hello { tenant, workload }),
+        (cursor.clone(), any::<u32>(), any::<u32>(), arb_payload())
+            .prop_map(|(seq, count, crc, payload)| SessionMsg::Chunk { seq, count, crc, payload }),
+        Just(SessionMsg::Query),
+        Just(SessionMsg::End),
+        Just(SessionMsg::Shutdown),
+        cursor.clone().prop_map(|acked| SessionMsg::HelloOk { acked }),
+        cursor.clone().prop_map(|acked| SessionMsg::Ack { acked }),
+        arb_name().prop_map(|reason| SessionMsg::Busy { reason }),
+        cursor.clone().prop_map(|acked| SessionMsg::Throttle { acked }),
+        arb_name().prop_map(|json| SessionMsg::Stats { json }),
+        (cursor, arb_name()).prop_map(|(acked, profile)| SessionMsg::EndOk { acked, profile }),
+        arb_name().prop_map(|reason| SessionMsg::Err { reason }),
+    ]
+}
+
+fn arb_transcript() -> impl Strategy<Value = Vec<SessionMsg>> {
+    prop::collection::vec(arb_msg(), 0..12)
+}
+
+/// Encodes a transcript the way both peers do: magic, then frames.
+fn encode_transcript(msgs: &[SessionMsg]) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame::write_magic(&mut out).unwrap();
+    for m in msgs {
+        net::write_msg(&mut out, m).unwrap();
+    }
+    out
+}
+
+/// Byte offsets at which the stream sits on a frame boundary (after the
+/// magic, after each frame).
+fn boundaries(msgs: &[SessionMsg]) -> Vec<usize> {
+    let mut offs = vec![FRAME_MAGIC.len()];
+    let mut at = FRAME_MAGIC.len();
+    for m in msgs {
+        let (kind, payload) = m.encode();
+        at += frame::encode_frame(kind, &payload).len();
+        offs.push(at);
+    }
+    offs
+}
+
+/// Reads messages until the first error.
+fn drain<R: std::io::Read>(reader: &mut FrameReader<R>) -> (Vec<SessionMsg>, MsgError) {
+    let mut msgs = Vec::new();
+    loop {
+        match net::read_msg(reader) {
+            Ok(m) => msgs.push(m),
+            Err(e) => return (msgs, e),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_read_chopping_preserves_the_transcript(
+        msgs in arb_transcript(),
+        splits in prop::collection::vec(1usize..7, 1..10),
+    ) {
+        let bytes = encode_transcript(&msgs);
+        let mut reader =
+            FrameReader::new(Chopped { bytes: &bytes, pos: 0, splits: &splits, next: 0 });
+        reader.expect_magic().unwrap();
+        let (got, err) = drain(&mut reader);
+        prop_assert_eq!(got, msgs);
+        prop_assert!(matches!(err, MsgError::Frame(FrameError::PeerClosed)));
+    }
+
+    #[test]
+    fn truncation_yields_a_clean_prefix_and_a_typed_error(
+        msgs in arb_transcript(),
+        cut in any::<u64>(),
+        splits in prop::collection::vec(1usize..5, 1..6),
+    ) {
+        // Cutting the stream anywhere loses at most the suffix: every
+        // message before the cut decodes intact, the cut itself is
+        // PeerClosed exactly on a frame boundary and Torn anywhere
+        // inside a frame. Nothing ever decodes *differently*.
+        let bytes = encode_transcript(&msgs);
+        let cut = (cut % bytes.len() as u64) as usize;
+        let offs = boundaries(&msgs);
+        let mut reader =
+            FrameReader::new(Chopped { bytes: &bytes[..cut], pos: 0, splits: &splits, next: 0 });
+        if cut < FRAME_MAGIC.len() {
+            prop_assert!(matches!(reader.expect_magic(), Err(FrameError::Torn(_) | FrameError::PeerClosed)));
+            return Ok(());
+        }
+        reader.expect_magic().unwrap();
+        let (got, err) = drain(&mut reader);
+        let whole = offs.iter().filter(|&&o| o <= cut).count() - 1;
+        prop_assert_eq!(got.as_slice(), &msgs[..whole]);
+        if offs.contains(&cut) {
+            prop_assert!(matches!(err, MsgError::Frame(FrameError::PeerClosed)));
+        } else {
+            prop_assert!(matches!(err, MsgError::Frame(FrameError::Torn(_))));
+        }
+    }
+
+    #[test]
+    fn bit_damage_never_mis_decodes(
+        msgs in prop::collection::vec(arb_msg(), 1..12),
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        // Flip one bit anywhere past the magic: every message before the
+        // damaged frame decodes verbatim, the damaged frame fails with a
+        // typed error — Corrupt (CRC or length), Torn (a length flip
+        // claiming bytes beyond the stream) — and the reader never
+        // reports a clean close. Every frame byte is covered by the
+        // header CRC or changes the framing, so a mis-decode would need
+        // a CRC collision.
+        let mut bytes = encode_transcript(&msgs);
+        let lo = FRAME_MAGIC.len() as u64;
+        let pos = (lo + pos % (bytes.len() as u64 - lo)) as usize;
+        bytes[pos] ^= 1 << bit;
+        let mut reader = FrameReader::new(&bytes[..]);
+        reader.expect_magic().unwrap();
+        let (got, err) = drain(&mut reader);
+        // The damaged frame is the one containing `pos`.
+        let offs = boundaries(&msgs);
+        let intact = offs.iter().filter(|&&o| o <= pos).count() - 1;
+        prop_assert_eq!(got.as_slice(), &msgs[..intact]);
+        prop_assert!(!matches!(err, MsgError::Frame(FrameError::PeerClosed)));
+    }
+
+    #[test]
+    fn retransmits_after_acks_are_idempotent(
+        n in 0u64..40,
+        dups in prop::collection::vec((any::<u64>(), any::<u64>()), 0..30),
+        gap in 1u64..5,
+    ) {
+        // Model the server's chunk cursor against a client that resends
+        // arbitrary already-sent chunks after every ACK (the crash-retry
+        // pattern): each fresh chunk is accepted exactly once, every
+        // duplicate is dropped, and the cursor ends at n regardless of
+        // the noise. A skip is always a typed Gap.
+        let mut sends: Vec<u64> = Vec::new();
+        for seq in 0..n {
+            for &(at, dup) in &dups {
+                if at % n.max(1) == seq {
+                    sends.push(dup % (seq + 1));
+                }
+            }
+            sends.push(seq);
+        }
+        let mut next = 0u64;
+        let mut accepted = Vec::new();
+        for &seq in &sends {
+            match classify_chunk(seq, next) {
+                ChunkDisposition::Accept => {
+                    accepted.push(seq);
+                    next += 1;
+                }
+                ChunkDisposition::Duplicate => prop_assert!(seq < next),
+                ChunkDisposition::Gap => prop_assert!(false, "valid schedule produced a gap"),
+            }
+        }
+        prop_assert_eq!(next, n);
+        prop_assert_eq!(accepted, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(classify_chunk(next + gap, next), ChunkDisposition::Gap);
+    }
+
+    #[test]
+    fn scan_log_recovers_exactly_the_durable_prefix(
+        msgs in prop::collection::vec(arb_msg(), 0..8),
+        tear in any::<u64>(),
+    ) {
+        // A session log is magic + appended frames; kill -9 mid-append
+        // leaves a strict prefix of one more frame. The scan must keep
+        // every whole frame, report the tear, and hand back a good_len
+        // that re-scans clean — the resume invariant.
+        let clean = encode_transcript(&msgs);
+        let scan = scan_log(&clean).unwrap();
+        prop_assert_eq!(scan.frames.len(), msgs.len());
+        prop_assert_eq!(scan.good_len, clean.len());
+        prop_assert!(!scan.torn);
+
+        let (kind, payload) = SessionMsg::Chunk {
+            seq: u64::MAX,
+            count: 7,
+            crc: 0xDEAD_BEEF,
+            payload: vec![0xAB; 21],
+        }
+        .encode();
+        let partial = frame::encode_frame(kind, &payload);
+        let keep = 1 + (tear % (partial.len() as u64 - 1)) as usize;
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&partial[..keep]);
+
+        let scan = scan_log(&torn).unwrap();
+        prop_assert_eq!(scan.frames.len(), msgs.len());
+        prop_assert_eq!(scan.good_len, clean.len());
+        prop_assert!(scan.torn);
+
+        let rescan = scan_log(&torn[..scan.good_len]).unwrap();
+        prop_assert!(!rescan.torn);
+        prop_assert_eq!(rescan.frames.len(), msgs.len());
+        for (frame, msg) in rescan.frames.iter().zip(&msgs) {
+            prop_assert_eq!(&SessionMsg::decode(frame).unwrap(), msg);
+        }
+    }
+}
+
+#[test]
+fn one_byte_reads_decode_a_full_conversation() {
+    let msgs = vec![
+        SessionMsg::Hello { tenant: "acme".into(), workload: "li".into() },
+        SessionMsg::Chunk { seq: 0, count: 3, crc: 9, payload: vec![1, 2, 3] },
+        SessionMsg::Query,
+        SessionMsg::End,
+    ];
+    let bytes = encode_transcript(&msgs);
+    let splits = [1usize];
+    let mut reader = FrameReader::new(Chopped { bytes: &bytes, pos: 0, splits: &splits, next: 0 });
+    reader.expect_magic().unwrap();
+    let (got, err) = drain(&mut reader);
+    assert_eq!(got, msgs);
+    assert!(matches!(err, MsgError::Frame(FrameError::PeerClosed)));
+}

@@ -95,6 +95,15 @@ pub enum CounterId {
     SitesSpecialized,
     /// Candidate load sites rejected by the optimize pipeline.
     CandidatesRejected,
+    /// Sessions the serve daemon rejected at admission (BUSY).
+    SessionRejected,
+    /// Sessions the serve daemon killed (fault, protocol violation,
+    /// idle reap, or drain before END).
+    SessionKilled,
+    /// Sessions that reached END and checkpointed cleanly.
+    SessionCompleted,
+    /// Chunks durably checkpointed and cumulatively acked to clients.
+    ChunksAcked,
 }
 
 impl CounterId {
@@ -102,7 +111,7 @@ impl CounterId {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every counter, in canonical (rendering) order.
-    pub const ALL: [CounterId; 39] = [
+    pub const ALL: [CounterId; 43] = [
         CounterId::InstrEvents,
         CounterId::LoadEvents,
         CounterId::StoreEvents,
@@ -142,6 +151,10 @@ impl CounterId {
         CounterId::GuardMisses,
         CounterId::SitesSpecialized,
         CounterId::CandidatesRejected,
+        CounterId::SessionRejected,
+        CounterId::SessionKilled,
+        CounterId::SessionCompleted,
+        CounterId::ChunksAcked,
     ];
 
     /// Stable snake_case name used in telemetry records.
@@ -186,6 +199,10 @@ impl CounterId {
             CounterId::GuardMisses => "guard_misses",
             CounterId::SitesSpecialized => "sites_specialized",
             CounterId::CandidatesRejected => "candidates_rejected",
+            CounterId::SessionRejected => "session_rejected",
+            CounterId::SessionKilled => "session_killed",
+            CounterId::SessionCompleted => "session_completed",
+            CounterId::ChunksAcked => "chunks_acked",
         }
     }
 

@@ -27,6 +27,8 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
     let mut phases: Vec<&Json> = Vec::new();
     let mut failures: Vec<&Json> = Vec::new();
     let mut optimized: Vec<&Json> = Vec::new();
+    let mut serves: Vec<&Json> = Vec::new();
+    let mut sessions: Vec<&Json> = Vec::new();
     let mut unknown = 0usize;
 
     for rec in records {
@@ -44,6 +46,8 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
             }
             Some("failure") => failures.push(rec),
             Some("optimize") => optimized.push(rec),
+            Some("serve") => serves.push(rec),
+            Some("session") => sessions.push(rec),
             _ => unknown += 1,
         }
     }
@@ -67,6 +71,10 @@ pub fn summarize_records(records: &[Json]) -> Result<String, String> {
     if !optimized.is_empty() {
         out.push('\n');
         out.push_str(&optimize_table(&optimized));
+    }
+    if !serves.is_empty() || !sessions.is_empty() {
+        out.push('\n');
+        out.push_str(&serve_section(&serves, &sessions));
     }
     if !failures.is_empty() {
         out.push('\n');
@@ -237,6 +245,46 @@ fn optimize_table(records: &[&Json]) -> String {
         out.push_str(&format!(
             "warning: {broken} specialized workload(s) diverged from the original output — guards failed to preserve behaviour\n"
         ));
+    }
+    out
+}
+
+/// Renders the `vprof serve` section: the daemon's exact admission and
+/// checkpoint counters, then one row per session with its outcome.
+/// Absent entirely unless a serve run emitted records, so telemetry from
+/// every other tool renders exactly as before.
+fn serve_section(serves: &[&Json], sessions: &[&Json]) -> String {
+    let mut out = String::new();
+    for rec in serves {
+        let counts = rec.get("events").map(Counts::from_json).unwrap_or_default();
+        out.push_str("serve:");
+        for (id, value) in counts.iter_nonzero() {
+            out.push_str(&format!("  {}={}", id.name(), value));
+        }
+        out.push('\n');
+    }
+    if !sessions.is_empty() {
+        out.push_str(&format!(
+            "{:<24} {:<12} {:<12} {:>8} {:>12}  detail\n",
+            "session", "tenant", "outcome", "chunks", "events"
+        ));
+        for rec in sessions {
+            let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+            let tenant = rec.get("tenant").and_then(Json::as_str).unwrap_or("?");
+            let outcome = rec.get("outcome").and_then(Json::as_str).unwrap_or("?");
+            let chunks = rec.get("chunks").and_then(Json::as_u64).unwrap_or(0);
+            let events = rec.get("trace_events").and_then(Json::as_u64).unwrap_or(0);
+            let detail = rec.get("error").and_then(Json::as_str).unwrap_or("-");
+            out.push_str(&format!(
+                "{:<24} {:<12} {:<12} {:>8} {:>12}  {}\n",
+                name,
+                tenant,
+                outcome,
+                group_digits(chunks),
+                group_digits(events),
+                detail
+            ));
+        }
     }
     out
 }
@@ -569,6 +617,54 @@ mod tests {
     fn non_optimize_records_render_without_optimize_section() {
         let text = summarize(&sample_jsonl()).unwrap();
         assert!(!text.contains("optimize"), "{text}");
+    }
+
+    #[test]
+    fn serve_section_renders_counters_and_sessions() {
+        let mut counts = Counts::new();
+        counts.add(CounterId::SessionRejected, 4);
+        counts.add(CounterId::SessionKilled, 1);
+        counts.add(CounterId::SessionCompleted, 2);
+        counts.add(CounterId::ChunksAcked, 37);
+        let records = vec![
+            record("serve", "daemon", vec![("events", counts.to_json())]),
+            record(
+                "session",
+                "acme/li",
+                vec![
+                    ("tenant", Json::Str("acme".to_string())),
+                    ("outcome", Json::Str("completed".to_string())),
+                    ("chunks", Json::U64(19)),
+                    ("trace_events", Json::U64(151_000)),
+                ],
+            ),
+            record(
+                "session",
+                "evil/gcc",
+                vec![
+                    ("tenant", Json::Str("evil".to_string())),
+                    ("outcome", Json::Str("killed".to_string())),
+                    ("chunks", Json::U64(3)),
+                    ("trace_events", Json::U64(24_576)),
+                    ("error", Json::Str("chunk 4 crc mismatch".to_string())),
+                ],
+            ),
+        ];
+        let text = summarize_records(&records).unwrap();
+        assert!(text.contains("serve:  session_rejected=4"), "{text}");
+        assert!(text.contains("chunks_acked=37"), "{text}");
+        assert!(text.contains("acme/li"), "{text}");
+        assert!(text.contains("completed"), "{text}");
+        assert!(text.contains("chunk 4 crc mismatch"), "{text}");
+        assert!(text.contains("151,000"), "{text}");
+        assert!(!text.contains("unknown kind"), "{text}");
+    }
+
+    #[test]
+    fn non_serve_records_render_without_serve_section() {
+        let text = summarize(&sample_jsonl()).unwrap();
+        assert!(!text.contains("serve:"), "{text}");
+        assert!(!text.contains("tenant"), "{text}");
     }
 
     #[test]
